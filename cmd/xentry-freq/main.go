@@ -1,0 +1,33 @@
+// Command xentry-freq reproduces the paper's Fig. 3: the frequency of
+// hypervisor activations per second for each benchmark under
+// para-virtualization and hardware-assisted virtualization.
+//
+// Usage:
+//
+//	xentry-freq [-seconds N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"xentry/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xentry-freq: ")
+	seconds := flag.Int("seconds", 300, "simulated seconds per benchmark and mode")
+	seed := flag.Int64("seed", 20140901, "deterministic seed")
+	flag.Parse()
+
+	sc := experiments.DefaultScale()
+	sc.FreqSeconds = *seconds
+	sc.Seed = *seed
+	res, err := experiments.Fig3(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render())
+}

@@ -1,0 +1,49 @@
+// Command xentry-overhead reproduces the paper's performance studies:
+// Fig. 7 (fault-free overhead of runtime detection and the full framework,
+// normalized to unmodified Xen) and Fig. 11 (estimated recovery overhead
+// under the transition detector's false-positive rate).
+//
+// Usage:
+//
+//	xentry-overhead [-runs N] [-activations N] [-fpr F] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"xentry/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xentry-overhead: ")
+	runs := flag.Int("runs", 10, "runs per benchmark (the paper uses 10)")
+	activations := flag.Int("activations", 160, "activations per run")
+	fpr := flag.Float64("fpr", 0.007, "false-positive rate for the recovery model")
+	seed := flag.Int64("seed", 20140901, "deterministic seed")
+	flag.Parse()
+
+	sc := experiments.DefaultScale()
+	sc.OverheadRuns = *runs
+	sc.Activations = *activations
+	sc.Seed = *seed
+
+	log.Print("training transition detector for the full configuration...")
+	train, err := experiments.Train(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fig7, err := experiments.Fig7(sc, train.Best())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig7.Render())
+
+	fig11, err := experiments.Fig11(sc, *fpr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(fig11.Render())
+}

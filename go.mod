@@ -1,0 +1,3 @@
+module xentry
+
+go 1.22

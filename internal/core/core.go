@@ -1,0 +1,208 @@
+// Package core implements Xentry itself: the light-weight software layer
+// between the hypervisor and its VMs described in the paper. The Sentry
+// intercepts every VM exit (arming performance counters and charging the
+// shim's cost), lets the original handler run with software assertions
+// compiled in (runtime detection), parses any surfacing hardware exception
+// as a fatal-corruption detection, and — at every VM entry — classifies the
+// execution's five-feature signature with the trained tree model to catch
+// valid-but-incorrect control flow before it propagates into the guest
+// (VM transition detection).
+package core
+
+import (
+	"fmt"
+
+	"xentry/internal/cpu"
+	"xentry/internal/hv"
+	"xentry/internal/ml"
+)
+
+// Technique identifies which of Xentry's detectors flagged an execution.
+type Technique int
+
+// Detection techniques (paper Fig. 8's bands).
+const (
+	// TechNone: nothing detected.
+	TechNone Technique = iota
+	// TechHWException: runtime detection via a fatal hardware exception.
+	TechHWException
+	// TechAssertion: runtime detection via a software assertion.
+	TechAssertion
+	// TechVMTransition: VM transition detection at VM entry.
+	TechVMTransition
+)
+
+// String names the technique.
+func (t Technique) String() string {
+	switch t {
+	case TechNone:
+		return "undetected"
+	case TechHWException:
+		return "hw-exception"
+	case TechAssertion:
+		return "sw-assertion"
+	case TechVMTransition:
+		return "vm-transition"
+	}
+	return fmt.Sprintf("technique(%d)", int(t))
+}
+
+// Shim cost model in cycles (one cycle per simulated instruction). The
+// paper's implementation programs four counters and snapshots the exit
+// reason at every interception, and reads them back plus walks the tree at
+// every VM entry; these constants price that work.
+const (
+	// ShimExitCost is charged when a VM exit is intercepted with
+	// transition detection enabled: four WRMSRs to program the counters
+	// (~100 cycles each on the paper's Xeon) plus reason capture.
+	ShimExitCost = 400
+	// ShimEntryCost is charged at VM entry: four RDMSRs plus bookkeeping.
+	ShimEntryCost = 250
+	// CompareCost is charged per tree-node comparison during
+	// classification.
+	CompareCost = 2
+)
+
+// Options selects which Xentry detectors are active.
+type Options struct {
+	// RuntimeDetection enables fatal-hardware-exception parsing and the
+	// software assertions (paper Section III-A).
+	RuntimeDetection bool
+	// TransitionDetection enables feature collection and tree
+	// classification at every VM transition (paper Section III-B).
+	TransitionDetection bool
+}
+
+// FullDetection enables everything, the paper's evaluated configuration.
+func FullDetection() Options {
+	return Options{RuntimeDetection: true, TransitionDetection: true}
+}
+
+// Outcome describes one monitored hypervisor execution.
+type Outcome struct {
+	// Technique is the detector that flagged the execution (TechNone if
+	// the execution passed or monitoring was off).
+	Technique Technique
+	// Hang reports budget exhaustion (a corruption class none of the
+	// paper's three techniques can see).
+	Hang bool
+	// Result is the underlying hypervisor execution result.
+	Result hv.Result
+	// Features is the collected signature (valid when HasFeatures).
+	Features    [ml.NumFeatures]uint64
+	HasFeatures bool
+	// ShimCycles is the detection overhead charged to this activation.
+	ShimCycles uint64
+}
+
+// Stats tallies detections per technique.
+type Stats struct {
+	Activations  uint64
+	HWException  uint64
+	Assertion    uint64
+	VMTransition uint64
+	Hangs        uint64
+}
+
+// Sentry is the Xentry framework instance wrapped around one hypervisor.
+type Sentry struct {
+	HV    *hv.Hypervisor
+	Opts  Options
+	Model *ml.Tree // transition-detection model; nil before training
+
+	stats Stats
+}
+
+// New wraps a hypervisor with Xentry using the given options.
+func New(h *hv.Hypervisor, opts Options) *Sentry {
+	return &Sentry{HV: h, Opts: opts}
+}
+
+// SetModel installs the trained transition-detection model.
+func (s *Sentry) SetModel(t *ml.Tree) { s.Model = t }
+
+// Stats returns the detection tallies.
+func (s *Sentry) Stats() Stats { return s.stats }
+
+// ResetStats clears the tallies.
+func (s *Sentry) ResetStats() { s.stats = Stats{} }
+
+// FatalException implements the paper's exception parsing: surfacing
+// exceptions are fatal corruptions unless they belong to the legal classes
+// already consumed by the hypervisor's fixup machinery (which never
+// surface). Spurious vectors outside the architectural set are fatal too.
+func FatalException(exc *cpu.Exception) bool {
+	return exc != nil
+}
+
+// Execute runs one VM exit under Xentry monitoring and returns the
+// detection outcome. With both detectors disabled it is exactly the
+// unmodified-Xen path (zero shim cost, assertions compiled out).
+func (s *Sentry) Execute(ev *hv.ExitEvent, budget uint64) (Outcome, error) {
+	c := s.HV.CPU
+	c.AssertsEnabled = s.Opts.RuntimeDetection
+
+	var shim uint64
+	if s.Opts.TransitionDetection {
+		c.PMU.Arm()
+		shim += ShimExitCost
+	} else {
+		c.PMU.Disarm()
+	}
+
+	res, err := s.HV.Dispatch(ev, budget)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out := Outcome{Result: res, ShimCycles: shim}
+	s.stats.Activations++
+
+	switch res.Stop {
+	case cpu.StopException, cpu.StopHalt:
+		// A surfacing exception (or BUG/panic halt) is a fatal system
+		// corruption; with runtime detection on, Xentry reports it.
+		if s.Opts.RuntimeDetection {
+			if res.Stop == cpu.StopHalt || FatalException(res.Exc) {
+				out.Technique = TechHWException
+				s.stats.HWException++
+			}
+		}
+
+	case cpu.StopAssert:
+		out.Technique = TechAssertion
+		s.stats.Assertion++
+
+	case cpu.StopBudget:
+		// A hung hypervisor execution trips the NMI watchdog (Xen's
+		// watchdog=1); the resulting fatal NMI is parsed by runtime
+		// detection like any other fatal hardware exception.
+		out.Hang = true
+		s.stats.Hangs++
+		if s.Opts.RuntimeDetection {
+			out.Technique = TechHWException
+			s.stats.HWException++
+		}
+
+	case cpu.StopVMEntry:
+		if s.Opts.TransitionDetection {
+			sample := c.PMU.Read()
+			c.PMU.Disarm()
+			out.Features = [ml.NumFeatures]uint64{
+				uint64(ev.Reason), sample.RT(), sample.BR(), sample.RM(), sample.WM(),
+			}
+			out.HasFeatures = true
+			shim += ShimEntryCost
+			if s.Model != nil {
+				correct, comparisons := s.Model.Classify(out.Features)
+				shim += uint64(comparisons) * CompareCost
+				if !correct {
+					out.Technique = TechVMTransition
+					s.stats.VMTransition++
+				}
+			}
+			out.ShimCycles = shim
+		}
+	}
+	c.Cycles += out.ShimCycles
+	return out, nil
+}

@@ -1,0 +1,241 @@
+// Package cpu implements the execution core of the simulated machine: a
+// fetch/decode/execute engine over isa programs with x86-style flag
+// semantics, architectural exceptions (#DE, #UD, #GP, #PF, stack fault),
+// performance-counter retirement hooks, and an instruction budget that
+// doubles as a hang watchdog.
+//
+// The core is deliberately transparent to fault injection: the injector
+// flips bits directly in Regs via the PreStep hook at a chosen dynamic
+// instruction, and every propagation behaviour — invalid fetch, wrong
+// branch, corrupted store address, lengthened rep-mov — follows mechanically
+// from the semantics here.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"xentry/internal/isa"
+	"xentry/internal/mem"
+	"xentry/internal/perf"
+)
+
+// Vector is an x86 exception vector number.
+type Vector int
+
+// Exception vectors (x86 numbering).
+const (
+	VecDE Vector = 0  // divide error
+	VecUD Vector = 6  // invalid opcode
+	VecSS Vector = 12 // stack-segment fault
+	VecGP Vector = 13 // general protection
+	VecPF Vector = 14 // page fault
+)
+
+// String names the vector.
+func (v Vector) String() string {
+	switch v {
+	case VecDE:
+		return "#DE"
+	case VecUD:
+		return "#UD"
+	case VecSS:
+		return "#SS"
+	case VecGP:
+		return "#GP"
+	case VecPF:
+		return "#PF"
+	}
+	return fmt.Sprintf("#VEC%d", int(v))
+}
+
+// Exception is an architectural exception raised during execution.
+type Exception struct {
+	Vector Vector
+	PC     uint64 // address of the faulting instruction
+	Addr   uint64 // faulting data/fetch address, when meaningful
+	Cause  string
+}
+
+// Error implements error.
+func (e *Exception) Error() string {
+	return fmt.Sprintf("cpu: %s at pc=%#x addr=%#x (%s)", e.Vector, e.PC, e.Addr, e.Cause)
+}
+
+// FetchResult reports the outcome of an instruction fetch.
+type FetchResult int
+
+// Fetch outcomes.
+const (
+	// FetchOK: a valid instruction at a valid boundary.
+	FetchOK FetchResult = iota
+	// FetchUnmapped: the address is outside any text segment (#PF on fetch).
+	FetchUnmapped
+	// FetchMisaligned: inside text but not on an instruction boundary (#UD).
+	FetchMisaligned
+)
+
+// TextMap resolves instruction addresses; the hypervisor loader provides it.
+type TextMap interface {
+	// FetchInstr returns the instruction at addr.
+	FetchInstr(addr uint64) (isa.Instr, FetchResult)
+}
+
+// StopReason says why a Run returned.
+type StopReason int
+
+// Stop reasons.
+const (
+	// StopVMEntry: the program executed OpVMEntry (normal completion).
+	StopVMEntry StopReason = iota
+	// StopHalt: the program executed OpHlt (hypervisor panic path).
+	StopHalt
+	// StopException: an architectural exception was raised.
+	StopException
+	// StopAssert: an enabled software assertion failed.
+	StopAssert
+	// StopBudget: the instruction budget was exhausted (hang watchdog).
+	StopBudget
+)
+
+// String names the stop reason.
+func (r StopReason) String() string {
+	switch r {
+	case StopVMEntry:
+		return "vmentry"
+	case StopHalt:
+		return "halt"
+	case StopException:
+		return "exception"
+	case StopAssert:
+		return "assert"
+	case StopBudget:
+		return "budget"
+	}
+	return fmt.Sprintf("stop(%d)", int(r))
+}
+
+// RunResult describes a completed Run.
+type RunResult struct {
+	Reason StopReason
+	// Steps is the number of dynamic instructions retired (rep-mov
+	// iterations each count as one).
+	Steps uint64
+	// Exc is set when Reason is StopException.
+	Exc *Exception
+	// AssertPC is the address of the failed assertion when Reason is
+	// StopAssert.
+	AssertPC uint64
+}
+
+// CPU is one logical processor.
+type CPU struct {
+	// Regs is the architectural register file, the fault-injection target.
+	Regs [isa.NumReg]uint64
+
+	// Mem is the data memory map.
+	Mem *mem.Memory
+	// Text resolves instruction fetches.
+	Text TextMap
+	// PMU is the performance counter bank fed at retirement.
+	PMU *perf.Counters
+
+	// AssertsEnabled compiles software assertions in (Xentry runtime
+	// detection); when false they cost nothing, as in a release Xen build.
+	AssertsEnabled bool
+
+	// CpuidTable maps cpuid leaves to their EAX..EDX results.
+	CpuidTable map[uint64][4]uint64
+	// TSC is the time-stamp counter, advanced by one per retired
+	// instruction.
+	TSC uint64
+
+	// Cycles accumulates retired instructions across runs (the simulator's
+	// cost model charges one cycle per retired instruction).
+	Cycles uint64
+
+	// OutHook observes OpOut device writes.
+	OutHook func(port int64, val uint64)
+	// PreStep, when set, runs before each dynamic instruction with the
+	// zero-based step index and current PC. The fault injector uses it to
+	// flip a register bit at an exact dynamic point.
+	PreStep func(step uint64, pc uint64)
+}
+
+// New returns a CPU bound to the given memory, text map and PMU.
+func New(m *mem.Memory, text TextMap, pmu *perf.Counters) *CPU {
+	return &CPU{Mem: m, Text: text, PMU: pmu, CpuidTable: map[uint64][4]uint64{}}
+}
+
+// Reset clears the register file.
+func (c *CPU) Reset() {
+	c.Regs = [isa.NumReg]uint64{}
+}
+
+// errVMEntry and friends signal non-exception stops out of step().
+var (
+	errVMEntry = errors.New("vmentry")
+	errHalt    = errors.New("halt")
+	errAssert  = errors.New("assert")
+)
+
+// Run executes from the current RIP until VM entry, halt, exception, failed
+// assertion, or budget exhaustion.
+func (c *CPU) Run(budget uint64) RunResult {
+	var steps uint64
+	for steps < budget {
+		pc := c.Regs[isa.RIP]
+		if c.PreStep != nil {
+			c.PreStep(steps, pc)
+			pc = c.Regs[isa.RIP] // injection may have flipped RIP
+		}
+		in, fr := c.Text.FetchInstr(pc)
+		switch fr {
+		case FetchUnmapped:
+			return RunResult{Reason: StopException, Steps: steps,
+				Exc: &Exception{Vector: VecPF, PC: pc, Addr: pc, Cause: "instruction fetch from unmapped address"}}
+		case FetchMisaligned:
+			return RunResult{Reason: StopException, Steps: steps,
+				Exc: &Exception{Vector: VecUD, PC: pc, Addr: pc, Cause: "fetch off instruction boundary"}}
+		}
+		retired, err := c.step(pc, in, budget-steps)
+		steps += retired
+		if err == nil {
+			continue
+		}
+		switch {
+		case errors.Is(err, errVMEntry):
+			return RunResult{Reason: StopVMEntry, Steps: steps}
+		case errors.Is(err, errHalt):
+			return RunResult{Reason: StopHalt, Steps: steps}
+		case errors.Is(err, errAssert):
+			return RunResult{Reason: StopAssert, Steps: steps, AssertPC: pc}
+		default:
+			var exc *Exception
+			if errors.As(err, &exc) {
+				return RunResult{Reason: StopException, Steps: steps, Exc: exc}
+			}
+			// Unreachable: step only returns the above error kinds.
+			panic(fmt.Sprintf("cpu: unexpected step error %v", err))
+		}
+	}
+	return RunResult{Reason: StopBudget, Steps: steps}
+}
+
+// retire charges one retired instruction with the given event profile.
+func (c *CPU) retire(branch, load, store bool) {
+	c.Cycles++
+	c.TSC++
+	if c.PMU != nil {
+		c.PMU.Count(perf.InstRetired, 1)
+		if branch {
+			c.PMU.Count(perf.BranchRetired, 1)
+		}
+		if load {
+			c.PMU.Count(perf.LoadsRetired, 1)
+		}
+		if store {
+			c.PMU.Count(perf.StoresRetired, 1)
+		}
+	}
+}

@@ -1,0 +1,386 @@
+package cpu
+
+import (
+	"xentry/internal/isa"
+	"xentry/internal/mem"
+)
+
+// flagsSub computes RFLAGS for a-b (CMP/SUB semantics).
+func flagsSub(a, b uint64) uint64 {
+	res := a - b
+	var f uint64
+	if res == 0 {
+		f |= isa.FlagZF
+	}
+	if res>>63 == 1 {
+		f |= isa.FlagSF
+	}
+	if a < b {
+		f |= isa.FlagCF
+	}
+	if ((a^b)&(a^res))>>63 == 1 {
+		f |= isa.FlagOF
+	}
+	return f
+}
+
+// flagsAdd computes RFLAGS for a+b.
+func flagsAdd(a, b uint64) uint64 {
+	res := a + b
+	var f uint64
+	if res == 0 {
+		f |= isa.FlagZF
+	}
+	if res>>63 == 1 {
+		f |= isa.FlagSF
+	}
+	if res < a {
+		f |= isa.FlagCF
+	}
+	if (^(a^b)&(a^res))>>63 == 1 {
+		f |= isa.FlagOF
+	}
+	return f
+}
+
+// flagsLogic computes RFLAGS for logical results (CF=OF=0).
+func flagsLogic(res uint64) uint64 {
+	var f uint64
+	if res == 0 {
+		f |= isa.FlagZF
+	}
+	if res>>63 == 1 {
+		f |= isa.FlagSF
+	}
+	return f
+}
+
+// condition evaluates a conditional-branch predicate against RFLAGS.
+func condition(op isa.Op, flags uint64) bool {
+	zf := flags&isa.FlagZF != 0
+	sf := flags&isa.FlagSF != 0
+	cf := flags&isa.FlagCF != 0
+	of := flags&isa.FlagOF != 0
+	switch op {
+	case isa.OpJe:
+		return zf
+	case isa.OpJne:
+		return !zf
+	case isa.OpJl:
+		return sf != of
+	case isa.OpJle:
+		return zf || sf != of
+	case isa.OpJg:
+		return !zf && sf == of
+	case isa.OpJge:
+		return sf == of
+	case isa.OpJb:
+		return cf
+	case isa.OpJae:
+		return !cf
+	case isa.OpJs:
+		return sf
+	case isa.OpJns:
+		return !sf
+	}
+	return false
+}
+
+// memException maps a memory fault to the architectural exception, using
+// the stack-segment vector for stack traffic.
+func memException(err error, pc uint64, stack bool) *Exception {
+	f, ok := err.(*mem.Fault)
+	if !ok {
+		return &Exception{Vector: VecGP, PC: pc, Cause: err.Error()}
+	}
+	vec := VecPF
+	switch f.Kind {
+	case mem.FaultProtection, mem.FaultUnaligned:
+		vec = VecGP
+	case mem.FaultUnmapped:
+		if stack {
+			vec = VecSS
+		} else {
+			vec = VecPF
+		}
+	}
+	return &Exception{Vector: vec, PC: pc, Addr: f.Addr, Cause: f.Error()}
+}
+
+// step executes one instruction at pc. It returns the number of dynamic
+// instructions retired (usually 1; rep-movs retires one per word; disabled
+// assertions retire 0) and a sentinel or *Exception error on stop.
+func (c *CPU) step(pc uint64, in isa.Instr, budget uint64) (uint64, error) {
+	next := pc + isa.InstrBytes
+	r := &c.Regs
+
+	switch in.Op {
+	case isa.OpNop:
+		c.retire(false, false, false)
+
+	case isa.OpHlt:
+		c.retire(false, false, false)
+		r[isa.RIP] = next
+		return 1, errHalt
+
+	case isa.OpVMEntry:
+		c.retire(false, false, false)
+		r[isa.RIP] = next
+		return 1, errVMEntry
+
+	case isa.OpMovImm:
+		r[in.Dst] = uint64(in.Imm)
+		c.retire(false, false, false)
+
+	case isa.OpMov:
+		r[in.Dst] = r[in.Src]
+		c.retire(false, false, false)
+
+	case isa.OpAdd:
+		r[isa.RFLAGS] = flagsAdd(r[in.Dst], r[in.Src])
+		r[in.Dst] += r[in.Src]
+		c.retire(false, false, false)
+	case isa.OpAddImm:
+		r[isa.RFLAGS] = flagsAdd(r[in.Dst], uint64(in.Imm))
+		r[in.Dst] += uint64(in.Imm)
+		c.retire(false, false, false)
+
+	case isa.OpSub:
+		r[isa.RFLAGS] = flagsSub(r[in.Dst], r[in.Src])
+		r[in.Dst] -= r[in.Src]
+		c.retire(false, false, false)
+	case isa.OpSubImm:
+		r[isa.RFLAGS] = flagsSub(r[in.Dst], uint64(in.Imm))
+		r[in.Dst] -= uint64(in.Imm)
+		c.retire(false, false, false)
+
+	case isa.OpAnd:
+		r[in.Dst] &= r[in.Src]
+		r[isa.RFLAGS] = flagsLogic(r[in.Dst])
+		c.retire(false, false, false)
+	case isa.OpAndImm:
+		r[in.Dst] &= uint64(in.Imm)
+		r[isa.RFLAGS] = flagsLogic(r[in.Dst])
+		c.retire(false, false, false)
+
+	case isa.OpOr:
+		r[in.Dst] |= r[in.Src]
+		r[isa.RFLAGS] = flagsLogic(r[in.Dst])
+		c.retire(false, false, false)
+	case isa.OpOrImm:
+		r[in.Dst] |= uint64(in.Imm)
+		r[isa.RFLAGS] = flagsLogic(r[in.Dst])
+		c.retire(false, false, false)
+
+	case isa.OpXor:
+		r[in.Dst] ^= r[in.Src]
+		r[isa.RFLAGS] = flagsLogic(r[in.Dst])
+		c.retire(false, false, false)
+	case isa.OpXorImm:
+		r[in.Dst] ^= uint64(in.Imm)
+		r[isa.RFLAGS] = flagsLogic(r[in.Dst])
+		c.retire(false, false, false)
+
+	case isa.OpShl:
+		r[in.Dst] <<= r[in.Src] & 63
+		r[isa.RFLAGS] = flagsLogic(r[in.Dst])
+		c.retire(false, false, false)
+	case isa.OpShlImm:
+		r[in.Dst] <<= uint64(in.Imm) & 63
+		r[isa.RFLAGS] = flagsLogic(r[in.Dst])
+		c.retire(false, false, false)
+
+	case isa.OpShr:
+		r[in.Dst] >>= r[in.Src] & 63
+		r[isa.RFLAGS] = flagsLogic(r[in.Dst])
+		c.retire(false, false, false)
+	case isa.OpShrImm:
+		r[in.Dst] >>= uint64(in.Imm) & 63
+		r[isa.RFLAGS] = flagsLogic(r[in.Dst])
+		c.retire(false, false, false)
+
+	case isa.OpMul:
+		r[in.Dst] *= r[in.Src]
+		r[isa.RFLAGS] = flagsLogic(r[in.Dst])
+		c.retire(false, false, false)
+
+	case isa.OpDiv:
+		if r[in.Src] == 0 {
+			c.retire(false, false, false)
+			return 1, &Exception{Vector: VecDE, PC: pc, Cause: "division by zero"}
+		}
+		r[in.Dst] /= r[in.Src]
+		r[isa.RFLAGS] = flagsLogic(r[in.Dst])
+		c.retire(false, false, false)
+
+	case isa.OpCmp:
+		r[isa.RFLAGS] = flagsSub(r[in.Dst], r[in.Src])
+		c.retire(false, false, false)
+	case isa.OpCmpImm:
+		r[isa.RFLAGS] = flagsSub(r[in.Dst], uint64(in.Imm))
+		c.retire(false, false, false)
+	case isa.OpTest:
+		r[isa.RFLAGS] = flagsLogic(r[in.Dst] & r[in.Src])
+		c.retire(false, false, false)
+	case isa.OpTestImm:
+		r[isa.RFLAGS] = flagsLogic(r[in.Dst] & uint64(in.Imm))
+		c.retire(false, false, false)
+
+	case isa.OpJmp:
+		next = uint64(in.Imm)
+		c.retire(true, false, false)
+	case isa.OpJmpReg:
+		next = r[in.Dst]
+		c.retire(true, false, false)
+
+	case isa.OpJe, isa.OpJne, isa.OpJl, isa.OpJle, isa.OpJg, isa.OpJge,
+		isa.OpJb, isa.OpJae, isa.OpJs, isa.OpJns:
+		if condition(in.Op, r[isa.RFLAGS]) {
+			next = uint64(in.Imm)
+		}
+		c.retire(true, false, false)
+
+	case isa.OpLoop:
+		r[isa.RCX]--
+		if r[isa.RCX] != 0 {
+			next = uint64(in.Imm)
+		}
+		c.retire(true, false, false)
+
+	case isa.OpCall:
+		r[isa.RSP] -= 8
+		if err := c.Mem.Write64(r[isa.RSP], next); err != nil {
+			c.retire(true, false, true)
+			return 1, memException(err, pc, true)
+		}
+		next = uint64(in.Imm)
+		c.retire(true, false, true)
+
+	case isa.OpRet:
+		ret, err := c.Mem.Read64(r[isa.RSP])
+		if err != nil {
+			c.retire(true, true, false)
+			return 1, memException(err, pc, true)
+		}
+		r[isa.RSP] += 8
+		next = ret
+		c.retire(true, true, false)
+
+	case isa.OpPush:
+		r[isa.RSP] -= 8
+		if err := c.Mem.Write64(r[isa.RSP], r[in.Src]); err != nil {
+			c.retire(false, false, true)
+			return 1, memException(err, pc, true)
+		}
+		c.retire(false, false, true)
+
+	case isa.OpPop:
+		v, err := c.Mem.Read64(r[isa.RSP])
+		if err != nil {
+			c.retire(false, true, false)
+			return 1, memException(err, pc, true)
+		}
+		r[in.Dst] = v
+		r[isa.RSP] += 8
+		c.retire(false, true, false)
+
+	case isa.OpLoad:
+		v, err := c.Mem.Read64(r[in.Base] + uint64(in.Imm))
+		if err != nil {
+			c.retire(false, true, false)
+			return 1, memException(err, pc, false)
+		}
+		r[in.Dst] = v
+		c.retire(false, true, false)
+
+	case isa.OpStore:
+		if err := c.Mem.Write64(r[in.Base]+uint64(in.Imm), r[in.Src]); err != nil {
+			c.retire(false, false, true)
+			return 1, memException(err, pc, false)
+		}
+		c.retire(false, false, true)
+
+	case isa.OpRepMovs:
+		// Copy RCX words from [RSI] to [RDI]; each word retires as one
+		// instruction so a corrupted count visibly lengthens the trace.
+		// The instruction is restartable: on budget exhaustion RIP stays
+		// put and the outer loop reports the hang.
+		var retired uint64
+		for r[isa.RCX] != 0 {
+			if retired >= budget {
+				r[isa.RIP] = pc
+				return retired, nil
+			}
+			v, err := c.Mem.Read64(r[isa.RSI])
+			if err != nil {
+				c.retire(false, true, false)
+				return retired + 1, memException(err, pc, false)
+			}
+			if err := c.Mem.Write64(r[isa.RDI], v); err != nil {
+				c.retire(false, true, true)
+				return retired + 1, memException(err, pc, false)
+			}
+			r[isa.RSI] += 8
+			r[isa.RDI] += 8
+			r[isa.RCX]--
+			c.retire(false, true, true)
+			retired++
+		}
+		if retired == 0 {
+			// rep with rcx==0 still retires the instruction itself.
+			c.retire(false, false, false)
+			retired = 1
+		}
+		r[isa.RIP] = next
+		return retired, nil
+
+	case isa.OpCpuid:
+		res := c.CpuidTable[r[isa.RAX]]
+		r[isa.RAX], r[isa.RBX], r[isa.RCX], r[isa.RDX] = res[0], res[1], res[2], res[3]
+		c.retire(false, false, false)
+
+	case isa.OpRdtsc:
+		r[isa.RAX] = c.TSC & 0xFFFFFFFF
+		r[isa.RDX] = c.TSC >> 32
+		c.retire(false, false, false)
+
+	case isa.OpOut:
+		if c.OutHook != nil {
+			c.OutHook(in.Imm, r[in.Src])
+		}
+		c.retire(false, false, true)
+
+	case isa.OpAssertEq, isa.OpAssertNe, isa.OpAssertLe, isa.OpAssertGe, isa.OpAssertRange:
+		if !c.AssertsEnabled {
+			// Compiled out: no cost, no retirement.
+			r[isa.RIP] = next
+			return 0, nil
+		}
+		c.retire(false, false, false)
+		ok := true
+		v := r[in.Dst]
+		switch in.Op {
+		case isa.OpAssertEq:
+			ok = v == uint64(in.Imm)
+		case isa.OpAssertNe:
+			ok = v != uint64(in.Imm)
+		case isa.OpAssertLe:
+			ok = v <= uint64(in.Imm)
+		case isa.OpAssertGe:
+			ok = v >= uint64(in.Imm)
+		case isa.OpAssertRange:
+			ok = v >= r[in.Src] && v <= uint64(in.Imm)
+		}
+		if !ok {
+			r[isa.RIP] = next
+			return 1, errAssert
+		}
+
+	default:
+		c.retire(false, false, false)
+		return 1, &Exception{Vector: VecUD, PC: pc, Cause: "invalid opcode"}
+	}
+
+	r[isa.RIP] = next
+	return 1, nil
+}

@@ -1,0 +1,154 @@
+package cpu
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"xentry/internal/isa"
+)
+
+// Reference flag computations using 65-bit arithmetic via math/bits.
+
+func refSubFlags(a, b uint64) (zf, sf, cf, of bool) {
+	res := a - b
+	zf = res == 0
+	sf = res>>63 == 1
+	_, borrow := bits.Sub64(a, b, 0)
+	cf = borrow == 1
+	// Signed overflow: operands with different signs and result sign
+	// differing from the minuend.
+	of = (a^b)>>63 == 1 && (a^res)>>63 == 1
+	return
+}
+
+func refAddFlags(a, b uint64) (zf, sf, cf, of bool) {
+	res := a + b
+	zf = res == 0
+	sf = res>>63 == 1
+	_, carry := bits.Add64(a, b, 0)
+	_ = carry
+	cf = res < a
+	of = (a^b)>>63 == 0 && (a^res)>>63 == 1
+	return
+}
+
+func flagBits(f uint64) (zf, sf, cf, of bool) {
+	return f&isa.FlagZF != 0, f&isa.FlagSF != 0, f&isa.FlagCF != 0, f&isa.FlagOF != 0
+}
+
+// Property: flagsSub matches the 65-bit reference for all inputs.
+func TestFlagsSubProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		zf, sf, cf, of := flagBits(flagsSub(a, b))
+		rzf, rsf, rcf, rof := refSubFlags(a, b)
+		return zf == rzf && sf == rsf && cf == rcf && of == rof
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: flagsAdd matches the reference for all inputs.
+func TestFlagsAddProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		zf, sf, cf, of := flagBits(flagsAdd(a, b))
+		rzf, rsf, rcf, rof := refAddFlags(a, b)
+		return zf == rzf && sf == rsf && cf == rcf && of == rof
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Known x86 corner cases.
+func TestFlagsSubCorners(t *testing.T) {
+	cases := []struct {
+		a, b           uint64
+		zf, sf, cf, of bool
+	}{
+		{0, 0, true, false, false, false},
+		{5, 5, true, false, false, false},
+		{0, 1, false, true, true, false},                          // borrow, negative
+		{1 << 63, 1, false, false, false, true},                   // INT_MIN - 1 overflows
+		{0x7FFFFFFFFFFFFFFF, ^uint64(0), false, true, true, true}, // MAX - (-1)
+	}
+	for _, c := range cases {
+		zf, sf, cf, of := flagBits(flagsSub(c.a, c.b))
+		if zf != c.zf || sf != c.sf || cf != c.cf || of != c.of {
+			t.Errorf("flagsSub(%#x, %#x) = z%v s%v c%v o%v, want z%v s%v c%v o%v",
+				c.a, c.b, zf, sf, cf, of, c.zf, c.sf, c.cf, c.of)
+		}
+	}
+}
+
+// Property: signed comparison via flags agrees with int64 comparison.
+func TestSignedConditionProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		flags := flagsSub(a, b)
+		sa, sb := int64(a), int64(b)
+		if condition(isa.OpJl, flags) != (sa < sb) {
+			return false
+		}
+		if condition(isa.OpJle, flags) != (sa <= sb) {
+			return false
+		}
+		if condition(isa.OpJg, flags) != (sa > sb) {
+			return false
+		}
+		if condition(isa.OpJge, flags) != (sa >= sb) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: unsigned comparison via flags agrees with uint64 comparison.
+func TestUnsignedConditionProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		flags := flagsSub(a, b)
+		if condition(isa.OpJb, flags) != (a < b) {
+			return false
+		}
+		if condition(isa.OpJae, flags) != (a >= b) {
+			return false
+		}
+		if condition(isa.OpJe, flags) != (a == b) {
+			return false
+		}
+		if condition(isa.OpJne, flags) != (a != b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogicFlagsClearCFOF(t *testing.T) {
+	f := flagsLogic(0)
+	if f&isa.FlagZF == 0 || f&isa.FlagCF != 0 || f&isa.FlagOF != 0 {
+		t.Errorf("flagsLogic(0) = %#x", f)
+	}
+	f = flagsLogic(1 << 63)
+	if f&isa.FlagSF == 0 || f&isa.FlagZF != 0 {
+		t.Errorf("flagsLogic(MSB) = %#x", f)
+	}
+}
+
+func TestConditionSignFlags(t *testing.T) {
+	if !condition(isa.OpJs, isa.FlagSF) || condition(isa.OpJs, 0) {
+		t.Error("js broken")
+	}
+	if !condition(isa.OpJns, 0) || condition(isa.OpJns, isa.FlagSF) {
+		t.Error("jns broken")
+	}
+	// Non-branch opcodes evaluate false.
+	if condition(isa.OpNop, ^uint64(0)) {
+		t.Error("nop condition should be false")
+	}
+}

@@ -1,0 +1,91 @@
+package cpu
+
+import (
+	"fmt"
+
+	"xentry/internal/isa"
+)
+
+// Segment is a contiguous text segment implementing TextMap. The hypervisor
+// loader concatenates every handler program into one segment so that a
+// corrupted RIP can land on *another* handler's valid instruction — the
+// valid-but-incorrect control flow the paper's VM transition detection
+// targets — as well as off-boundary (#UD) or outside text entirely (#PF).
+type Segment struct {
+	// Base is the segment's first virtual address.
+	Base   uint64
+	instrs []isa.Instr
+}
+
+// End returns the first address past the segment.
+func (s *Segment) End() uint64 {
+	return s.Base + uint64(len(s.instrs))*isa.InstrBytes
+}
+
+// Len returns the number of instructions in the segment.
+func (s *Segment) Len() int { return len(s.instrs) }
+
+// FetchInstr implements TextMap.
+func (s *Segment) FetchInstr(addr uint64) (isa.Instr, FetchResult) {
+	if addr < s.Base || addr >= s.End() {
+		return isa.Instr{}, FetchUnmapped
+	}
+	off := addr - s.Base
+	if off%isa.InstrBytes != 0 {
+		return isa.Instr{}, FetchMisaligned
+	}
+	return s.instrs[off/isa.InstrBytes], FetchOK
+}
+
+// InstrAt returns the instruction at addr for inspection (no fetch checks).
+func (s *Segment) InstrAt(addr uint64) (isa.Instr, bool) {
+	in, fr := s.FetchInstr(addr)
+	return in, fr == FetchOK
+}
+
+// Loader links a set of programs into a single Segment with a shared
+// symbol table (program name → entry address), resolving cross-program
+// calls in two passes.
+type Loader struct {
+	base  uint64
+	progs []*isa.Program
+}
+
+// NewLoader starts a loader placing text at base.
+func NewLoader(base uint64) *Loader { return &Loader{base: base} }
+
+// Add queues a program for linking.
+func (l *Loader) Add(p *isa.Program) *Loader {
+	l.progs = append(l.progs, p)
+	return l
+}
+
+// Link lays out all programs contiguously, resolves symbols, and returns
+// the executable segment, the symbol table, and the exception-fixup table
+// (protected instruction address → fixup resume address).
+func (l *Loader) Link() (*Segment, map[string]uint64, map[uint64]uint64, error) {
+	symtab := make(map[string]uint64, len(l.progs))
+	addr := l.base
+	for _, p := range l.progs {
+		if _, dup := symtab[p.Name]; dup {
+			return nil, nil, nil, fmt.Errorf("cpu: duplicate program %q", p.Name)
+		}
+		symtab[p.Name] = addr
+		addr += p.Size()
+	}
+	seg := &Segment{Base: l.base}
+	fixups := make(map[uint64]uint64)
+	for _, p := range l.progs {
+		// Link a copy so the source program stays relocatable and can be
+		// linked again (tests and repeated machine builds share programs).
+		clone := &isa.Program{Name: p.Name, Instrs: append([]isa.Instr(nil), p.Instrs...)}
+		if err := clone.Link(symtab[p.Name], symtab); err != nil {
+			return nil, nil, nil, err
+		}
+		for _, f := range p.Fixups {
+			fixups[clone.AddrOf(f.Idx)] = clone.AddrOf(f.Target)
+		}
+		seg.instrs = append(seg.instrs, clone.Instrs...)
+	}
+	return seg, symtab, fixups, nil
+}

@@ -1,0 +1,200 @@
+package hv
+
+// Canonical fault-free inputs per exit reason. The guest workload driver
+// uses PrepareGuestInput to stage hypercall argument buffers and pick
+// in-range arguments, exactly as a well-behaved para-virtualized kernel
+// would; handlers must complete without faults or failed assertions on any
+// input produced here. The rnd word seeds per-activation variation so each
+// exit reason exhibits a *distribution* of counter signatures rather than a
+// single point — the variation the VM transition classifier must tolerate.
+
+// Guest-buffer offsets for staged hypercall arguments.
+const (
+	trapTableOff = 0x0
+	extentsOff   = 0x400
+	multicallOff = 0x800
+	iretFrameOff = 0xC00
+	mmuListOff   = 0x1000
+	consoleOff   = 0x1400
+	genericOff   = 0x1800
+	versionOff   = 0x2000
+)
+
+// PrepareGuestInput stages guest-buffer contents for one VM exit of the
+// given reason from the given domain and returns the exit arguments. rnd
+// drives the (deterministic) variation.
+func PrepareGuestInput(h *Hypervisor, dom int, reason ExitReason, rnd uint64) ([4]uint64, error) {
+	mix := func(k uint64) uint64 {
+		z := rnd + k*0x9E3779B97F4A7C15
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		return z ^ (z >> 27)
+	}
+	var args [4]uint64
+	switch reason {
+	case IRQDevice, IRQDisk, IRQNet:
+		args[0] = 32 + mix(1)%24 // device vector
+
+	case APICTimer, APICError, APICSpurious, APICThermal, APICPerfCounter,
+		APICCMCI, APICEventCheck, APICInvalidate, APICCallFunction,
+		APICIRQMoveCleanup, Tasklet:
+		// No guest-provided arguments.
+
+	case SoftIRQ:
+		args[0] = 1 + mix(1)%7 // pending mask, at least one bit
+
+	case ExPageFault:
+		args[0] = mix(1) % 0x7FFFFFFF // faulting address
+		args[1] = mix(2) % 2          // error code (present bit varies)
+
+	case ExGeneralProtection:
+		// Mostly cpuid emulation (the paper's example), otherwise bounce.
+		if mix(1)%4 != 0 {
+			args[1] = 1
+			if err := h.SetSavedReg(h.Domains[dom].VCPU, 0, mix(2)%3); err != nil {
+				return args, err
+			}
+		}
+
+	case ExDivideError, ExDebug, ExNMI, ExInt3, ExOverflow, ExBounds,
+		ExInvalidOp, ExDeviceNotAvailable, ExDoubleFault, ExCoprocSegOverrun,
+		ExInvalidTSS, ExSegmentNotPresent, ExStackSegment,
+		ExSpuriousInterrupt, ExCoprocError, ExAlignmentCheck, ExSIMDError:
+		args[0] = mix(1) % 0x10000 // faulting context word
+		args[1] = mix(2) % 8       // error code
+
+	case HCSetTrapTable:
+		count := 1 + mix(1)%MaxTraps
+		vals := make([]uint64, 0, 2*count)
+		for i := uint64(0); i < count; i++ {
+			vals = append(vals, mix(3+i)%(MaxTraps+1), TextBase+mix(40+i)%0x1000)
+		}
+		if err := h.WriteGuestWords(dom, trapTableOff, vals); err != nil {
+			return args, err
+		}
+		args[0] = trapTableOff
+		args[1] = count
+
+	case HCMemoryOp:
+		count := 1 + mix(1)%32
+		vals := make([]uint64, count)
+		for i := range vals {
+			vals[i] = mix(5+uint64(i)) % 60000 // below DomMaxPages
+		}
+		if err := h.WriteGuestWords(dom, extentsOff, vals); err != nil {
+			return args, err
+		}
+		args[0] = 0 // increase_reservation
+		args[1] = count
+		args[2] = extentsOff
+
+	case HCMulticall:
+		count := 1 + mix(1)%7
+		vals := make([]uint64, 0, 2*count)
+		for i := uint64(0); i < count; i++ {
+			op := 1 + mix(7+i)%3
+			vals = append(vals, op, mix(70+i)%MaxEvtchnPorts)
+		}
+		if err := h.WriteGuestWords(dom, multicallOff, vals); err != nil {
+			return args, err
+		}
+		args[0] = multicallOff
+		args[1] = count
+
+	case HCIret:
+		frame := []uint64{
+			0x400000 + mix(1)%0x10000, // rip
+			0x200 | (mix(2) % 0x100),  // rflags with IF set
+			0x7FF000 - mix(3)%0x1000,  // rsp
+			0x10,                      // cs
+			0x18,                      // ss
+		}
+		if err := h.WriteGuestWords(dom, iretFrameOff, frame); err != nil {
+			return args, err
+		}
+		args[0] = iretFrameOff
+
+	case HCMMUUpdate:
+		count := 1 + mix(1)%16
+		vals := make([]uint64, 0, 2*count)
+		for i := uint64(0); i < count; i++ {
+			vals = append(vals, mix(9+i)%0x10000, mix(90+i))
+		}
+		if err := h.WriteGuestWords(dom, mmuListOff, vals); err != nil {
+			return args, err
+		}
+		args[0] = mmuListOff
+		args[1] = count
+
+	case HCConsoleIO:
+		count := 1 + mix(1)%16
+		vals := make([]uint64, count)
+		for i := range vals {
+			vals[i] = mix(11 + uint64(i))
+		}
+		if err := h.WriteGuestWords(dom, consoleOff, vals); err != nil {
+			return args, err
+		}
+		args[0] = 0 // CONSOLEIO_write
+		args[1] = count
+		args[2] = consoleOff
+
+	case HCEventChannelOp, HCEventChannelOpCompat:
+		args[0] = 4 // EVTCHNOP_send
+		args[1] = mix(1) % MaxEvtchnPorts
+
+	case HCSchedOp, HCSchedOpCompat:
+		args[0] = mix(1) % 2 // yield or block
+
+	case HCXenVersion:
+		args[0] = 0
+		args[1] = versionOff
+
+	case HCSetTimerOp:
+		args[0] = 1 + mix(1)%0xFFFFFFFF // absolute deadline
+
+	case HCGrantTableOp:
+		args[0] = 0
+		args[1] = mix(1) % 32   // ref
+		args[2] = 1 + mix(2)%64 // words
+		seed := mix(3)
+		src := grantSrcOff + (args[1] << 6)
+		vals := make([]uint64, args[2])
+		for i := range vals {
+			vals[i] = seed + uint64(i)
+		}
+		if err := h.WriteGuestWords(dom, src, vals); err != nil {
+			return args, err
+		}
+
+	case HCVcpuOp:
+		args[0] = 0
+		args[1] = 0 // vcpu 0 (each domain has one)
+		args[2] = genericOff
+
+	case HCDomctl:
+		args[0] = mix(1) % 8
+		args[1] = mix(2) % uint64(len(h.Domains))
+
+	case HCSetDebugreg:
+		args[0] = mix(1) % 6
+		args[1] = mix(2)
+
+	case HCGetDebugreg:
+		args[0] = mix(1) % 6
+
+	default:
+		// Generic template hypercalls: arg0 below every profile bound,
+		// arg1 drives loop/copy sizes, arg2 is a staged guest offset.
+		args[0] = mix(1) % 2
+		args[1] = mix(2)
+		args[2] = genericOff + (mix(3)%64)*8
+		vals := make([]uint64, 33)
+		for i := range vals {
+			vals[i] = mix(13 + uint64(i))
+		}
+		if err := h.WriteGuestWords(dom, genericOff, vals); err != nil {
+			return args, err
+		}
+	}
+	return args, nil
+}

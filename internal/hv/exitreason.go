@@ -1,0 +1,270 @@
+// Package hv models the hypervisor under test: a mini-Xen whose VM-exit
+// handlers are real programs executed on the simulated CPU. The taxonomy of
+// VM exit reasons follows the paper's Section IV inventory for Xen 4.1.2:
+// 38 hypercalls, 19 exception handlers, ten APIC interrupt handlers, and
+// the do_irq/do_softirq/do_tasklet paths. Every reason dispatches to an
+// assembled handler program so injected bit flips propagate through genuine
+// control flow.
+package hv
+
+import "fmt"
+
+// Category groups exit reasons as in the paper's Section IV.
+type Category uint8
+
+// Exit-reason categories.
+const (
+	// CatIRQ: common device interrupts handled by do_irq.
+	CatIRQ Category = iota
+	// CatAPIC: APIC-generated interrupts (IPIs, local timer, PMU, ...).
+	CatAPIC
+	// CatSoftIRQ: software interrupts and tasklets.
+	CatSoftIRQ
+	// CatException: the 19 architectural exception handlers.
+	CatException
+	// CatHypercall: the 38 Xen 4.1.2 hypercalls.
+	CatHypercall
+	// NumCategories counts the categories.
+	NumCategories
+)
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case CatIRQ:
+		return "irq"
+	case CatAPIC:
+		return "apic"
+	case CatSoftIRQ:
+		return "softirq"
+	case CatException:
+		return "exception"
+	case CatHypercall:
+		return "hypercall"
+	}
+	return fmt.Sprintf("cat(%d)", uint8(c))
+}
+
+// ExitReason identifies why the CPU left guest mode. Its integer value is
+// the VMER feature of the VM transition detector (paper Table I).
+type ExitReason uint8
+
+// reasonInfo is the static description of one exit reason.
+type reasonInfo struct {
+	name    string
+	cat     Category
+	handler string // handler program symbol
+}
+
+// Exit reasons. Order fixes the VMER feature encoding.
+const (
+	// Device interrupts (do_irq).
+	IRQDevice ExitReason = iota
+	IRQDisk
+	IRQNet
+
+	// APIC interrupts (ten handlers, Section IV category 2).
+	APICTimer
+	APICError
+	APICSpurious
+	APICThermal
+	APICPerfCounter
+	APICCMCI
+	APICEventCheck
+	APICInvalidate
+	APICCallFunction
+	APICIRQMoveCleanup
+
+	// Software interrupt and tasklet (category 3).
+	SoftIRQ
+	Tasklet
+
+	// The 19 exception handlers (category 4).
+	ExDivideError
+	ExDebug
+	ExNMI
+	ExInt3
+	ExOverflow
+	ExBounds
+	ExInvalidOp
+	ExDeviceNotAvailable
+	ExDoubleFault
+	ExCoprocSegOverrun
+	ExInvalidTSS
+	ExSegmentNotPresent
+	ExStackSegment
+	ExGeneralProtection
+	ExPageFault
+	ExSpuriousInterrupt
+	ExCoprocError
+	ExAlignmentCheck
+	ExSIMDError
+
+	// The 38 hypercalls of Xen 4.1.2 (category 5).
+	HCSetTrapTable
+	HCMMUUpdate
+	HCSetGDT
+	HCStackSwitch
+	HCSetCallbacks
+	HCFPUTaskswitch
+	HCSchedOpCompat
+	HCPlatformOp
+	HCSetDebugreg
+	HCGetDebugreg
+	HCUpdateDescriptor
+	HCMemoryOp
+	HCMulticall
+	HCUpdateVAMapping
+	HCSetTimerOp
+	HCEventChannelOpCompat
+	HCXenVersion
+	HCConsoleIO
+	HCPhysdevOpCompat
+	HCGrantTableOp
+	HCVMAssist
+	HCUpdateVAMappingOther
+	HCIret
+	HCVcpuOp
+	HCSetSegmentBase
+	HCMMUExtOp
+	HCXSMOp
+	HCNMIOp
+	HCSchedOp
+	HCCallbackOp
+	HCXenoprofOp
+	HCEventChannelOp
+	HCPhysdevOp
+	HCHVMOp
+	HCSysctl
+	HCDomctl
+	HCKexecOp
+	HCTmemOp
+
+	// NumExitReasons counts all exit reasons.
+	NumExitReasons
+)
+
+var reasons = [NumExitReasons]reasonInfo{
+	IRQDevice: {"irq_device", CatIRQ, "do_irq"},
+	IRQDisk:   {"irq_disk", CatIRQ, "do_irq"},
+	IRQNet:    {"irq_net", CatIRQ, "do_irq"},
+
+	APICTimer:          {"apic_timer", CatAPIC, "do_apic_timer"},
+	APICError:          {"apic_error", CatAPIC, "do_apic_error"},
+	APICSpurious:       {"apic_spurious", CatAPIC, "do_apic_spurious"},
+	APICThermal:        {"apic_thermal", CatAPIC, "do_apic_thermal"},
+	APICPerfCounter:    {"apic_perfctr", CatAPIC, "do_apic_perfctr"},
+	APICCMCI:           {"apic_cmci", CatAPIC, "do_apic_cmci"},
+	APICEventCheck:     {"apic_event_check", CatAPIC, "do_apic_event_check"},
+	APICInvalidate:     {"apic_invalidate", CatAPIC, "do_apic_invalidate"},
+	APICCallFunction:   {"apic_call_function", CatAPIC, "do_apic_call_function"},
+	APICIRQMoveCleanup: {"apic_irq_move_cleanup", CatAPIC, "do_apic_irq_move_cleanup"},
+
+	SoftIRQ: {"softirq", CatSoftIRQ, "do_softirq"},
+	Tasklet: {"tasklet", CatSoftIRQ, "do_tasklet"},
+
+	ExDivideError:        {"exc_divide_error", CatException, "do_divide_error"},
+	ExDebug:              {"exc_debug", CatException, "do_debug"},
+	ExNMI:                {"exc_nmi", CatException, "do_nmi"},
+	ExInt3:               {"exc_int3", CatException, "do_int3"},
+	ExOverflow:           {"exc_overflow", CatException, "do_overflow"},
+	ExBounds:             {"exc_bounds", CatException, "do_bounds"},
+	ExInvalidOp:          {"exc_invalid_op", CatException, "do_invalid_op"},
+	ExDeviceNotAvailable: {"exc_device_not_available", CatException, "do_device_not_available"},
+	ExDoubleFault:        {"exc_double_fault", CatException, "do_double_fault"},
+	ExCoprocSegOverrun:   {"exc_coproc_seg_overrun", CatException, "do_coproc_seg_overrun"},
+	ExInvalidTSS:         {"exc_invalid_tss", CatException, "do_invalid_tss"},
+	ExSegmentNotPresent:  {"exc_segment_not_present", CatException, "do_segment_not_present"},
+	ExStackSegment:       {"exc_stack_segment", CatException, "do_stack_segment"},
+	ExGeneralProtection:  {"exc_general_protection", CatException, "do_general_protection"},
+	ExPageFault:          {"exc_page_fault", CatException, "do_page_fault"},
+	ExSpuriousInterrupt:  {"exc_spurious_interrupt", CatException, "do_spurious_interrupt"},
+	ExCoprocError:        {"exc_coproc_error", CatException, "do_coproc_error"},
+	ExAlignmentCheck:     {"exc_alignment_check", CatException, "do_alignment_check"},
+	ExSIMDError:          {"exc_simd_error", CatException, "do_simd_error"},
+
+	HCSetTrapTable:         {"hc_set_trap_table", CatHypercall, "do_set_trap_table"},
+	HCMMUUpdate:            {"hc_mmu_update", CatHypercall, "do_mmu_update"},
+	HCSetGDT:               {"hc_set_gdt", CatHypercall, "do_set_gdt"},
+	HCStackSwitch:          {"hc_stack_switch", CatHypercall, "do_stack_switch"},
+	HCSetCallbacks:         {"hc_set_callbacks", CatHypercall, "do_set_callbacks"},
+	HCFPUTaskswitch:        {"hc_fpu_taskswitch", CatHypercall, "do_fpu_taskswitch"},
+	HCSchedOpCompat:        {"hc_sched_op_compat", CatHypercall, "do_sched_op_compat"},
+	HCPlatformOp:           {"hc_platform_op", CatHypercall, "do_platform_op"},
+	HCSetDebugreg:          {"hc_set_debugreg", CatHypercall, "do_set_debugreg"},
+	HCGetDebugreg:          {"hc_get_debugreg", CatHypercall, "do_get_debugreg"},
+	HCUpdateDescriptor:     {"hc_update_descriptor", CatHypercall, "do_update_descriptor"},
+	HCMemoryOp:             {"hc_memory_op", CatHypercall, "do_memory_op"},
+	HCMulticall:            {"hc_multicall", CatHypercall, "do_multicall"},
+	HCUpdateVAMapping:      {"hc_update_va_mapping", CatHypercall, "do_update_va_mapping"},
+	HCSetTimerOp:           {"hc_set_timer_op", CatHypercall, "do_set_timer_op"},
+	HCEventChannelOpCompat: {"hc_event_channel_op_compat", CatHypercall, "do_event_channel_op_compat"},
+	HCXenVersion:           {"hc_xen_version", CatHypercall, "do_xen_version"},
+	HCConsoleIO:            {"hc_console_io", CatHypercall, "do_console_io"},
+	HCPhysdevOpCompat:      {"hc_physdev_op_compat", CatHypercall, "do_physdev_op_compat"},
+	HCGrantTableOp:         {"hc_grant_table_op", CatHypercall, "do_grant_table_op"},
+	HCVMAssist:             {"hc_vm_assist", CatHypercall, "do_vm_assist"},
+	HCUpdateVAMappingOther: {"hc_update_va_mapping_otherdomain", CatHypercall, "do_update_va_mapping_otherdomain"},
+	HCIret:                 {"hc_iret", CatHypercall, "do_iret"},
+	HCVcpuOp:               {"hc_vcpu_op", CatHypercall, "do_vcpu_op"},
+	HCSetSegmentBase:       {"hc_set_segment_base", CatHypercall, "do_set_segment_base"},
+	HCMMUExtOp:             {"hc_mmuext_op", CatHypercall, "do_mmuext_op"},
+	HCXSMOp:                {"hc_xsm_op", CatHypercall, "do_xsm_op"},
+	HCNMIOp:                {"hc_nmi_op", CatHypercall, "do_nmi_op"},
+	HCSchedOp:              {"hc_sched_op", CatHypercall, "do_sched_op"},
+	HCCallbackOp:           {"hc_callback_op", CatHypercall, "do_callback_op"},
+	HCXenoprofOp:           {"hc_xenoprof_op", CatHypercall, "do_xenoprof_op"},
+	HCEventChannelOp:       {"hc_event_channel_op", CatHypercall, "do_event_channel_op"},
+	HCPhysdevOp:            {"hc_physdev_op", CatHypercall, "do_physdev_op"},
+	HCHVMOp:                {"hc_hvm_op", CatHypercall, "do_hvm_op"},
+	HCSysctl:               {"hc_sysctl", CatHypercall, "do_sysctl"},
+	HCDomctl:               {"hc_domctl", CatHypercall, "do_domctl"},
+	HCKexecOp:              {"hc_kexec_op", CatHypercall, "do_kexec_op"},
+	HCTmemOp:               {"hc_tmem_op", CatHypercall, "do_tmem_op"},
+}
+
+// String returns the exit reason name.
+func (r ExitReason) String() string {
+	if r < NumExitReasons {
+		return reasons[r].name
+	}
+	return fmt.Sprintf("reason(%d)", uint8(r))
+}
+
+// Category returns the exit reason's category.
+func (r ExitReason) Category() Category {
+	if r < NumExitReasons {
+		return reasons[r].cat
+	}
+	return NumCategories
+}
+
+// Handler returns the handler program symbol for the reason.
+func (r ExitReason) Handler() string {
+	if r < NumExitReasons {
+		return reasons[r].handler
+	}
+	return ""
+}
+
+// Hypercalls returns all hypercall exit reasons in ABI order.
+func Hypercalls() []ExitReason {
+	var out []ExitReason
+	for r := ExitReason(0); r < NumExitReasons; r++ {
+		if r.Category() == CatHypercall {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Exceptions returns all exception exit reasons in vector order.
+func Exceptions() []ExitReason {
+	var out []ExitReason
+	for r := ExitReason(0); r < NumExitReasons; r++ {
+		if r.Category() == CatException {
+			out = append(out, r)
+		}
+	}
+	return out
+}

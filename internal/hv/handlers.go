@@ -1,0 +1,734 @@
+package hv
+
+import "xentry/internal/isa"
+
+// Hand-written signature handlers: the paths the paper singles out —
+// event-channel delivery (Fig. 5b), the trap-table loop with its bounded
+// ASSERT (Listing 1), the scheduler idle path with its is_idle_vcpu ASSERT
+// (Listing 2), cpuid emulation (the running Path-2 example), timer/time
+// delivery (Table II's dominant undetected class), page-fault bounce,
+// memory/grant/mmu copy loops, and the irq/softirq plumbing.
+
+// signatureHandlers assembles the hand-written handler set.
+func signatureHandlers() []*isa.Program {
+	return []*isa.Program{
+		doEventChannelOpProgram(),
+		doSetTrapTableProgram(),
+		doApicTimerProgram(),
+		doPageFaultProgram(),
+		doGeneralProtectionProgram(),
+		doSchedOpProgram(),
+		doMemoryOpProgram(),
+		doGrantTableOpProgram(),
+		doIretProgram(),
+		doIRQProgram(),
+		doSoftIRQProgram(),
+		doMulticallProgram(),
+		doXenVersionProgram(),
+		doSetTimerOpProgram(),
+		doDomctlProgram(),
+		doMMUUpdateProgram(),
+		doVcpuOpProgram(),
+		doConsoleIOProgram(),
+	}
+}
+
+// doEventChannelOpProgram handles EVTCHNOP. Op 4 (send) signals a port via
+// evtchn_set_pending; other ops take a generic scan path.
+//
+//	rdi = op, rsi = port
+func doEventChannelOpProgram() *isa.Program {
+	return isa.NewBuilder("do_event_channel_op").
+		CmpImm(isa.RDI, 4).
+		Jne("generic_op").
+		CmpImm(isa.RSI, MaxEvtchnPorts).
+		Jae("bad_port").
+		Mov(isa.RDI, isa.RSI).
+		CallSym("evtchn_set_pending").
+		MovImm(isa.RAX, errOK).
+		Ret().
+		Label("generic_op").
+		// Close/status/bind ops: scan the port table.
+		Push(isa.RBX).
+		MovImm(isa.RCX, 8).
+		MovImm(isa.RAX, 0).
+		Label("scan").
+		Load(isa.RBX, isa.R13, 0).
+		Add(isa.RAX, isa.RBX).
+		Loop("scan").
+		MovImm(isa.RAX, errOK).
+		Pop(isa.RBX).
+		Ret().
+		Label("bad_port").
+		MovImm(isa.RAX, errEINVAL).
+		Ret().
+		MustBuild()
+}
+
+// doSetTrapTableProgram implements paper Listing 1: iterate the guest's
+// trap table obtaining trap vectors, ASSERT the final vector is within
+// bounds, then record it in the VCPU.
+//
+//	rdi = guest offset of trap table, rsi = entry count
+func doSetTrapTableProgram() *isa.Program {
+	return isa.NewBuilder("do_set_trap_table").
+		Push(isa.RBX).
+		Push(isa.R14).
+		CmpImm(isa.RSI, MaxTraps+1).
+		Jae("einval").
+		CmpImm(isa.RSI, 0).
+		Je("ok").
+		Mov(isa.R14, isa.RSI).
+		// Copy (vector, handler) pairs into scratch.
+		Mov(isa.RCX, isa.RSI).
+		ShlImm(isa.RCX, 1).
+		Mov(isa.RSI, isa.RDI).
+		MovImm(isa.RDI, int64(ScratchAddr())).
+		CallSym("copy_from_user").
+		CmpImm(isa.RAX, 0).
+		Jne("out").
+		// for (trap = FIRST; trap < LAST; ++trap) { obtain trap number }
+		MovImm(isa.RBX, 0).
+		Mov(isa.RCX, isa.R14).
+		MovImm(isa.R9, int64(ScratchAddr())).
+		Label("obtain").
+		Load(isa.RDX, isa.R9, 0).
+		AddImm(isa.R9, 16).
+		Mov(isa.RBX, isa.RDX).
+		Loop("obtain").
+		// ASSERT(trap <= LAST)
+		AssertLe(isa.RBX, MaxTraps).
+		// Put the trap number to the VCPU.
+		Store(isa.RBX, isa.RBP, VCPUTrapNr).
+		Label("ok").
+		MovImm(isa.RAX, errOK).
+		Label("out").
+		Pop(isa.R14).
+		Pop(isa.RBX).
+		Ret().
+		Label("einval").
+		MovImm(isa.RAX, errEINVAL).
+		Jmp("out").
+		MustBuild()
+}
+
+// doApicTimerProgram is the local APIC timer tick: acknowledge the APIC,
+// update the shared-info time area under the version protocol, deliver the
+// time to the VCPU, raise the timer event channel, and account runstate.
+// The rax value between read_platform_time and its stores is the "time
+// values" corruption window of Table II.
+func doApicTimerProgram() *isa.Program {
+	return isa.NewBuilder("do_apic_timer").
+		Push(isa.RBX).
+		// ASSERT(shared_info pointer valid) before publishing time to it.
+		AssertGe(isa.R11, SharedBase).
+		AssertLe(isa.R11, SharedBase+MaxDomains*SharedInfoSize-8).
+		// APIC EOI via MMIO.
+		MovImm(isa.RBX, MMIOBase).
+		MovImm(isa.RDX, 0xEF).
+		Store(isa.RDX, isa.RBX, 0).
+		// Version++ (odd: update in progress).
+		Load(isa.RDX, isa.R11, SITimeVersion).
+		AddImm(isa.RDX, 1).
+		Store(isa.RDX, isa.R11, SITimeVersion).
+		CallSym("read_platform_time").
+		Store(isa.RAX, isa.R11, SISystemTime).
+		Mov(isa.RDX, isa.RAX).
+		ShrImm(isa.RDX, 2).
+		Store(isa.RDX, isa.R11, SITSCStamp).
+		// Wallclock nanoseconds advance.
+		Load(isa.RDX, isa.R11, SIWallclockNS).
+		AddImm(isa.RDX, 250000).
+		Store(isa.RDX, isa.R11, SIWallclockNS).
+		// Version++ (even: consistent).
+		Load(isa.RDX, isa.R11, SITimeVersion).
+		AddImm(isa.RDX, 1).
+		Store(isa.RDX, isa.R11, SITimeVersion).
+		// Deliver time to the VCPU.
+		Store(isa.RAX, isa.RBP, VCPULastTime).
+		// Raise the timer event (port 0).
+		MovImm(isa.RDI, 0).
+		CallSym("evtchn_set_pending").
+		CallSym("update_runstate").
+		MovImm(isa.RAX, errOK).
+		Pop(isa.RBX).
+		Ret().
+		MustBuild()
+}
+
+// doPageFaultProgram handles a guest page fault: walk the shadow page
+// table, treat present faults as spurious, bounce real ones to the guest.
+//
+//	rdi = faulting address, rsi = error code
+func doPageFaultProgram() *isa.Program {
+	return isa.NewBuilder("do_page_fault").
+		Push(isa.RBX).
+		// Three-level walk over the shadow table.
+		Mov(isa.RBX, isa.RDI).
+		ShrImm(isa.RBX, 30).
+		AndImm(isa.RBX, 0x1F8).
+		MovImm(isa.RDX, int64(PageTableAddr())).
+		Add(isa.RDX, isa.RBX).
+		Load(isa.RCX, isa.RDX, 0). // L1
+		Mov(isa.RBX, isa.RDI).
+		ShrImm(isa.RBX, 21).
+		AndImm(isa.RBX, 0x1F8).
+		MovImm(isa.RDX, int64(PageTableAddr())+0x200).
+		Add(isa.RDX, isa.RBX).
+		Load(isa.RCX, isa.RDX, 0). // L2
+		Mov(isa.RBX, isa.RDI).
+		ShrImm(isa.RBX, 12).
+		AndImm(isa.RBX, 0x1F8).
+		MovImm(isa.RDX, int64(PageTableAddr())+0x400).
+		Add(isa.RDX, isa.RBX).
+		Load(isa.RCX, isa.RDX, 0). // L3
+		// Present bit set in error code → spurious, nothing to do.
+		TestImm(isa.RSI, 1).
+		Jne("spurious").
+		// Bounce #PF (vector 14) to the guest.
+		MovImm(isa.RDI, 14).
+		CallSym("create_bounce_frame").
+		Label("spurious").
+		MovImm(isa.RAX, errOK).
+		Pop(isa.RBX).
+		Ret().
+		MustBuild()
+}
+
+// doGeneralProtectionProgram handles a guest #GP. When the trapped
+// instruction is cpuid (rsi==1) it emulates it — the paper's running
+// example of a long-latency error source: results land in the VCPU's
+// saved registers and are consumed by the guest after VM entry.
+//
+//	rdi = guest rip, rsi = trapped-instruction code (1 = cpuid)
+func doGeneralProtectionProgram() *isa.Program {
+	return isa.NewBuilder("do_general_protection").
+		Push(isa.RBX).
+		CmpImm(isa.RSI, 1).
+		Jne("not_cpuid").
+		// Emulate cpuid: leaf from the guest's saved rax.
+		Load(isa.RAX, isa.RBP, VCPUSavedRegs+0).
+		Cpuid().
+		// PV cpuid filtering, as Xen's pv_cpuid does: hide OSXSAVE unless
+		// the SSE2 feature bit is present — a branch on the emulated value.
+		TestImm(isa.RDX, 1<<26).
+		Je("no_sse2").
+		OrImm(isa.RCX, 1<<27).
+		Label("no_sse2").
+		Store(isa.RAX, isa.RBP, VCPUSavedRegs+0).
+		Store(isa.RBX, isa.RBP, VCPUSavedRegs+8).
+		Store(isa.RCX, isa.RBP, VCPUSavedRegs+16).
+		Store(isa.RDX, isa.RBP, VCPUSavedRegs+24).
+		MovImm(isa.RAX, errOK).
+		Pop(isa.RBX).
+		Ret().
+		Label("not_cpuid").
+		// Bounce #GP (vector 13) to the guest.
+		MovImm(isa.RDI, 13).
+		CallSym("create_bounce_frame").
+		MovImm(isa.RAX, errOK).
+		Pop(isa.RBX).
+		Ret().
+		MustBuild()
+}
+
+// doSchedOpProgram handles SCHEDOP. Block (rdi==1) without pending events
+// context-switches to the idle VCPU and idles the physical CPU behind the
+// paper's Listing 2 ASSERT(is_idle_vcpu(v)). Yield decays runqueue credit.
+//
+//	rdi = op (0 yield, 1 block, 2 shutdown)
+func doSchedOpProgram() *isa.Program {
+	return isa.NewBuilder("do_sched_op").
+		Push(isa.RBX).
+		CallSym("update_runstate").
+		CmpImm(isa.RDI, 1).
+		Jne("yield_path").
+		// Block: bail out if events are already pending.
+		Load(isa.RBX, isa.RBP, VCPUPendingEv).
+		Test(isa.RBX, isa.RBX).
+		Jne("out_ok").
+		// Switch to the idle VCPU.
+		MovImm(isa.RDI, int64(IdleVCPUAddr())).
+		CallSym("context_switch").
+		// put_cpu_idle_loop: ASSERT(is_idle_vcpu(current)).
+		Load(isa.RBX, isa.RBP, VCPUIsIdle).
+		AssertEq(isa.RBX, 1).
+		// Idle the physical CPU.
+		MovImm(isa.RBX, int64(SchedAddr())).
+		MovImm(isa.RDX, 1).
+		Store(isa.RDX, isa.RBX, 8).
+		Label("out_ok").
+		MovImm(isa.RAX, errOK).
+		Pop(isa.RBX).
+		Ret().
+		Label("yield_path").
+		// Credit decay scan.
+		MovImm(isa.RCX, 4).
+		Label("decay").
+		Load(isa.RBX, isa.R13, 8).
+		ShrImm(isa.RBX, 1).
+		Store(isa.RBX, isa.R13, 8).
+		Loop("decay").
+		MovImm(isa.RAX, errOK).
+		Pop(isa.RBX).
+		Ret().
+		MustBuild()
+}
+
+// doMemoryOpProgram implements XENMEM increase_reservation: copy the
+// extent list in, validate every extent against the domain's page limit,
+// and commit the accepted count to TotPages.
+//
+//	rdi = cmd, rsi = nr_extents, rdx = guest offset of extent list
+func doMemoryOpProgram() *isa.Program {
+	return isa.NewBuilder("do_memory_op").
+		Push(isa.RBX).
+		Push(isa.R14).
+		CmpImm(isa.RSI, 33).
+		Jae("einval").
+		CmpImm(isa.RSI, 0).
+		Je("out_zero").
+		Mov(isa.R14, isa.RSI).
+		Mov(isa.RCX, isa.RSI).
+		Mov(isa.RSI, isa.RDX).
+		MovImm(isa.RDI, int64(ScratchAddr())+0x100).
+		CallSym("copy_from_user").
+		CmpImm(isa.RAX, 0).
+		Jne("out").
+		// Validate extents.
+		Mov(isa.RCX, isa.R14).
+		MovImm(isa.R9, int64(ScratchAddr())+0x100).
+		MovImm(isa.RBX, 0).
+		Label("extent").
+		Load(isa.RDX, isa.R9, 0).
+		AddImm(isa.R9, 8).
+		Load(isa.R8, isa.R10, DomMaxPages).
+		Cmp(isa.RDX, isa.R8).
+		Jae("bad_extent").
+		AddImm(isa.RBX, 1).
+		Loop("extent").
+		// ASSERT(accepted extent count within the request bound).
+		AssertLe(isa.RBX, 32).
+		// Commit.
+		Load(isa.RDX, isa.R10, DomTotPages).
+		Add(isa.RDX, isa.RBX).
+		Store(isa.RDX, isa.R10, DomTotPages).
+		Mov(isa.RAX, isa.RBX).
+		Jmp("out").
+		Label("bad_extent").
+		Mov(isa.RAX, isa.RBX).
+		Jmp("out").
+		Label("out_zero").
+		MovImm(isa.RAX, 0).
+		Label("out").
+		Pop(isa.R14).
+		Pop(isa.RBX).
+		Ret().
+		Label("einval").
+		MovImm(isa.RAX, errEINVAL).
+		Jmp("out").
+		MustBuild()
+}
+
+// doGrantTableOpProgram implements a grant copy between two areas of the
+// domain's buffer, with the string move under fixup protection like the
+// real grant-copy code.
+//
+//	rdi = op, rsi = grant ref, rdx = word count
+func doGrantTableOpProgram() *isa.Program {
+	return isa.NewBuilder("do_grant_table_op").
+		Push(isa.RBX).
+		CmpImm(isa.RSI, 32).
+		Jae("badref").
+		CmpImm(isa.RDX, 65).
+		Jae("badref").
+		CmpImm(isa.RDX, 0).
+		Je("done").
+		Mov(isa.RBX, isa.RSI).
+		ShlImm(isa.RBX, 6).
+		Mov(isa.RSI, isa.R12).
+		Add(isa.RSI, isa.RBX).
+		AddImm(isa.RSI, grantSrcOff).
+		Mov(isa.RDI, isa.R12).
+		Add(isa.RDI, isa.RBX).
+		AddImm(isa.RDI, grantDstOff).
+		Mov(isa.RCX, isa.RDX).
+		Protect("fault").
+		RepMovs().
+		Label("done").
+		MovImm(isa.RAX, errOK).
+		Pop(isa.RBX).
+		Ret().
+		Label("badref").
+		MovImm(isa.RAX, errESRCH).
+		Pop(isa.RBX).
+		Ret().
+		Label("fault").
+		MovImm(isa.RAX, errEFAULT).
+		Pop(isa.RBX).
+		Ret().
+		MustBuild()
+}
+
+// Grant source/destination areas inside the guest buffer.
+const (
+	grantSrcOff = 0x4000
+	grantDstOff = 0x6000
+)
+
+// doIretProgram loads the guest's iret frame (rip, rflags, rsp, cs, ss),
+// validates the interrupt flag, and installs the frame into the VCPU's
+// saved registers — five guest-bound values per call.
+//
+//	rdi = guest offset of the iret frame
+func doIretProgram() *isa.Program {
+	return isa.NewBuilder("do_iret").
+		Push(isa.RBX).
+		Mov(isa.RSI, isa.RDI).
+		MovImm(isa.RDI, int64(ScratchAddr())+0x200).
+		MovImm(isa.RCX, 5).
+		CallSym("copy_from_user").
+		CmpImm(isa.RAX, 0).
+		Jne("out").
+		MovImm(isa.R9, int64(ScratchAddr())+0x200).
+		Load(isa.RBX, isa.R9, 0). // rip
+		Store(isa.RBX, isa.RBP, VCPUSavedRegs+5*8).
+		Load(isa.RBX, isa.R9, 8). // rflags
+		TestImm(isa.RBX, 0x200).  // IF must be set
+		Je("bad_flags").
+		Store(isa.RBX, isa.RBP, VCPUSavedRegs+6*8).
+		Load(isa.RBX, isa.R9, 16). // rsp
+		Store(isa.RBX, isa.RBP, VCPUSavedRegs+7*8).
+		Load(isa.RBX, isa.R9, 24). // cs — must be the guest flat selector
+		CmpImm(isa.RBX, 0x10).
+		Jne("bad_flags").
+		Store(isa.RBX, isa.RBP, VCPUSavedRegs+9*8).
+		Load(isa.RBX, isa.R9, 32). // ss
+		CmpImm(isa.RBX, 0x18).
+		Jne("bad_flags").
+		Store(isa.RBX, isa.RBP, VCPUSavedRegs+10*8).
+		MovImm(isa.RAX, errOK).
+		Label("out").
+		Pop(isa.RBX).
+		Ret().
+		Label("bad_flags").
+		MovImm(isa.RAX, errEINVAL).
+		Pop(isa.RBX).
+		Ret().
+		MustBuild()
+}
+
+// doIRQProgram handles a device interrupt: acknowledge it over MMIO, bump
+// the irq descriptor's count, and signal the bound event channel.
+//
+//	rdi = vector
+func doIRQProgram() *isa.Program {
+	return isa.NewBuilder("do_irq").
+		Push(isa.RBX).
+		// ASSERT(vector is within the IDT) before acknowledging it.
+		AssertLe(isa.RDI, 255).
+		MovImm(isa.RBX, MMIOBase).
+		Store(isa.RDI, isa.RBX, 8).
+		// irq_desc[vector & 31].count++
+		Mov(isa.RBX, isa.RDI).
+		AndImm(isa.RBX, 31).
+		ShlImm(isa.RBX, 3).
+		MovImm(isa.RDX, int64(ScratchAddr())+0x300).
+		Add(isa.RDX, isa.RBX).
+		Load(isa.RCX, isa.RDX, 0).
+		AddImm(isa.RCX, 1).
+		Store(isa.RCX, isa.RDX, 0).
+		// Signal port = (vector & 31) + 1.
+		Mov(isa.RDI, isa.RBX).
+		ShrImm(isa.RDI, 3).
+		AddImm(isa.RDI, 1).
+		CallSym("evtchn_set_pending").
+		CallSym("update_runstate").
+		MovImm(isa.RAX, errOK).
+		Pop(isa.RBX).
+		Ret().
+		MustBuild()
+}
+
+// doSoftIRQProgram drains the pending softirq mask: bit 0 timer (refresh
+// shared time), bit 1 scheduler (runstate), bit 2 RCU (callback loop).
+//
+//	rdi = pending mask
+func doSoftIRQProgram() *isa.Program {
+	return isa.NewBuilder("do_softirq").
+		Push(isa.RBX).
+		Mov(isa.RBX, isa.RDI).
+		TestImm(isa.RBX, 1).
+		Je("no_timer").
+		CallSym("read_platform_time").
+		Store(isa.RAX, isa.R11, SISystemTime).
+		Label("no_timer").
+		TestImm(isa.RBX, 2).
+		Je("no_sched").
+		CallSym("update_runstate").
+		Label("no_sched").
+		TestImm(isa.RBX, 4).
+		Je("no_rcu").
+		MovImm(isa.RCX, 3).
+		Label("rcu").
+		Load(isa.RDX, isa.R13, 16).
+		AddImm(isa.RDX, 1).
+		Store(isa.RDX, isa.R13, 16).
+		Loop("rcu").
+		Label("no_rcu").
+		MovImm(isa.RAX, errOK).
+		Pop(isa.RBX).
+		Ret().
+		MustBuild()
+}
+
+// doMulticallProgram batches up to seven (op, arg) entries from the guest
+// and dispatches each to an inner handler — evtchn send, sched yield, or a
+// generic runstate charge.
+//
+//	rdi = guest offset of call list, rsi = entry count
+func doMulticallProgram() *isa.Program {
+	return isa.NewBuilder("do_multicall").
+		Push(isa.RBX).
+		Push(isa.R14).
+		Push(isa.R15).
+		CmpImm(isa.RSI, 8).
+		Jae("einval").
+		CmpImm(isa.RSI, 0).
+		Je("ok").
+		Mov(isa.R14, isa.RSI).
+		// ASSERT(batch length already validated).
+		AssertLe(isa.R14, 7).
+		Mov(isa.RCX, isa.RSI).
+		ShlImm(isa.RCX, 1).
+		Mov(isa.RSI, isa.RDI).
+		MovImm(isa.RDI, int64(ScratchAddr())+0x400).
+		CallSym("copy_from_user").
+		CmpImm(isa.RAX, 0).
+		Jne("out").
+		MovImm(isa.R15, int64(ScratchAddr())+0x400).
+		Label("next_call").
+		Load(isa.RBX, isa.R15, 0). // op
+		Load(isa.RDX, isa.R15, 8). // arg
+		AddImm(isa.R15, 16).
+		CmpImm(isa.RBX, 1).
+		Jne("not_evtchn").
+		MovImm(isa.RDI, 4).
+		Mov(isa.RSI, isa.RDX).
+		CallSym("do_event_channel_op").
+		Jmp("dec").
+		Label("not_evtchn").
+		CmpImm(isa.RBX, 2).
+		Jne("not_sched").
+		MovImm(isa.RDI, 0).
+		CallSym("do_sched_op").
+		Jmp("dec").
+		Label("not_sched").
+		CallSym("update_runstate").
+		Label("dec").
+		SubImm(isa.R14, 1).
+		CmpImm(isa.R14, 0).
+		Jne("next_call").
+		Label("ok").
+		MovImm(isa.RAX, errOK).
+		Label("out").
+		Pop(isa.R15).
+		Pop(isa.R14).
+		Pop(isa.RBX).
+		Ret().
+		Label("einval").
+		MovImm(isa.RAX, errEINVAL).
+		Jmp("out").
+		MustBuild()
+}
+
+// doXenVersionProgram copies the four-word version block from the constant
+// pool into the guest buffer.
+//
+//	rdi = cmd, rsi = guest destination offset
+func doXenVersionProgram() *isa.Program {
+	return isa.NewBuilder("do_xen_version").
+		Mov(isa.RDI, isa.RSI).
+		MovImm(isa.RSI, int64(ConstPoolAddr())).
+		MovImm(isa.RCX, 4).
+		CallSym("copy_to_user").
+		Ret().
+		MustBuild()
+}
+
+// doSetTimerOpProgram arms the VCPU's one-shot timer and recomputes the
+// global next-deadline by scanning the timer heap.
+//
+//	rdi = absolute deadline
+func doSetTimerOpProgram() *isa.Program {
+	return isa.NewBuilder("do_set_timer_op").
+		Push(isa.RBX).
+		Store(isa.RDI, isa.RBP, VCPUTimerDead).
+		// heap[vcpu_id] = deadline
+		Load(isa.RBX, isa.RBP, VCPUID).
+		AndImm(isa.RBX, MaxVCPUs-1).
+		ShlImm(isa.RBX, 3).
+		MovImm(isa.RDX, int64(TimerHeapAddr())).
+		Add(isa.RDX, isa.RBX).
+		Store(isa.RDI, isa.RDX, 0).
+		// Scan for the earliest non-zero deadline.
+		MovImm(isa.RCX, 8).
+		MovImm(isa.R9, int64(TimerHeapAddr())).
+		MovImm(isa.R8, -1).
+		Label("scan").
+		Load(isa.RBX, isa.R9, 0).
+		CmpImm(isa.RBX, 0).
+		Je("skip").
+		Cmp(isa.RBX, isa.R8).
+		Jae("skip").
+		Mov(isa.R8, isa.RBX).
+		Label("skip").
+		AddImm(isa.R9, 8).
+		Loop("scan").
+		MovImm(isa.RBX, int64(SchedAddr())).
+		Store(isa.R8, isa.RBX, 16).
+		MovImm(isa.RAX, errOK).
+		Pop(isa.RBX).
+		Ret().
+		MustBuild()
+}
+
+// doDomctlProgram is a privileged control operation: only the privileged
+// domain (Dom0) may issue it; it touches the target domain's structure.
+//
+//	rdi = cmd, rsi = target domain id
+func doDomctlProgram() *isa.Program {
+	return isa.NewBuilder("do_domctl").
+		Push(isa.RBX).
+		Load(isa.RBX, isa.R10, DomPrivileged).
+		CmpImm(isa.RBX, 1).
+		Jne("eperm").
+		CmpImm(isa.RSI, MaxDomains).
+		Jae("einval").
+		Mov(isa.RBX, isa.RSI).
+		ShlImm(isa.RBX, 7). // * DomSize
+		MovImm(isa.RDX, int64(DomAddr(0))).
+		Add(isa.RDX, isa.RBX).
+		Load(isa.RCX, isa.RDX, DomCtlCounter).
+		AddImm(isa.RCX, 1).
+		Store(isa.RCX, isa.RDX, DomCtlCounter).
+		MovImm(isa.RAX, errOK).
+		Pop(isa.RBX).
+		Ret().
+		Label("eperm").
+		MovImm(isa.RAX, errEPERM).
+		Pop(isa.RBX).
+		Ret().
+		Label("einval").
+		MovImm(isa.RAX, errEINVAL).
+		Pop(isa.RBX).
+		Ret().
+		MustBuild()
+}
+
+// doMMUUpdateProgram applies up to 16 (ptr, val) page-table updates copied
+// from the guest into the shadow table.
+//
+//	rdi = guest offset of update list, rsi = count
+func doMMUUpdateProgram() *isa.Program {
+	return isa.NewBuilder("do_mmu_update").
+		Push(isa.RBX).
+		Push(isa.R14).
+		CmpImm(isa.RSI, 17).
+		Jae("einval").
+		CmpImm(isa.RSI, 0).
+		Je("ok").
+		Mov(isa.R14, isa.RSI).
+		Mov(isa.RCX, isa.RSI).
+		ShlImm(isa.RCX, 1).
+		Mov(isa.RSI, isa.RDI).
+		MovImm(isa.RDI, int64(ScratchAddr())+0x500).
+		CallSym("copy_from_user").
+		CmpImm(isa.RAX, 0).
+		Jne("out").
+		Mov(isa.RCX, isa.R14).
+		MovImm(isa.R9, int64(ScratchAddr())+0x500).
+		Label("update").
+		Load(isa.RBX, isa.R9, 0). // ptr
+		Load(isa.RDX, isa.R9, 8). // val
+		AddImm(isa.R9, 16).
+		// Slot = (ptr >> 3) & 63 within the shadow table.
+		ShrImm(isa.RBX, 3).
+		AndImm(isa.RBX, 63).
+		ShlImm(isa.RBX, 3).
+		AddImm(isa.RBX, int64(PageTableAddr())+0x600).
+		Store(isa.RDX, isa.RBX, 0).
+		Loop("update").
+		Label("ok").
+		MovImm(isa.RAX, errOK).
+		Label("out").
+		Pop(isa.R14).
+		Pop(isa.RBX).
+		Ret().
+		Label("einval").
+		MovImm(isa.RAX, errEINVAL).
+		Jmp("out").
+		MustBuild()
+}
+
+// doVcpuOpProgram validates the VCPU id against the domain's count and
+// registers a runstate area pointer.
+//
+//	rdi = cmd, rsi = vcpu id, rdx = guest offset
+func doVcpuOpProgram() *isa.Program {
+	return isa.NewBuilder("do_vcpu_op").
+		Push(isa.RBX).
+		Load(isa.RBX, isa.R10, DomNVcpus).
+		Cmp(isa.RSI, isa.RBX).
+		Jae("einval").
+		Store(isa.RDX, isa.RBP, VCPUEventSel).
+		CallSym("update_runstate").
+		MovImm(isa.RAX, errOK).
+		Pop(isa.RBX).
+		Ret().
+		Label("einval").
+		MovImm(isa.RAX, errEINVAL).
+		Pop(isa.RBX).
+		Ret().
+		MustBuild()
+}
+
+// doConsoleIOProgram writes up to 16 words of guest console output: copy
+// in, fold, and emit to the console port.
+//
+//	rdi = op, rsi = word count, rdx = guest offset
+func doConsoleIOProgram() *isa.Program {
+	return isa.NewBuilder("do_console_io").
+		Push(isa.RBX).
+		Push(isa.R14).
+		CmpImm(isa.RSI, 17).
+		Jae("einval").
+		CmpImm(isa.RSI, 0).
+		Je("ok").
+		Mov(isa.R14, isa.RSI).
+		Mov(isa.RCX, isa.RSI).
+		Mov(isa.RSI, isa.RDX).
+		MovImm(isa.RDI, int64(ScratchAddr())+0x600).
+		CallSym("copy_from_user").
+		CmpImm(isa.RAX, 0).
+		Jne("out").
+		Mov(isa.RCX, isa.R14).
+		MovImm(isa.R9, int64(ScratchAddr())+0x600).
+		MovImm(isa.RBX, 0).
+		Label("fold").
+		Load(isa.RDX, isa.R9, 0).
+		AddImm(isa.R9, 8).
+		Xor(isa.RBX, isa.RDX).
+		Loop("fold").
+		Out(1, isa.RBX).
+		Label("ok").
+		MovImm(isa.RAX, errOK).
+		Label("out").
+		Pop(isa.R14).
+		Pop(isa.RBX).
+		Ret().
+		Label("einval").
+		MovImm(isa.RAX, errEINVAL).
+		Jmp("out").
+		MustBuild()
+}

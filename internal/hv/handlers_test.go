@@ -1,0 +1,259 @@
+package hv
+
+import (
+	"testing"
+
+	"xentry/internal/cpu"
+)
+
+// Per-handler behavioural tests: each handler's guest-visible effect on
+// canonical inputs.
+
+func dispatch(t *testing.T, h *Hypervisor, reason ExitReason, dom int, args [4]uint64) Result {
+	t.Helper()
+	res, err := h.Dispatch(&ExitEvent{Reason: reason, Dom: dom, Args: args}, DefaultBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stop != cpu.StopVMEntry {
+		t.Fatalf("%v: stop=%v exc=%v", reason, res.Stop, res.Exc)
+	}
+	return res
+}
+
+func TestSoftIRQTimerBitRefreshesTime(t *testing.T) {
+	h := newHV(t, 1)
+	h.CPU.TSC = 500000
+	before := h.SharedWord(0, SISystemTime)
+	dispatch(t, h, SoftIRQ, 0, [4]uint64{1}) // timer bit only
+	after := h.SharedWord(0, SISystemTime)
+	if after <= before {
+		t.Errorf("softirq timer did not refresh time: %d → %d", before, after)
+	}
+}
+
+func TestSoftIRQSchedBitChargesRunstate(t *testing.T) {
+	h := newHV(t, 1)
+	before := h.VCPUWord(0, VCPURunstate)
+	dispatch(t, h, SoftIRQ, 0, [4]uint64{2}) // sched bit only
+	if after := h.VCPUWord(0, VCPURunstate); after != before+1 {
+		t.Errorf("runstate %d → %d, want +1", before, after)
+	}
+}
+
+func TestSoftIRQRCUBitRunsCallbacks(t *testing.T) {
+	h := newHV(t, 1)
+	before, _ := h.Mem.Peek(ScratchAddr() + 16)
+	dispatch(t, h, SoftIRQ, 0, [4]uint64{4}) // rcu bit only
+	after, _ := h.Mem.Peek(ScratchAddr() + 16)
+	if after != before+3 {
+		t.Errorf("rcu counter %d → %d, want +3", before, after)
+	}
+}
+
+func TestSetTimerOpTracksEarliestDeadline(t *testing.T) {
+	h := newHV(t, 2)
+	dispatch(t, h, HCSetTimerOp, 0, [4]uint64{5000})
+	dispatch(t, h, HCSetTimerOp, 1, [4]uint64{3000})
+	if next, _ := h.Mem.Peek(SchedAddr() + 16); next != 3000 {
+		t.Errorf("next deadline = %d, want 3000", next)
+	}
+	if got := h.VCPUWord(1, VCPUTimerDead); got != 3000 {
+		t.Errorf("vcpu deadline = %d", got)
+	}
+	// A later deadline for vcpu1 re-raises the minimum to vcpu0's.
+	dispatch(t, h, HCSetTimerOp, 1, [4]uint64{9000})
+	if next, _ := h.Mem.Peek(SchedAddr() + 16); next != 5000 {
+		t.Errorf("next deadline = %d, want 5000", next)
+	}
+}
+
+func TestMMUUpdateWritesShadowTable(t *testing.T) {
+	h := newHV(t, 1)
+	// One update: ptr 0x40 → slot (0x40>>3)&63 = 8; value 0xABCD.
+	if err := h.WriteGuestWords(0, mmuListOff, []uint64{0x40, 0xABCD}); err != nil {
+		t.Fatal(err)
+	}
+	dispatch(t, h, HCMMUUpdate, 0, [4]uint64{mmuListOff, 1})
+	got, _ := h.Mem.Peek(PageTableAddr() + 0x600 + 8*8)
+	if got != 0xABCD {
+		t.Errorf("shadow slot = %#x, want 0xABCD", got)
+	}
+}
+
+func TestConsoleIOEmitsFoldedOutput(t *testing.T) {
+	h := newHV(t, 1)
+	var port int64
+	var val uint64
+	h.CPU.OutHook = func(p int64, v uint64) { port, val = p, v }
+	if err := h.WriteGuestWords(0, consoleOff, []uint64{0xF0, 0x0F}); err != nil {
+		t.Fatal(err)
+	}
+	dispatch(t, h, HCConsoleIO, 0, [4]uint64{0, 2, consoleOff})
+	if port != 1 || val != 0xFF {
+		t.Errorf("console out port=%d val=%#x, want 1, 0xFF", port, val)
+	}
+}
+
+func TestDebugregRoundTrip(t *testing.T) {
+	h := newHV(t, 1)
+	dispatch(t, h, HCSetDebugreg, 0, [4]uint64{2, 0xDEAD})
+	if got := h.VCPUWord(0, VCPUDebugreg+2*8); got != 0xDEAD {
+		t.Fatalf("debugreg[2] = %#x", got)
+	}
+	dispatch(t, h, HCGetDebugreg, 0, [4]uint64{2})
+	if got := h.SavedReg(0, 12); got != 0xDEAD {
+		t.Errorf("delivered debugreg = %#x", got)
+	}
+	// Out-of-range index rejected.
+	res := dispatch(t, h, HCSetDebugreg, 0, [4]uint64{7, 1})
+	if int64(res.RetVal) != errEINVAL {
+		t.Errorf("retval = %d, want EINVAL", int64(res.RetVal))
+	}
+}
+
+func TestCompatShimDelegates(t *testing.T) {
+	h := newHV(t, 1)
+	// Compat event-channel op: op gets masked to the modern encoding and
+	// the port is still signalled.
+	dispatch(t, h, HCEventChannelOpCompat, 0, [4]uint64{4, 7})
+	if got := h.SharedWord(0, SIEvtPending); got&(1<<7) == 0 {
+		t.Errorf("compat shim did not deliver: pending=%#x", got)
+	}
+}
+
+func TestXenVersionDeliversVersionBlock(t *testing.T) {
+	h := newHV(t, 1)
+	dispatch(t, h, HCXenVersion, 0, [4]uint64{0, versionOff})
+	if major := h.ReadGuestWord(0, versionOff); major != 4 {
+		t.Errorf("major = %d, want 4", major)
+	}
+	if minor := h.ReadGuestWord(0, versionOff+8); minor != 1 {
+		t.Errorf("minor = %d, want 1", minor)
+	}
+}
+
+func TestPageFaultSpuriousVsBounce(t *testing.T) {
+	h := newHV(t, 1)
+	// Present fault (error code bit 0 set) → spurious, no trap delivered.
+	dispatch(t, h, ExPageFault, 0, [4]uint64{0x1234000, 1})
+	if got := h.VCPUWord(0, VCPUTrapNr); got != 0 {
+		t.Fatalf("spurious fault delivered trap %d", got)
+	}
+	// Non-present fault → #PF bounced to the guest.
+	dispatch(t, h, ExPageFault, 0, [4]uint64{0x1234000, 0})
+	if got := h.VCPUWord(0, VCPUTrapNr); got != 14 {
+		t.Errorf("trap nr = %d, want 14", got)
+	}
+}
+
+func TestBounceErrorCodeRule(t *testing.T) {
+	h := newHV(t, 1)
+	// #PF (vector 14) pushes an error code into the bounce frame.
+	dispatch(t, h, ExPageFault, 0, [4]uint64{0x1234000, 0})
+	errCode := h.ReadGuestWord(0, bounceFrameOff+8)
+	_ = errCode // written by the vector-14 path
+
+	// int3 (vector 3) must NOT push an error code: pre-poison the slot and
+	// verify it survives.
+	if err := h.WriteGuestWords(0, bounceFrameOff+8, []uint64{0x5555}); err != nil {
+		t.Fatal(err)
+	}
+	dispatch(t, h, ExInt3, 0, [4]uint64{0, 0})
+	if got := h.ReadGuestWord(0, bounceFrameOff+8); got != 0x5555 {
+		t.Errorf("vector 3 overwrote the error-code slot: %#x", got)
+	}
+	if got := h.ReadGuestWord(0, bounceFrameOff); got != 3 {
+		t.Errorf("bounced vector = %d, want 3", got)
+	}
+}
+
+func TestAPICHandlersAckOverMMIO(t *testing.T) {
+	h := newHV(t, 1)
+	for _, r := range []ExitReason{APICError, APICSpurious, APICThermal,
+		APICPerfCounter, APICCMCI, APICEventCheck, APICInvalidate,
+		APICCallFunction, APICIRQMoveCleanup} {
+		h.Mem.Poke(MMIOBase, 0) //nolint:errcheck
+		dispatch(t, h, r, 0, [4]uint64{})
+		if eoi, _ := h.Mem.Peek(MMIOBase); eoi == 0 {
+			t.Errorf("%v did not acknowledge the APIC", r)
+		}
+	}
+}
+
+func TestNMIClassDoesNotBounce(t *testing.T) {
+	h := newHV(t, 1)
+	for _, r := range []ExitReason{ExNMI, ExDebug, ExDoubleFault, ExSpuriousInterrupt} {
+		if err := h.Mem.Poke(VCPUAddr(0)+VCPUTrapNr, 0); err != nil {
+			t.Fatal(err)
+		}
+		dispatch(t, h, r, 0, [4]uint64{1, 0})
+		if got := h.VCPUWord(0, VCPUTrapNr); got != 0 {
+			t.Errorf("%v bounced trap %d to the guest", r, got)
+		}
+	}
+}
+
+func TestSymbolFor(t *testing.T) {
+	h := newHV(t, 1)
+	entry := h.EntryFor(HCIret)
+	if sym := h.SymbolFor(entry); sym != "do_iret" {
+		t.Errorf("SymbolFor(entry) = %q", sym)
+	}
+	if sym := h.SymbolFor(0xDEADBEEF); sym != "" {
+		t.Errorf("SymbolFor(wild) = %q", sym)
+	}
+	if sym := h.SymbolFor(h.Symtab["copy_from_user"] + 8); sym != "copy_from_user" {
+		t.Errorf("mid-program lookup = %q", sym)
+	}
+}
+
+func TestGuestFrameRestoredToVCPU(t *testing.T) {
+	h := newHV(t, 1)
+	// Pre-load guest r13..r15; any dispatch must round-trip them through
+	// the parked stack frame back into the VCPU.
+	for i := 0; i < GuestFrameWords; i++ {
+		if err := h.SetSavedReg(0, 13+i, uint64(0x1111*(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dispatch(t, h, HCXenVersion, 0, [4]uint64{0, versionOff})
+	for i := 0; i < GuestFrameWords; i++ {
+		if got := h.SavedReg(0, 13+i); got != uint64(0x1111*(i+1)) {
+			t.Errorf("saved reg %d = %#x after round-trip", 13+i, got)
+		}
+	}
+}
+
+func TestVcpuOpValidatesID(t *testing.T) {
+	h := newHV(t, 1)
+	res := dispatch(t, h, HCVcpuOp, 0, [4]uint64{0, 5, genericOff})
+	if int64(res.RetVal) != errEINVAL {
+		t.Errorf("retval = %d, want EINVAL for vcpu 5 of a 1-vcpu domain", int64(res.RetVal))
+	}
+}
+
+func TestMulticallDispatchesInnerOps(t *testing.T) {
+	h := newHV(t, 1)
+	// Two calls: evtchn send port 9, then sched yield.
+	if err := h.WriteGuestWords(0, multicallOff, []uint64{1, 9, 2, 0}); err != nil {
+		t.Fatal(err)
+	}
+	dispatch(t, h, HCMulticall, 0, [4]uint64{multicallOff, 2})
+	if got := h.SharedWord(0, SIEvtPending); got&(1<<9) == 0 {
+		t.Errorf("multicall evtchn not delivered: %#x", got)
+	}
+}
+
+func TestIRQSignalsBoundEventChannel(t *testing.T) {
+	h := newHV(t, 1)
+	dispatch(t, h, IRQDisk, 0, [4]uint64{33})
+	// Port = (33 & 31) + 1 = 2.
+	if got := h.SharedWord(0, SIEvtPending); got&(1<<2) == 0 {
+		t.Errorf("irq event not raised: %#x", got)
+	}
+	// Descriptor count incremented.
+	if cnt, _ := h.Mem.Peek(ScratchAddr() + 0x300 + (33&31)*8); cnt != 1 {
+		t.Errorf("irq desc count = %d", cnt)
+	}
+}

@@ -1,0 +1,303 @@
+package hv
+
+import "xentry/internal/isa"
+
+// Shared helper routines the VM-exit handlers call, mirroring the Xen
+// internals the paper discusses: copy_from_user/copy_to_user with
+// exception-fixup protection, evtchn_set_pending with the exact
+// test/je/vcpu_mark_events_pending shape of Fig. 5(b), the runstate
+// accounting helper, platform time reading (the dominant source of
+// undetected time-value corruption, Table II), context switching with its
+// stack traffic, and the guest exception bounce-frame writer.
+//
+// Handler calling convention (set up by Hypervisor.Dispatch):
+//
+//	rdi, rsi, rdx, r8 — exit arguments 0..3
+//	rbp — current VCPU structure address
+//	r10 — current domain structure address
+//	r11 — current domain shared-info page address
+//	r12 — current domain guest-buffer base
+//	r13 — hypervisor scratch area base
+//	rsp — hypervisor stack top with ret_to_guest pushed
+//
+// Handlers return with RET (into the ret_to_guest stub, which executes
+// VMENTRY) and leave their return value in RAX.
+
+// Error numbers (negated Linux/Xen errno values).
+const (
+	errOK     = 0
+	errEPERM  = -1
+	errESRCH  = -3
+	errEFAULT = -14
+	errEINVAL = -22
+)
+
+// helperPrograms assembles all shared helpers.
+func helperPrograms() []*isa.Program {
+	return []*isa.Program{
+		retToGuestProgram(),
+		retToGuestHypercallProgram(),
+		panicProgram(),
+		copyFromUserProgram(),
+		copyToUserProgram(),
+		evtchnSetPendingProgram(),
+		updateRunstateProgram(),
+		readPlatformTimeProgram(),
+		contextSwitchProgram(),
+		createBounceFrameProgram(),
+	}
+}
+
+// retToGuestProgram is the VM-entry return path every handler RETs into:
+// it restores the guest register frame the VM-exit trampoline parked at the
+// top of the hypervisor stack back into the VCPU before resuming the guest.
+// Values corrupted while sitting in (or moving through) this frame are the
+// paper's "stack values" — activated only after VM entry, invisible to the
+// counters.
+func retToGuestProgram() *isa.Program {
+	b := isa.NewBuilder("ret_to_guest").
+		MovImm(isa.R9, int64(GuestFrameAddr()))
+	for i := 0; i < GuestFrameWords; i++ {
+		b.Load(isa.RBX, isa.R9, int64(i)*8).
+			Store(isa.RBX, isa.RBP, VCPUSavedRegs+int64(13+i)*8)
+	}
+	return b.VMEntry().
+		MustBuild()
+}
+
+// retToGuestHypercallProgram is the hypercall variant of the return path:
+// it additionally delivers the handler's return value (RAX) into the
+// guest's saved rax, as Xen's hypercall exit trampoline does.
+func retToGuestHypercallProgram() *isa.Program {
+	b := isa.NewBuilder("ret_to_guest_hypercall").
+		Store(isa.RAX, isa.RBP, VCPUSavedRegs).
+		MovImm(isa.R9, int64(GuestFrameAddr()))
+	for i := 0; i < GuestFrameWords; i++ {
+		b.Load(isa.RBX, isa.R9, int64(i)*8).
+			Store(isa.RBX, isa.RBP, VCPUSavedRegs+int64(13+i)*8)
+	}
+	return b.VMEntry().
+		MustBuild()
+}
+
+// panicProgram is the BUG()/panic path: unrecoverable hypervisor halt.
+func panicProgram() *isa.Program {
+	return isa.NewBuilder("panic").
+		Hlt().
+		MustBuild()
+}
+
+// copyFromUserProgram copies RCX words from guest-buffer offset RSI into
+// hypervisor address RDI. Returns 0 or -EFAULT in RAX. The string move is
+// protected by an exception fixup, like Xen's __copy_from_user.
+func copyFromUserProgram() *isa.Program {
+	return isa.NewBuilder("copy_from_user").
+		Push(isa.RBX).
+		// Bounds check: offset + 8*count must stay inside the buffer.
+		Mov(isa.RBX, isa.RCX).
+		ShlImm(isa.RBX, 3).
+		Add(isa.RBX, isa.RSI).
+		CmpImm(isa.RBX, GuestBufSize+1).
+		Jae("fault").
+		// Absolute source address.
+		Add(isa.RSI, isa.R12).
+		Protect("fault").
+		RepMovs().
+		MovImm(isa.RAX, errOK).
+		Pop(isa.RBX).
+		Ret().
+		Label("fault").
+		MovImm(isa.RAX, errEFAULT).
+		Pop(isa.RBX).
+		Ret().
+		MustBuild()
+}
+
+// copyToUserProgram copies RCX words from hypervisor address RSI to
+// guest-buffer offset RDI. Returns 0 or -EFAULT in RAX.
+func copyToUserProgram() *isa.Program {
+	return isa.NewBuilder("copy_to_user").
+		Push(isa.RBX).
+		Mov(isa.RBX, isa.RCX).
+		ShlImm(isa.RBX, 3).
+		Add(isa.RBX, isa.RDI).
+		CmpImm(isa.RBX, GuestBufSize+1).
+		Jae("fault").
+		Add(isa.RDI, isa.R12).
+		Protect("fault").
+		RepMovs().
+		MovImm(isa.RAX, errOK).
+		Pop(isa.RBX).
+		Ret().
+		Label("fault").
+		MovImm(isa.RAX, errEFAULT).
+		Pop(isa.RBX).
+		Ret().
+		MustBuild()
+}
+
+// evtchnSetPendingProgram sets event-channel port RDI pending for the
+// current domain: the per-domain pending word, the shared-info pending
+// mask, and the vcpu_mark_events_pending upcall flag guarded by the
+// test/je pattern of paper Fig. 5(b).
+func evtchnSetPendingProgram() *isa.Program {
+	return isa.NewBuilder("evtchn_set_pending").
+		Push(isa.RBX).
+		Push(isa.RCX).
+		Push(isa.RDX).
+		// ASSERT(port < NR_EVTCHN_PORTS) — a corrupted port would silently
+		// raise the wrong event.
+		AssertLe(isa.RDI, MaxEvtchnPorts-1).
+		// ASSERT(shared_info pointer is a shared-info page) — a corrupted
+		// pointer would deliver the event to the wrong domain.
+		AssertGe(isa.R11, SharedBase).
+		AssertLe(isa.R11, SharedBase+MaxDomains*SharedInfoSize-8).
+		// bit = 1 << (port & 63)
+		MovImm(isa.RBX, 1).
+		Mov(isa.RCX, isa.RDI).
+		AndImm(isa.RCX, 63).
+		Shl(isa.RBX, isa.RCX).
+		// Per-domain pending word.
+		Load(isa.RDX, isa.R10, DomEvtchnWord).
+		Load(isa.RCX, isa.RDX, 0).
+		Or(isa.RCX, isa.RBX).
+		Store(isa.RCX, isa.RDX, 0).
+		// Shared-info pending mask (guest-visible).
+		Load(isa.RCX, isa.R11, SIEvtPending).
+		Or(isa.RCX, isa.RBX).
+		Store(isa.RCX, isa.R11, SIEvtPending).
+		// vcpu_mark_events_pending (Fig. 5b: test eax,eax / je ...).
+		Load(isa.RCX, isa.RBP, VCPUPendingEv).
+		Test(isa.RCX, isa.RCX).
+		Jne("already_pending").
+		MovImm(isa.RCX, 1).
+		Store(isa.RCX, isa.RBP, VCPUPendingEv).
+		Label("already_pending").
+		Pop(isa.RDX).
+		Pop(isa.RCX).
+		Pop(isa.RBX).
+		Ret().
+		MustBuild()
+}
+
+// updateRunstateProgram is Xen's update_runstate_area: it refreshes the
+// guest-visible runstate timestamp from platform time and bumps the
+// runstate counter. It is called from most handlers, so the instructions
+// between the rdtsc and the timestamp store form the machine's widest
+// time-value corruption window (Table II's dominant undetected class).
+func updateRunstateProgram() *isa.Program {
+	return isa.NewBuilder("update_runstate").
+		Push(isa.RAX).
+		Push(isa.RDX).
+		// ASSERT(current is a VCPU structure) before charging runstate.
+		AssertGe(isa.RBP, int64(vcpuTableStart())).
+		AssertLe(isa.RBP, int64(IdleVCPUAddr())).
+		CallSym("read_platform_time").
+		// Monotonic clamp: never let the runstate timestamp go backwards
+		// (kernels check this); the comparison makes gross downward
+		// corruption visible in the branch counters.
+		Load(isa.RDX, isa.RBP, VCPURunstateTime).
+		Cmp(isa.RAX, isa.RDX).
+		Jae("monotonic").
+		Mov(isa.RAX, isa.RDX).
+		Label("monotonic").
+		Store(isa.RAX, isa.RBP, VCPURunstateTime).
+		Load(isa.RAX, isa.RBP, VCPURunstate).
+		AddImm(isa.RAX, 1).
+		Store(isa.RAX, isa.RBP, VCPURunstate).
+		Pop(isa.RDX).
+		Pop(isa.RAX).
+		Ret().
+		MustBuild()
+}
+
+// readPlatformTimeProgram returns the scaled platform time in RAX
+// (rdtsc composed to 64 bits, scaled by the "clock ratio" shift). A bit
+// flip in RAX after this returns corrupts a delivered time value with no
+// control-flow disturbance — the paper's dominant undetected class.
+func readPlatformTimeProgram() *isa.Program {
+	return isa.NewBuilder("read_platform_time").
+		Push(isa.RDX).
+		Push(isa.RCX).
+		Rdtsc().
+		ShlImm(isa.RDX, 32).
+		Or(isa.RAX, isa.RDX).
+		// scale_delta: ns = (tsc * mul_frac) >> shift + offset, done the
+		// way Xen's time.c does — the value sits in rax/rdx across the
+		// whole computation.
+		Mov(isa.RCX, isa.RAX).
+		ShrImm(isa.RCX, 32).
+		MovImm(isa.RDX, 4).
+		Mul(isa.RAX, isa.RDX).
+		Mul(isa.RCX, isa.RDX).
+		ShrImm(isa.RCX, 32).
+		Add(isa.RAX, isa.RCX).
+		AddImm(isa.RAX, 0x1000). // epoch offset
+		Pop(isa.RCX).
+		Pop(isa.RDX).
+		Ret().
+		MustBuild()
+}
+
+// contextSwitchProgram switches the current VCPU to the one whose structure
+// address is in RDI: saves live state into the outgoing VCPU's saved-regs
+// area (the stack/state traffic behind Table II's "stack values"), updates
+// the scheduler's current pointer, and charges runstate on both sides.
+func contextSwitchProgram() *isa.Program {
+	return isa.NewBuilder("context_switch").
+		Push(isa.RBX).
+		Push(isa.RSI).
+		// ASSERT(next is a VCPU structure) — switching to a corrupted
+		// pointer corrupts whichever structure it lands on.
+		AssertGe(isa.RDI, int64(vcpuTableStart())).
+		AssertLe(isa.RDI, int64(IdleVCPUAddr())).
+		// Save outgoing state words.
+		Store(isa.RSI, isa.RBP, VCPUSavedRegs+4*8).
+		Store(isa.RDX, isa.RBP, VCPUSavedRegs+3*8).
+		Store(isa.R8, isa.RBP, VCPUSavedRegs+8*8).
+		CallSym("update_runstate").
+		// Switch scheduler current pointer.
+		MovImm(isa.RBX, int64(SchedAddr())).
+		Store(isa.RDI, isa.RBX, 0).
+		Mov(isa.RBP, isa.RDI).
+		CallSym("update_runstate").
+		Pop(isa.RSI).
+		Pop(isa.RBX).
+		Ret().
+		MustBuild()
+}
+
+// createBounceFrameProgram writes a guest exception frame (trap number in
+// RDI, error code in RSI) onto the guest's bounce area and records the trap
+// in the VCPU structure — the delivery path for guest-visible exceptions.
+// A corrupted trap number here propagates across VM entry (Path 2 of
+// paper Fig. 2).
+func createBounceFrameProgram() *isa.Program {
+	return isa.NewBuilder("create_bounce_frame").
+		Push(isa.RBX).
+		// ASSERT(trapnr <= LAST_RESERVED_TRAP) — bouncing a corrupted
+		// vector would crash the guest kernel.
+		AssertLe(isa.RDI, 19).
+		Push(isa.RCX).
+		Mov(isa.RBX, isa.R12).
+		AddImm(isa.RBX, bounceFrameOff).
+		Store(isa.RDI, isa.RBX, 0).
+		// Only vectors 8, 10-14 and 17 push an error code (x86 rules);
+		// the frame layout branches on the trap number.
+		MovImm(isa.RCX, (1<<8)|(1<<10)|(1<<11)|(1<<12)|(1<<13)|(1<<14)|(1<<17)).
+		Shr(isa.RCX, isa.RDI).
+		TestImm(isa.RCX, 1).
+		Je("no_errcode").
+		Store(isa.RSI, isa.RBX, 8).
+		Label("no_errcode").
+		Store(isa.RDI, isa.RBP, VCPUTrapNr).
+		Store(isa.RSI, isa.RBP, VCPUTrapErr).
+		Pop(isa.RCX).
+		Pop(isa.RBX).
+		Ret().
+		MustBuild()
+}
+
+// bounceFrameOff is the offset of the exception bounce frame inside each
+// domain's guest buffer.
+const bounceFrameOff = 0x8000

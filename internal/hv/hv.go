@@ -1,0 +1,371 @@
+package hv
+
+import (
+	"fmt"
+	"sort"
+
+	"xentry/internal/cpu"
+	"xentry/internal/isa"
+	"xentry/internal/mem"
+	"xentry/internal/perf"
+)
+
+// Domain is a guest VM. Domain 0 is the privileged control domain; a fault
+// that corrupts its state takes the whole system down (paper Section II-A).
+type Domain struct {
+	ID         int
+	Privileged bool
+	// VCPU is the domain's VCPU slot in the global VCPU table (this model
+	// gives each domain one VCPU, like the paper's injection setup).
+	VCPU int
+}
+
+// ExitEvent is one VM exit: the reason plus its arguments, produced by the
+// guest workload driver.
+type ExitEvent struct {
+	Reason ExitReason
+	// Dom is the domain whose VCPU exited.
+	Dom int
+	// Args are the exit arguments (hypercall args, fault address/error
+	// code, interrupt vector ...) loaded into rdi/rsi/rdx/r8.
+	Args [4]uint64
+}
+
+// Result describes one completed hypervisor execution.
+type Result struct {
+	// Stop is how the execution ended.
+	Stop cpu.StopReason
+	// Steps is the dynamic instruction count of the execution.
+	Steps uint64
+	// Exc is the fatal exception when Stop is StopException.
+	Exc *cpu.Exception
+	// FixedUp counts benign exceptions recovered through fixup entries.
+	FixedUp int
+	// AssertPC is the failed assertion's address when Stop is StopAssert.
+	AssertPC uint64
+	// RetVal is the handler return value (RAX at VM entry).
+	RetVal uint64
+}
+
+// DefaultBudget is the per-execution instruction watchdog. Fault-free
+// handler executions are two orders of magnitude shorter.
+const DefaultBudget = 20000
+
+// Hypervisor is the mini-Xen under test: linked handler text, machine
+// memory, one logical CPU, and the domain table.
+type Hypervisor struct {
+	Mem     *mem.Memory
+	CPU     *cpu.CPU
+	Seg     *cpu.Segment
+	Symtab  map[string]uint64
+	Fixups  map[uint64]uint64
+	Domains []*Domain
+
+	entries      [NumExitReasons]uint64
+	retToGuest   uint64
+	retToGuestHC uint64
+	extents      []progExtent
+	textDigest   uint64
+
+	tscSnap uint64
+}
+
+// progExtent records one linked program's address range.
+type progExtent struct {
+	name       string
+	start, end uint64
+}
+
+// New builds a hypervisor with the given number of domains (domain 0 is
+// privileged). All handler programs are assembled, linked at TextBase, and
+// the domain/VCPU/shared-info structures are initialised.
+func New(numDomains int) (*Hypervisor, error) {
+	progs, err := AllHandlerPrograms()
+	if err != nil {
+		return nil, err
+	}
+	ld := cpu.NewLoader(TextBase)
+	for _, p := range progs {
+		ld.Add(p)
+	}
+	seg, symtab, fixups, err := ld.Link()
+	if err != nil {
+		return nil, err
+	}
+
+	m := mem.New()
+	if err := MapMachineMemory(m, numDomains); err != nil {
+		return nil, err
+	}
+
+	h := &Hypervisor{
+		Mem:          m,
+		Seg:          seg,
+		Symtab:       symtab,
+		Fixups:       fixups,
+		retToGuest:   symtab["ret_to_guest"],
+		retToGuestHC: symtab["ret_to_guest_hypercall"],
+	}
+	for _, p := range progs {
+		start := symtab[p.Name]
+		h.extents = append(h.extents, progExtent{p.Name, start, start + p.Size()})
+		h.textDigest = h.textDigest*1099511628211 ^ p.Digest()
+	}
+	sort.Slice(h.extents, func(i, j int) bool { return h.extents[i].start < h.extents[j].start })
+
+	h.CPU = cpu.New(m, seg, perf.New())
+	h.CPU.CpuidTable = map[uint64][4]uint64{
+		0: {0xD, 0x756E6547, 0x6C65746E, 0x49656E69}, // "GenuineIntel"
+		1: {0x000106A5, 0x00100800, 0x009CE3BD, 0xBFEBFBFF},
+		2: {0x55035A01, 0x00F0B2E4, 0x00000000, 0x09CA212C},
+	}
+	for r := ExitReason(0); r < NumExitReasons; r++ {
+		addr, ok := symtab[r.Handler()]
+		if !ok {
+			return nil, fmt.Errorf("hv: handler %q not linked", r.Handler())
+		}
+		h.entries[r] = addr
+	}
+
+	for d := 0; d < numDomains; d++ {
+		dom := &Domain{ID: d, Privileged: d == 0, VCPU: d}
+		h.Domains = append(h.Domains, dom)
+		if err := h.initDomain(dom); err != nil {
+			return nil, err
+		}
+	}
+	if err := h.initIdleVCPU(); err != nil {
+		return nil, err
+	}
+	if err := h.initConstPool(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// initDomain writes a domain's structures into hypervisor data memory.
+func (h *Hypervisor) initDomain(d *Domain) error {
+	base := DomAddr(d.ID)
+	priv := uint64(0)
+	if d.Privileged {
+		priv = 1
+	}
+	fields := map[uint64]uint64{
+		base + DomIDField:    uint64(d.ID),
+		base + DomNVcpus:     1,
+		base + DomTotPages:   4096,
+		base + DomMaxPages:   65536,
+		base + DomSharedInfo: SharedInfoAddr(d.ID),
+		base + DomPrivileged: priv,
+		base + DomEvtchnWord: EvtchnAddr(d.ID),
+	}
+	vb := VCPUAddr(d.VCPU)
+	fields[vb+VCPUDomID] = uint64(d.ID)
+	fields[vb+VCPUID] = uint64(d.VCPU)
+	for addr, val := range fields {
+		if err := h.Mem.Poke(addr, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// initIdleVCPU marks the reserved idle VCPU slot.
+func (h *Hypervisor) initIdleVCPU() error {
+	vb := IdleVCPUAddr()
+	if err := h.Mem.Poke(vb+VCPUIsIdle, 1); err != nil {
+		return err
+	}
+	return h.Mem.Poke(vb+VCPUID, uint64(IdleVCPUID))
+}
+
+// initConstPool writes the version block do_xen_version serves.
+func (h *Hypervisor) initConstPool() error {
+	for i, v := range []uint64{4, 1, 2, 0x78656E} { // 4.1.2 "xen"
+		if err := h.Mem.Poke(ConstPoolAddr()+uint64(i)*8, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EntryFor returns the handler entry address of an exit reason.
+func (h *Hypervisor) EntryFor(r ExitReason) uint64 { return h.entries[r] }
+
+// TextDigest fingerprints the loaded hypervisor text (pre-link program
+// encodings). Identical digests guarantee that two machines execute
+// identical handler code — the auditability anchor for whole-campaign
+// determinism.
+func (h *Hypervisor) TextDigest() uint64 { return h.textDigest }
+
+// SymbolFor returns the name of the handler program containing pc, or ""
+// when pc is outside the text segment.
+func (h *Hypervisor) SymbolFor(pc uint64) string {
+	lo, hi := 0, len(h.extents)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		e := h.extents[mid]
+		switch {
+		case pc < e.start:
+			hi = mid
+		case pc >= e.end:
+			lo = mid + 1
+		default:
+			return e.name
+		}
+	}
+	return ""
+}
+
+// Dispatch runs the handler for one VM exit to completion, applying
+// exception fixups (the benign-fault path hardware exceptions must be
+// filtered against). The caller owns PMU arming and detection; Dispatch is
+// the unmodified-Xen execution path.
+func (h *Hypervisor) Dispatch(ev *ExitEvent, budget uint64) (Result, error) {
+	if ev.Dom < 0 || ev.Dom >= len(h.Domains) {
+		return Result{}, fmt.Errorf("hv: dispatch for unknown domain %d", ev.Dom)
+	}
+	if ev.Reason >= NumExitReasons {
+		return Result{}, fmt.Errorf("hv: dispatch for unknown exit reason %d", ev.Reason)
+	}
+	dom := h.Domains[ev.Dom]
+	c := h.CPU
+
+	// Architectural entry state (the VM-exit trampoline's work).
+	c.Reset()
+	r := &c.Regs
+	r[isa.RIP] = h.entries[ev.Reason]
+	r[isa.RDI], r[isa.RSI], r[isa.RDX], r[isa.R8] = ev.Args[0], ev.Args[1], ev.Args[2], ev.Args[3]
+	r[isa.RBP] = VCPUAddr(dom.VCPU)
+	r[isa.R10] = DomAddr(dom.ID)
+	r[isa.R11] = SharedInfoAddr(dom.ID)
+	r[isa.R12] = GuestBufAddr(dom.ID)
+	r[isa.R13] = ScratchAddr()
+	// Park the guest register frame at the top of the hypervisor stack
+	// (the VM-exit trampoline's saved frame, restored by ret_to_guest).
+	for i := 0; i < GuestFrameWords; i++ {
+		v := h.VCPUWord(dom.VCPU, VCPUSavedRegs+uint64(13+i)*8)
+		if err := h.Mem.Poke(GuestFrameAddr()+uint64(i)*8, v); err != nil {
+			return Result{}, fmt.Errorf("hv: parking guest frame: %w", err)
+		}
+	}
+	r[isa.RSP] = StackTop() - 8
+	retStub := h.retToGuest
+	if ev.Reason.Category() == CatHypercall {
+		retStub = h.retToGuestHC
+	}
+	if err := h.Mem.Write64(r[isa.RSP], retStub); err != nil {
+		return Result{}, fmt.Errorf("hv: pushing return address: %w", err)
+	}
+
+	var res Result
+	remaining := budget
+	for {
+		rr := c.Run(remaining)
+		res.Steps += rr.Steps
+		if remaining <= rr.Steps {
+			remaining = 0
+		} else {
+			remaining -= rr.Steps
+		}
+		if rr.Reason == cpu.StopException && remaining > 0 {
+			if fix, ok := h.Fixups[rr.Exc.PC]; ok {
+				// Benign fault: resume at the fixup with -EFAULT.
+				res.FixedUp++
+				r[isa.RIP] = fix
+				var efault int64 = errEFAULT
+				r[isa.RAX] = uint64(efault)
+				continue
+			}
+		}
+		res.Stop = rr.Reason
+		res.Exc = rr.Exc
+		res.AssertPC = rr.AssertPC
+		break
+	}
+	res.RetVal = r[isa.RAX]
+
+	return res, nil
+}
+
+// Snapshot captures machine memory and the TSC so repeated injection runs
+// can restart from an identical state.
+func (h *Hypervisor) Snapshot() map[string][]uint64 {
+	h.tscSnap = h.CPU.TSC
+	return h.Mem.Snapshot()
+}
+
+// Restore reinstates a Snapshot and resets the CPU's architectural state.
+// Accumulated cycles are preserved: restoration is used both for repeatable
+// injection runs and for live recovery re-execution, whose cost is real.
+func (h *Hypervisor) Restore(snap map[string][]uint64) error {
+	if err := h.Mem.Restore(snap); err != nil {
+		return err
+	}
+	h.CPU.Reset()
+	h.CPU.TSC = h.tscSnap
+	return nil
+}
+
+// VCPUWord reads a word from a VCPU structure (monitoring helper).
+func (h *Hypervisor) VCPUWord(vcpu int, off uint64) uint64 {
+	v, err := h.Mem.Peek(VCPUAddr(vcpu) + off)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// SharedWord reads a word from a domain's shared-info page.
+func (h *Hypervisor) SharedWord(dom int, off uint64) uint64 {
+	v, err := h.Mem.Peek(SharedInfoAddr(dom) + off)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// WriteGuestWords writes values into a domain's guest buffer at the given
+// word offset (the guest preparing hypercall arguments).
+func (h *Hypervisor) WriteGuestWords(dom int, byteOff uint64, vals []uint64) error {
+	base := GuestBufAddr(dom) + byteOff
+	for i, v := range vals {
+		if err := h.Mem.Poke(base+uint64(i)*8, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadGuestWord reads one word from a domain's guest buffer.
+func (h *Hypervisor) ReadGuestWord(dom int, byteOff uint64) uint64 {
+	v, err := h.Mem.Peek(GuestBufAddr(dom) + byteOff)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// SetSavedReg writes a guest saved register (guest state before the exit,
+// e.g. the cpuid leaf in saved rax).
+func (h *Hypervisor) SetSavedReg(vcpu, idx int, val uint64) error {
+	return h.Mem.Poke(VCPUAddr(vcpu)+VCPUSavedRegs+uint64(idx)*8, val)
+}
+
+// SavedReg reads a guest saved register.
+func (h *Hypervisor) SavedReg(vcpu, idx int) uint64 {
+	return h.VCPUWord(vcpu, VCPUSavedRegs+uint64(idx)*8)
+}
+
+// ClearEventPending clears a domain's delivered event state (the guest
+// acknowledging its pending events).
+func (h *Hypervisor) ClearEventPending(dom int) error {
+	d := h.Domains[dom]
+	if err := h.Mem.Poke(EvtchnAddr(dom), 0); err != nil {
+		return err
+	}
+	if err := h.Mem.Poke(SharedInfoAddr(dom)+SIEvtPending, 0); err != nil {
+		return err
+	}
+	return h.Mem.Poke(VCPUAddr(d.VCPU)+VCPUPendingEv, 0)
+}

@@ -1,0 +1,198 @@
+package hv
+
+import (
+	"fmt"
+
+	"xentry/internal/mem"
+)
+
+// Virtual memory layout of the simulated machine. The hypervisor's text,
+// data and stacks live in low memory; each domain gets a shared-info page
+// (time values, event-channel pending bits — the guest-visible surface the
+// paper's long-latency errors corrupt) and a guest buffer region used by
+// copy_from_user/copy_to_user traffic.
+const (
+	// TextBase is where the hypervisor text segment is linked.
+	TextBase = 0x10000
+
+	// HVDataBase is the hypervisor data region (domain/VCPU structures,
+	// event channels, scheduler state, scratch).
+	HVDataBase = 0x100000
+	HVDataSize = 0x10000
+
+	// StackBase is the hypervisor stack (one per physical CPU).
+	StackBase = 0x200000
+	StackSize = 0x2000
+
+	// SharedBase holds one shared-info page per domain.
+	SharedBase     = 0x300000
+	SharedInfoSize = 0x1000
+
+	// GuestBufBase holds one hypercall-argument buffer region per domain.
+	GuestBufBase = 0x400000
+	GuestBufSize = 0x10000
+
+	// MMIOBase is the device MMIO window (APIC ack, console).
+	MMIOBase = 0x600000
+	MMIOSize = 0x1000
+)
+
+// Offsets inside the hypervisor data region.
+const (
+	// VCPU structures: vcpuOff + id*VCPUSize.
+	vcpuOff  = 0x1000
+	VCPUSize = 0x100
+
+	// Domain structures: domOff + id*DomSize.
+	domOff  = 0x4000
+	DomSize = 0x80
+
+	// Event channel pending words, one per domain.
+	evtchnOff = 0x6000
+
+	// Scheduler data (current VCPU pointer, runqueue length, credit).
+	schedOff = 0x7000
+
+	// Timer heap used by do_set_timer_op.
+	timerOff = 0x7800
+
+	// General scratch area handlers may use freely.
+	scratchOff = 0x8000
+	// Shadow page-table scratch used by MMU handlers.
+	ptblOff = 0xA000
+	// Constant pool (xen version numbers, cpuid defaults).
+	constOff = 0xF000
+)
+
+// VCPU structure field offsets (bytes from the VCPU struct base).
+const (
+	VCPUDomID     = 0
+	VCPUID        = 8
+	VCPUIsIdle    = 16
+	VCPUTrapNr    = 24
+	VCPUTrapErr   = 32
+	VCPUEventSel  = 40
+	VCPULastTime  = 48
+	VCPURunstate  = 56
+	VCPUSavedRegs = 64 // 16 words: guest rax..r15 snapshot
+	VCPUPendingEv = 192
+	VCPUTimerDead = 200 // armed timer deadline
+	VCPUDebugreg  = 208 // 4 words of debug registers
+	// VCPURunstateTime is the guest-visible runstate-area timestamp the
+	// runstate helper refreshes from platform time on every accounting
+	// update (Xen's update_runstate_area).
+	VCPURunstateTime = 240
+)
+
+// Domain structure field offsets.
+const (
+	DomIDField     = 0
+	DomNVcpus      = 8
+	DomTotPages    = 16
+	DomMaxPages    = 24
+	DomSharedInfo  = 32
+	DomPrivileged  = 40
+	DomGrantFrames = 48
+	// DomEvtchnWord holds the address of the domain's event-channel
+	// pending word (see EvtchnAddr).
+	DomEvtchnWord = 56
+	// DomCtlCounter counts domctl operations applied to the domain.
+	DomCtlCounter = 64
+)
+
+// Shared-info page field offsets.
+const (
+	SISystemTime  = 0
+	SITSCStamp    = 8
+	SITimeVersion = 16
+	SIEvtPending  = 24
+	SIEvtMask     = 32
+	SIWallclockS  = 40
+	SIWallclockNS = 48
+)
+
+// MaxVCPUs bounds the VCPU table; MaxDomains bounds the domain table.
+const (
+	MaxVCPUs   = 16
+	MaxDomains = 8
+	// MaxEvtchnPorts is the number of event-channel ports per domain
+	// (one pending word's worth).
+	MaxEvtchnPorts = 64
+	// MaxTraps is the highest legal trap vector the trap-table code
+	// accepts (the paper's Listing 1 ASSERT bound).
+	MaxTraps = 19
+)
+
+// VCPUAddr returns the address of VCPU id's structure.
+func VCPUAddr(id int) uint64 { return HVDataBase + vcpuOff + uint64(id)*VCPUSize }
+
+// IdleVCPUID is the VCPU table slot reserved for the idle VCPU.
+const IdleVCPUID = MaxVCPUs - 1
+
+// IdleVCPUAddr returns the idle VCPU's structure address.
+func IdleVCPUAddr() uint64 { return VCPUAddr(IdleVCPUID) }
+
+// vcpuTableStart is the first VCPU structure address (assertion bound).
+func vcpuTableStart() uint64 { return VCPUAddr(0) }
+
+// DomAddr returns the address of domain id's structure.
+func DomAddr(id int) uint64 { return HVDataBase + domOff + uint64(id)*DomSize }
+
+// EvtchnAddr returns the address of domain id's pending word.
+func EvtchnAddr(dom int) uint64 { return HVDataBase + evtchnOff + uint64(dom)*8 }
+
+// SchedAddr returns the scheduler data base address.
+func SchedAddr() uint64 { return HVDataBase + schedOff }
+
+// TimerHeapAddr returns the timer heap base address.
+func TimerHeapAddr() uint64 { return HVDataBase + timerOff }
+
+// ScratchAddr returns the scratch area base address.
+func ScratchAddr() uint64 { return HVDataBase + scratchOff }
+
+// PageTableAddr returns the shadow page-table scratch base.
+func PageTableAddr() uint64 { return HVDataBase + ptblOff }
+
+// ConstPoolAddr returns the constant pool base.
+func ConstPoolAddr() uint64 { return HVDataBase + constOff }
+
+// SharedInfoAddr returns the address of domain id's shared-info page.
+func SharedInfoAddr(dom int) uint64 { return SharedBase + uint64(dom)*SharedInfoSize }
+
+// GuestBufAddr returns the base of domain id's guest buffer region.
+func GuestBufAddr(dom int) uint64 { return GuestBufBase + uint64(dom)*GuestBufSize }
+
+// MapMachineMemory installs the full memory layout for a machine with the
+// given number of domains into m.
+func MapMachineMemory(m *mem.Memory, domains int) error {
+	if domains < 1 || domains > MaxDomains {
+		return fmt.Errorf("hv: %d domains out of range [1,%d]", domains, MaxDomains)
+	}
+	if _, err := m.Map("hv_data", HVDataBase, HVDataSize, mem.PermRW); err != nil {
+		return err
+	}
+	if _, err := m.Map("hv_stack", StackBase, StackSize, mem.PermRW); err != nil {
+		return err
+	}
+	if _, err := m.Map("shared_info", SharedBase, uint64(domains)*SharedInfoSize, mem.PermRW); err != nil {
+		return err
+	}
+	if _, err := m.Map("guest_buf", GuestBufBase, uint64(domains)*GuestBufSize, mem.PermRW); err != nil {
+		return err
+	}
+	if _, err := m.Map("mmio", MMIOBase, MMIOSize, mem.PermRW); err != nil {
+		return err
+	}
+	return nil
+}
+
+// GuestFrameWords is the number of guest registers the VM-exit trampoline
+// parks at the top of the hypervisor stack (restored by ret_to_guest).
+const GuestFrameWords = 3
+
+// GuestFrameAddr is the address of the parked guest frame.
+func GuestFrameAddr() uint64 { return StackBase + StackSize - GuestFrameWords*8 }
+
+// StackTop returns the initial RSP for hypervisor executions: below the
+// parked guest frame.
+func StackTop() uint64 { return GuestFrameAddr() }

@@ -1,0 +1,277 @@
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"xentry/internal/core"
+	"xentry/internal/guest"
+	"xentry/internal/ml"
+	"xentry/internal/sim"
+	"xentry/internal/workload"
+)
+
+// CampaignConfig describes a full injection campaign (the paper runs
+// 30,000 injections across six benchmarks).
+type CampaignConfig struct {
+	// Benchmarks to inject under (defaults to all six).
+	Benchmarks []string
+	// Mode is the virtualization mode (the paper's setup is PV).
+	Mode workload.Mode
+	// InjectionsPerBenchmark is the number of faults per benchmark.
+	InjectionsPerBenchmark int
+	// Activations is the workload length of each run.
+	Activations int
+	// Seed drives plan generation and the workload streams.
+	Seed int64
+	// Workers bounds campaign parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Detection is the Xentry configuration under test.
+	Detection core.Options
+	// Model is the trained transition-detection model (may be nil).
+	Model *ml.Tree
+	// Recover enables live recovery (paper Section VI) on every run.
+	Recover bool
+}
+
+// DefaultCampaign returns a campaign sized down from the paper's 30,000
+// injections to run quickly while keeping per-benchmark statistics stable.
+func DefaultCampaign(injectionsPerBenchmark int, seed int64) CampaignConfig {
+	return CampaignConfig{
+		Benchmarks:             workload.Names(),
+		Mode:                   workload.PV,
+		InjectionsPerBenchmark: injectionsPerBenchmark,
+		Activations:            160,
+		Seed:                   seed,
+		Detection:              core.FullDetection(),
+	}
+}
+
+// ConsequenceTally counts faults of one consequence class and how many of
+// them were detected.
+type ConsequenceTally struct {
+	Total    int
+	Detected int
+}
+
+// Tally aggregates injection outcomes.
+type Tally struct {
+	Injections   int
+	NonActivated int
+	// Benign: activated but architecturally masked (no visible outcome).
+	Benign int
+	// Manifested: caused a failure or data corruption.
+	Manifested int
+	// DetectedBy counts manifested faults per detecting technique.
+	DetectedBy map[core.Technique]int
+	// Undetected counts manifested faults no technique flagged.
+	Undetected int
+	// ByConsequence breaks manifested faults down by outcome class.
+	ByConsequence map[guest.Consequence]*ConsequenceTally
+	// ByCause breaks undetected manifested faults down per Table II.
+	ByCause map[Cause]int
+	// LongLatency counts manifested faults that crossed VM entry, and how
+	// many of those were detected.
+	LongLatency         int
+	LongLatencyDetected int
+	// Latencies collects detection latencies (instructions) per technique.
+	Latencies map[core.Technique][]uint64
+	Hangs     int
+	// FalsePositives counts non-manifested runs flagged by the transition
+	// detector.
+	FalsePositives int
+	// Recovered counts runs in which a detection triggered live recovery;
+	// RecoveredClean counts those whose final outcome matched the golden
+	// run (recovery succeeded).
+	Recovered      int
+	RecoveredClean int
+}
+
+// NewTally returns an empty tally.
+func NewTally() *Tally {
+	return &Tally{
+		DetectedBy:    map[core.Technique]int{},
+		ByConsequence: map[guest.Consequence]*ConsequenceTally{},
+		ByCause:       map[Cause]int{},
+		Latencies:     map[core.Technique][]uint64{},
+	}
+}
+
+// Add folds one outcome into the tally.
+func (t *Tally) Add(o Outcome) {
+	t.Injections++
+	if o.Hang {
+		t.Hangs++
+	}
+	if o.Recovered {
+		t.Recovered++
+		if !o.Manifested {
+			t.RecoveredClean++
+		}
+	}
+	if !o.Activated && !o.Manifested {
+		t.NonActivated++
+		return
+	}
+	if !o.Manifested {
+		if o.Detected == core.TechVMTransition {
+			t.FalsePositives++
+		}
+		t.Benign++
+		return
+	}
+	t.Manifested++
+	ct := t.ByConsequence[o.Consequence]
+	if ct == nil {
+		ct = &ConsequenceTally{}
+		t.ByConsequence[o.Consequence] = ct
+	}
+	ct.Total++
+	if o.Detected != core.TechNone {
+		t.DetectedBy[o.Detected]++
+		t.Latencies[o.Detected] = append(t.Latencies[o.Detected], o.Latency)
+		ct.Detected++
+	} else {
+		t.Undetected++
+		t.ByCause[o.Cause]++
+	}
+	if o.LongLatency {
+		t.LongLatency++
+		if o.Detected != core.TechNone {
+			t.LongLatencyDetected++
+		}
+	}
+}
+
+// Merge folds another tally into this one.
+func (t *Tally) Merge(other *Tally) {
+	t.Injections += other.Injections
+	t.NonActivated += other.NonActivated
+	t.Benign += other.Benign
+	t.Manifested += other.Manifested
+	t.Undetected += other.Undetected
+	t.LongLatency += other.LongLatency
+	t.LongLatencyDetected += other.LongLatencyDetected
+	t.Hangs += other.Hangs
+	t.FalsePositives += other.FalsePositives
+	t.Recovered += other.Recovered
+	t.RecoveredClean += other.RecoveredClean
+	for k, v := range other.DetectedBy {
+		t.DetectedBy[k] += v
+	}
+	for k, v := range other.ByCause {
+		t.ByCause[k] += v
+	}
+	for k, v := range other.ByConsequence {
+		ct := t.ByConsequence[k]
+		if ct == nil {
+			ct = &ConsequenceTally{}
+			t.ByConsequence[k] = ct
+		}
+		ct.Total += v.Total
+		ct.Detected += v.Detected
+	}
+	for k, v := range other.Latencies {
+		t.Latencies[k] = append(t.Latencies[k], v...)
+	}
+}
+
+// Coverage is detected/manifested — the paper's headline metric.
+func (t *Tally) Coverage() float64 {
+	if t.Manifested == 0 {
+		return 0
+	}
+	detected := t.Manifested - t.Undetected
+	return float64(detected) / float64(t.Manifested)
+}
+
+// TechniqueShare is the fraction of manifested faults a technique caught.
+func (t *Tally) TechniqueShare(tech core.Technique) float64 {
+	if t.Manifested == 0 {
+		return 0
+	}
+	return float64(t.DetectedBy[tech]) / float64(t.Manifested)
+}
+
+// CampaignResult is the aggregated output of a campaign.
+type CampaignResult struct {
+	PerBenchmark map[string]*Tally
+	Total        *Tally
+}
+
+// RunCampaign executes the campaign with a worker pool (one independent
+// simulated machine per run, so parallelism is trivially safe) and returns
+// deterministic aggregates: plans are pre-generated from the seed and
+// results are folded in plan order.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	if len(cfg.Benchmarks) == 0 {
+		cfg.Benchmarks = workload.Names()
+	}
+	if cfg.Activations == 0 {
+		cfg.Activations = 160
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	result := &CampaignResult{
+		PerBenchmark: map[string]*Tally{},
+		Total:        NewTally(),
+	}
+	for bi, bench := range cfg.Benchmarks {
+		simCfg := sim.Config{
+			Benchmark: bench,
+			Mode:      cfg.Mode,
+			Domains:   3,
+			Seed:      cfg.Seed + int64(bi)*7919,
+			Detection: cfg.Detection,
+		}
+		runner, err := NewRunner(simCfg, cfg.Activations, cfg.Model)
+		if err != nil {
+			return nil, fmt.Errorf("inject: golden run for %s: %w", bench, err)
+		}
+		runner.Recover = cfg.Recover
+		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(bi+1)*104729))
+		plans := make([]Plan, cfg.InjectionsPerBenchmark)
+		for i := range plans {
+			plans[i] = runner.RandomPlan(rng)
+		}
+
+		outcomes := make([]Outcome, len(plans))
+		errs := make([]error, len(plans))
+		var wg sync.WaitGroup
+		next := make(chan int, len(plans))
+		for i := range plans {
+			next <- i
+		}
+		close(next)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					outcomes[i], errs[i] = runner.RunOne(plans[i])
+				}
+			}()
+		}
+		wg.Wait()
+		for i := range errs {
+			if errs[i] != nil {
+				return nil, fmt.Errorf("inject: %s plan %v: %w", bench, plans[i], errs[i])
+			}
+		}
+		tally := NewTally()
+		for _, o := range outcomes {
+			tally.Add(o)
+		}
+		result.PerBenchmark[bench] = tally
+		result.Total.Merge(tally)
+	}
+	for _, latencies := range result.Total.Latencies {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	}
+	return result, nil
+}

@@ -1,0 +1,139 @@
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"xentry/internal/core"
+	"xentry/internal/ml"
+	"xentry/internal/sim"
+	"xentry/internal/workload"
+)
+
+// DatasetConfig controls training/testing data collection (paper §III-B:
+// ~23,400 injections and fault-free runs produced 12,024 training samples;
+// a further ~17,700 produced 6,596 testing samples).
+type DatasetConfig struct {
+	// Benchmarks contributing samples (defaults to all six).
+	Benchmarks []string
+	// Mode is the virtualization mode.
+	Mode workload.Mode
+	// FaultFreeRuns is the number of differently seeded fault-free runs
+	// per benchmark; every activation contributes a correct sample.
+	FaultFreeRuns int
+	// Activations is the length of each run.
+	Activations int
+	// InjectionsPerBenchmark is the number of fault-injection runs per
+	// benchmark; runs whose signature diverges contribute an incorrect
+	// sample.
+	InjectionsPerBenchmark int
+	// Seed drives everything.
+	Seed int64
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultDatasetConfig sizes collection for a quick but representative
+// dataset.
+func DefaultDatasetConfig(seed int64) DatasetConfig {
+	return DatasetConfig{
+		Benchmarks:             workload.Names(),
+		Mode:                   workload.PV,
+		FaultFreeRuns:          4,
+		Activations:            160,
+		InjectionsPerBenchmark: 400,
+		Seed:                   seed,
+	}
+}
+
+// CollectDataset gathers a labelled dataset: fault-free activations are
+// correct samples; injection runs whose injected activation completed VM
+// entry with a diverged counter signature are incorrect samples. Pure data
+// corruptions with golden-identical signatures are excluded — they are not
+// incorrect *control flow*, and the transition detector by construction
+// cannot see them (they form Table II's undetected classes instead).
+func CollectDataset(cfg DatasetConfig) (ml.Dataset, error) {
+	if len(cfg.Benchmarks) == 0 {
+		cfg.Benchmarks = workload.Names()
+	}
+	if cfg.Activations == 0 {
+		cfg.Activations = 160
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var dataset ml.Dataset
+
+	for bi, bench := range cfg.Benchmarks {
+		// Correct samples from fault-free runs.
+		for run := 0; run < cfg.FaultFreeRuns; run++ {
+			simCfg := sim.Config{
+				Benchmark: bench,
+				Mode:      cfg.Mode,
+				Domains:   3,
+				Seed:      cfg.Seed + int64(bi)*1543 + int64(run)*389,
+				Detection: core.FullDetection(),
+			}
+			acts, err := sim.GoldenRun(simCfg, cfg.Activations)
+			if err != nil {
+				return nil, fmt.Errorf("inject: dataset golden run: %w", err)
+			}
+			for _, a := range acts {
+				if a.Outcome.HasFeatures {
+					dataset = append(dataset, ml.Sample{Features: a.Outcome.Features, Correct: true})
+				}
+			}
+		}
+
+		// Incorrect samples from injections (no model installed — this is
+		// the data the model will be trained on).
+		simCfg := sim.Config{
+			Benchmark: bench,
+			Mode:      cfg.Mode,
+			Domains:   3,
+			Seed:      cfg.Seed + int64(bi)*1543,
+			Detection: core.FullDetection(),
+		}
+		runner, err := NewRunner(simCfg, cfg.Activations, nil)
+		if err != nil {
+			return nil, fmt.Errorf("inject: dataset runner: %w", err)
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(bi+3)*6151))
+		plans := make([]Plan, cfg.InjectionsPerBenchmark)
+		for i := range plans {
+			plans[i] = runner.RandomPlan(rng)
+		}
+		outcomes := make([]Outcome, len(plans))
+		errs := make([]error, len(plans))
+		var wg sync.WaitGroup
+		next := make(chan int, len(plans))
+		for i := range plans {
+			next <- i
+		}
+		close(next)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					outcomes[i], errs[i] = runner.RunOne(plans[i])
+				}
+			}()
+		}
+		wg.Wait()
+		for i := range errs {
+			if errs[i] != nil {
+				return nil, fmt.Errorf("inject: dataset injection: %w", errs[i])
+			}
+		}
+		for _, o := range outcomes {
+			if o.HasFeatures && o.FeaturesDiffer {
+				dataset = append(dataset, ml.Sample{Features: o.Features, Correct: false})
+			}
+		}
+	}
+	return dataset, nil
+}

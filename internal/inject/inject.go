@@ -1,0 +1,381 @@
+// Package inject implements the fault-injection methodology of the paper's
+// evaluation (Section V): single bit-flips in the architectural register
+// state (general-purpose registers, instruction and stack pointers, flags)
+// at random dynamic points of host-mode execution, one fault per run,
+// golden-run differential outcome classification, detection attribution
+// per technique, detection-latency measurement, and the undetected-fault
+// cause taxonomy of Table II.
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xentry/internal/core"
+	"xentry/internal/cpu"
+	"xentry/internal/guest"
+	"xentry/internal/isa"
+	"xentry/internal/ml"
+	"xentry/internal/sim"
+)
+
+// Plan is one injection: flip one bit of one register at one dynamic
+// instruction of one hypervisor activation.
+type Plan struct {
+	Activation int
+	Step       uint64
+	Reg        isa.Reg
+	Bit        uint8
+}
+
+// String formats the plan.
+func (p Plan) String() string {
+	return fmt.Sprintf("act=%d step=%d reg=%v bit=%d", p.Activation, p.Step, p.Reg, p.Bit)
+}
+
+// Cause classifies why a manifested fault went undetected (paper Table II).
+type Cause int
+
+// Undetected-fault causes.
+const (
+	// CauseNone: the fault was detected (or never manifested).
+	CauseNone Cause = iota
+	// CauseMisclassified: the counter signature differed from the golden
+	// run but the transition model classified it as correct.
+	CauseMisclassified
+	// CauseStackValue: the corrupted value moved through stack traffic
+	// without altering control flow.
+	CauseStackValue
+	// CauseTimeValue: a corrupted time value was delivered to the guest
+	// (the paper's dominant class, 53%).
+	CauseTimeValue
+	// CauseOtherValue: other pure data corruption.
+	CauseOtherValue
+)
+
+// String names the cause.
+func (c Cause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseMisclassified:
+		return "misclassified"
+	case CauseStackValue:
+		return "stack-values"
+	case CauseTimeValue:
+		return "time-values"
+	case CauseOtherValue:
+		return "other-values"
+	}
+	return fmt.Sprintf("cause(%d)", int(c))
+}
+
+// Outcome is the full result of one injection run.
+type Outcome struct {
+	Plan Plan
+	// Recovered: a positive detection triggered the live recovery
+	// mechanism (restore + re-execute); whether it worked shows in
+	// Manifested/Consequence.
+	Recovered bool
+	// Activated: the flipped value was consumed before being overwritten.
+	Activated bool
+	// Manifested: the run's outcome differed from the golden run (any
+	// failure or data corruption).
+	Manifested bool
+	// Detected is the first technique that flagged the fault.
+	Detected core.Technique
+	// DetectedAt is the activation index of the detection (-1 if none).
+	DetectedAt int
+	// Latency is the instruction count from activation (first consume) to
+	// detection.
+	Latency uint64
+	// LongLatency: the fault crossed a VM entry before manifesting
+	// (paper Section II-A, Path 2).
+	LongLatency bool
+	// Consequence is the golden-run-differential outcome class.
+	Consequence guest.Consequence
+	// DiffKind is the first guest-visible value class that diverged.
+	DiffKind guest.DiffKind
+	// Hang: the injected activation exhausted the watchdog budget.
+	Hang bool
+	// Symbol is the handler the fault was injected into.
+	Symbol string
+	// FeaturesDiffer: the injected activation's counter signature differed
+	// from the golden run's (i.e. the transition detector had signal).
+	FeaturesDiffer bool
+	// Cause attributes undetected manifested faults (Table II).
+	Cause Cause
+	// Features is the injected activation's signature when it reached VM
+	// entry (training-data source).
+	Features    [ml.NumFeatures]uint64
+	HasFeatures bool
+}
+
+// Runner replays a fixed workload configuration and injects faults into it.
+type Runner struct {
+	Cfg         sim.Config
+	Activations int
+	Model       *ml.Tree
+	Golden      []sim.Activation
+	// Recover enables the paper's Section VI recovery mechanism on the
+	// injected machines: snapshot at VM exit, restore and re-execute on
+	// positive detection.
+	Recover bool
+}
+
+// NewRunner computes the golden run for the configuration. The golden run
+// uses the same detection options but no transition model, so it cannot be
+// perturbed by false positives.
+func NewRunner(cfg sim.Config, activations int, model *ml.Tree) (*Runner, error) {
+	golden, err := sim.GoldenRun(cfg, activations)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{Cfg: cfg, Activations: activations, Model: model, Golden: golden}, nil
+}
+
+// RandomPlan draws an injection plan uniformly over the golden run's
+// host-mode dynamic instructions and the architectural register state.
+func (r *Runner) RandomPlan(rng *rand.Rand) Plan {
+	a := rng.Intn(r.Activations)
+	steps := r.Golden[a].Outcome.Result.Steps
+	if steps == 0 {
+		steps = 1
+	}
+	// Register choice: 16 GPRs + RIP + RFLAGS, uniform.
+	regChoice := rng.Intn(isa.NumGPR + 2)
+	reg := isa.Reg(regChoice)
+	switch regChoice {
+	case isa.NumGPR:
+		reg = isa.RIP
+	case isa.NumGPR + 1:
+		reg = isa.RFLAGS
+	}
+	return Plan{
+		Activation: a,
+		Step:       uint64(rng.Int63n(int64(steps))),
+		Reg:        reg,
+		Bit:        uint8(rng.Intn(64)),
+	}
+}
+
+// timeSymbols are the routines whose RAX/RDX values carry platform time.
+var timeSymbols = map[string]bool{
+	"read_platform_time": true,
+	"do_apic_timer":      true,
+	"do_softirq":         true,
+	"do_set_timer_op":    true,
+	"update_runstate":    true,
+}
+
+// stackSymbols are the routines that move guest state through the
+// hypervisor stack frame.
+var stackSymbols = map[string]bool{
+	"ret_to_guest":           true,
+	"ret_to_guest_hypercall": true,
+}
+
+// stackOps are the consumers that route a corrupted value through the stack.
+func isStackConsumer(op isa.Op) bool {
+	switch op {
+	case isa.OpPush, isa.OpPop, isa.OpCall, isa.OpRet:
+		return true
+	}
+	return false
+}
+
+// RunOne executes one injection run and classifies its outcome.
+func (r *Runner) RunOne(plan Plan) (Outcome, error) {
+	if plan.Activation < 0 || plan.Activation >= r.Activations {
+		return Outcome{}, fmt.Errorf("inject: plan activation %d out of range", plan.Activation)
+	}
+	m, err := sim.NewMachine(r.Cfg)
+	if err != nil {
+		return Outcome{}, err
+	}
+	m.SetModel(r.Model)
+	m.RecoverOnDetection = r.Recover
+	c := m.HV.CPU
+
+	// Replay the fault-free prefix.
+	for i := 0; i < plan.Activation; i++ {
+		if _, err := m.Step(); err != nil {
+			return Outcome{}, fmt.Errorf("inject: prefix replay: %w", err)
+		}
+	}
+
+	o := Outcome{Plan: plan, DetectedAt: -1}
+	var (
+		injected      bool
+		activatedStep uint64
+		consumerOp    isa.Op
+		haveConsumer  bool
+		overwritten   bool
+	)
+	c.PreStep = func(step, pc uint64) {
+		if !injected {
+			if step >= plan.Step {
+				injected = true
+				activatedStep = step
+				c.Regs[plan.Reg] ^= 1 << plan.Bit
+				o.Symbol = m.HV.SymbolFor(pc)
+				if plan.Reg == isa.RIP {
+					// A flipped instruction pointer is consumed by the very
+					// next fetch.
+					o.Activated = true
+				}
+			}
+			return
+		}
+		if o.Activated || overwritten {
+			return
+		}
+		in, ok := m.HV.Seg.InstrAt(pc)
+		if !ok {
+			// Fetch about to fault; control flow already diverged.
+			o.Activated = true
+			activatedStep = step
+			return
+		}
+		if in.ReadsReg(plan.Reg) {
+			o.Activated = true
+			activatedStep = step
+			consumerOp = in.Op
+			haveConsumer = true
+			return
+		}
+		if in.WritesReg(plan.Reg) {
+			overwritten = true
+		}
+	}
+	act, err := m.Step()
+	c.PreStep = nil
+	if err != nil {
+		return Outcome{}, fmt.Errorf("inject: injected activation: %w", err)
+	}
+	res := act.Outcome.Result
+
+	// Host-mode failure before VM entry: a short-latency error.
+	if res.Stop != cpu.StopVMEntry {
+		o.Hang = act.Outcome.Hang
+		o.Detected = act.Outcome.Technique
+		if o.Detected != core.TechNone {
+			o.DetectedAt = plan.Activation
+			o.Latency = sub(res.Steps, activatedStep)
+		}
+		o.Consequence = guest.AllVMFailure
+		o.DiffKind = guest.DiffNone
+		o.Manifested = true
+		o.Cause = r.undetectedCause(&o, haveConsumer, consumerOp)
+		return o, nil
+	}
+
+	// The execution crossed VM entry. Record the transition verdict and
+	// the signature.
+	o.Features = act.Outcome.Features
+	o.HasFeatures = act.Outcome.HasFeatures
+	o.FeaturesDiffer = act.Outcome.HasFeatures &&
+		act.Outcome.Features != r.Golden[plan.Activation].Outcome.Features
+	latencyBase := sub(res.Steps, activatedStep)
+	if act.Recovered {
+		// The detection fired and the activation was re-executed from the
+		// snapshot; the rest of the run shows whether recovery worked.
+		o.Detected = act.FirstDetection
+		o.DetectedAt = plan.Activation
+		o.Recovered = true
+	}
+	if o.Detected == core.TechNone && act.Outcome.Technique == core.TechVMTransition {
+		o.Detected = core.TechVMTransition
+		o.DetectedAt = plan.Activation
+		o.Latency = latencyBase
+	}
+
+	// Run the rest of the workload, comparing guest-visible state against
+	// the golden stream and watching for late detections from corrupted
+	// hypervisor state.
+	records := []guest.Record{act.Record}
+	truncated := false
+	runningLatency := latencyBase
+	for i := plan.Activation + 1; i < r.Activations; i++ {
+		act2, err := m.Step()
+		if err != nil {
+			return Outcome{}, fmt.Errorf("inject: suffix replay: %w", err)
+		}
+		if act2.Outcome.Result.Stop != cpu.StopVMEntry {
+			if o.Detected == core.TechNone && act2.Outcome.Technique != core.TechNone {
+				o.Detected = act2.Outcome.Technique
+				o.DetectedAt = i
+				o.Latency = runningLatency + act2.Outcome.Result.Steps
+			}
+			truncated = true
+			break
+		}
+		if o.Detected == core.TechNone && act2.Recovered {
+			o.Detected = act2.FirstDetection
+			o.DetectedAt = i
+			o.Recovered = true
+		}
+		if o.Detected == core.TechNone && act2.Outcome.Technique == core.TechVMTransition {
+			o.Detected = core.TechVMTransition
+			o.DetectedAt = i
+			o.Latency = runningLatency + act2.Outcome.Result.Steps
+		}
+		runningLatency += act2.Outcome.Result.Steps
+		records = append(records, act2.Record)
+	}
+
+	// Golden-differential consequence classification.
+	worst := guest.Benign
+	worstKind := guest.DiffNone
+	for i, rec := range records {
+		g := r.Golden[plan.Activation+i]
+		cons, kind := guest.ClassifyRecord(g.Record, rec, g.Ev.Dom == 0)
+		if cons > worst {
+			worst = cons
+			worstKind = kind
+		}
+	}
+	if truncated {
+		worst = guest.AllVMFailure
+	}
+	o.Consequence = worst
+	o.DiffKind = worstKind
+	o.Manifested = worst != guest.Benign
+	o.LongLatency = o.Manifested
+	o.Cause = r.undetectedCause(&o, haveConsumer, consumerOp)
+	return o, nil
+}
+
+// undetectedCause attributes an undetected manifested fault to a Table II
+// class.
+func (r *Runner) undetectedCause(o *Outcome, haveConsumer bool, consumerOp isa.Op) Cause {
+	if !o.Manifested || o.Detected != core.TechNone {
+		return CauseNone
+	}
+	if o.FeaturesDiffer {
+		return CauseMisclassified
+	}
+	if o.DiffKind == guest.DiffTime ||
+		(timeSymbols[o.Symbol] && (o.Plan.Reg == isa.RAX || o.Plan.Reg == isa.RDX)) {
+		return CauseTimeValue
+	}
+	// A corrupted return value is plain data corruption even when the flip
+	// lands in the return path.
+	if o.DiffKind == guest.DiffRetVal {
+		return CauseOtherValue
+	}
+	if stackSymbols[o.Symbol] || o.Plan.Reg == isa.RSP ||
+		(haveConsumer && isStackConsumer(consumerOp)) {
+		return CauseStackValue
+	}
+	return CauseOtherValue
+}
+
+// sub is a saturating subtraction (injection accounting never goes
+// negative even when the stop point precedes the nominal injection step).
+func sub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}

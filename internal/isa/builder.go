@@ -1,0 +1,371 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Fixup marks an instruction as protected by an exception-fixup entry, the
+// mechanism Xen uses for copy_from_user/copy_to_user: a fault raised by the
+// protected instruction resumes at the fixup target (an error-return path)
+// instead of being fatal. Both fields are instruction indices pre-link.
+type Fixup struct {
+	Idx    int
+	Target int
+}
+
+// Program is an assembled routine: a named sequence of instructions with
+// label-resolved local branches and (until linked) symbolic cross-program
+// call targets.
+type Program struct {
+	Name   string
+	Instrs []Instr
+	Fixups []Fixup
+	// Base is the virtual address the program was linked at (0 until
+	// Link is called by the loader).
+	Base uint64
+}
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.Instrs) }
+
+// Size returns the encoded size in bytes.
+func (p *Program) Size() uint64 { return uint64(len(p.Instrs)) * InstrBytes }
+
+// AddrOf returns the virtual address of instruction index i after linking.
+func (p *Program) AddrOf(i int) uint64 { return p.Base + uint64(i)*InstrBytes }
+
+// Link assigns the program a base address and rewrites all control-flow
+// operands to absolute virtual addresses. Local branch targets (label
+// indices left in Imm by the Builder) become base-relative addresses;
+// symbolic targets are resolved through symtab, which maps program names to
+// their linked entry addresses.
+func (p *Program) Link(base uint64, symtab map[string]uint64) error {
+	p.Base = base
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		switch in.Op {
+		case OpJmp, OpJe, OpJne, OpJl, OpJle, OpJg, OpJge, OpJb, OpJae,
+			OpJs, OpJns, OpLoop, OpCall:
+			if in.Sym != "" {
+				addr, ok := symtab[in.Sym]
+				if !ok {
+					return fmt.Errorf("isa: %s+%d: undefined symbol %q", p.Name, i, in.Sym)
+				}
+				in.Imm = int64(addr)
+				in.Sym = ""
+				continue
+			}
+			idx := in.Imm
+			if idx < 0 || idx > int64(len(p.Instrs)) {
+				return fmt.Errorf("isa: %s+%d: branch target index %d out of range", p.Name, i, idx)
+			}
+			in.Imm = int64(base + uint64(idx)*InstrBytes)
+		}
+	}
+	return nil
+}
+
+// Builder assembles a Program. Branch targets are written against labels
+// which may be defined before or after their use; Build resolves them to
+// instruction indices (Link later converts indices to absolute addresses).
+type Builder struct {
+	name     string
+	instrs   []Instr
+	labels   map[string]int
+	fixups   map[int]string // instruction index -> branch target label
+	protects map[int]string // instruction index -> fixup target label
+	err      error
+}
+
+// NewBuilder starts assembling a program with the given (symbol) name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:     name,
+		labels:   make(map[string]int),
+		fixups:   make(map[int]string),
+		protects: make(map[int]string),
+	}
+}
+
+// Protect marks the *next* emitted instruction as covered by an exception
+// fixup: a fault it raises resumes at the given label instead of being
+// fatal (Xen's __copy_from_user exception-table idiom).
+func (b *Builder) Protect(fixupLabel string) *Builder {
+	b.protects[len(b.instrs)] = fixupLabel
+	return b
+}
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup && b.err == nil {
+		b.err = fmt.Errorf("isa: duplicate label %q in %s", name, b.name)
+	}
+	b.labels[name] = len(b.instrs)
+	return b
+}
+
+func (b *Builder) emit(in Instr) *Builder {
+	b.instrs = append(b.instrs, in)
+	return b
+}
+
+func (b *Builder) emitBranch(op Op, label string) *Builder {
+	b.fixups[len(b.instrs)] = label
+	return b.emit(Instr{Op: op})
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(Instr{Op: OpNop}) }
+
+// Hlt emits a halt.
+func (b *Builder) Hlt() *Builder { return b.emit(Instr{Op: OpHlt}) }
+
+// MovImm emits dst = imm.
+func (b *Builder) MovImm(dst Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpMovImm, Dst: dst, Imm: imm})
+}
+
+// Mov emits dst = src.
+func (b *Builder) Mov(dst, src Reg) *Builder {
+	return b.emit(Instr{Op: OpMov, Dst: dst, Src: src})
+}
+
+// Add emits dst += src.
+func (b *Builder) Add(dst, src Reg) *Builder { return b.emit(Instr{Op: OpAdd, Dst: dst, Src: src}) }
+
+// Sub emits dst -= src.
+func (b *Builder) Sub(dst, src Reg) *Builder { return b.emit(Instr{Op: OpSub, Dst: dst, Src: src}) }
+
+// And emits dst &= src.
+func (b *Builder) And(dst, src Reg) *Builder { return b.emit(Instr{Op: OpAnd, Dst: dst, Src: src}) }
+
+// Or emits dst |= src.
+func (b *Builder) Or(dst, src Reg) *Builder { return b.emit(Instr{Op: OpOr, Dst: dst, Src: src}) }
+
+// Xor emits dst ^= src.
+func (b *Builder) Xor(dst, src Reg) *Builder { return b.emit(Instr{Op: OpXor, Dst: dst, Src: src}) }
+
+// Shl emits dst <<= src (amount masked to 63).
+func (b *Builder) Shl(dst, src Reg) *Builder { return b.emit(Instr{Op: OpShl, Dst: dst, Src: src}) }
+
+// Shr emits dst >>= src (amount masked to 63).
+func (b *Builder) Shr(dst, src Reg) *Builder { return b.emit(Instr{Op: OpShr, Dst: dst, Src: src}) }
+
+// Mul emits dst *= src.
+func (b *Builder) Mul(dst, src Reg) *Builder { return b.emit(Instr{Op: OpMul, Dst: dst, Src: src}) }
+
+// Div emits dst /= src (unsigned); raises #DE when src is zero.
+func (b *Builder) Div(dst, src Reg) *Builder { return b.emit(Instr{Op: OpDiv, Dst: dst, Src: src}) }
+
+// AddImm emits dst += imm.
+func (b *Builder) AddImm(dst Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpAddImm, Dst: dst, Imm: imm})
+}
+
+// SubImm emits dst -= imm.
+func (b *Builder) SubImm(dst Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpSubImm, Dst: dst, Imm: imm})
+}
+
+// AndImm emits dst &= imm.
+func (b *Builder) AndImm(dst Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpAndImm, Dst: dst, Imm: imm})
+}
+
+// OrImm emits dst |= imm.
+func (b *Builder) OrImm(dst Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpOrImm, Dst: dst, Imm: imm})
+}
+
+// XorImm emits dst ^= imm.
+func (b *Builder) XorImm(dst Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpXorImm, Dst: dst, Imm: imm})
+}
+
+// ShlImm emits dst <<= imm.
+func (b *Builder) ShlImm(dst Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpShlImm, Dst: dst, Imm: imm})
+}
+
+// ShrImm emits dst >>= imm.
+func (b *Builder) ShrImm(dst Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpShrImm, Dst: dst, Imm: imm})
+}
+
+// Cmp emits flags = compare(dst, src).
+func (b *Builder) Cmp(dst, src Reg) *Builder { return b.emit(Instr{Op: OpCmp, Dst: dst, Src: src}) }
+
+// CmpImm emits flags = compare(dst, imm).
+func (b *Builder) CmpImm(dst Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpCmpImm, Dst: dst, Imm: imm})
+}
+
+// Test emits flags from dst & src.
+func (b *Builder) Test(dst, src Reg) *Builder {
+	return b.emit(Instr{Op: OpTest, Dst: dst, Src: src})
+}
+
+// TestImm emits flags from dst & imm.
+func (b *Builder) TestImm(dst Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpTestImm, Dst: dst, Imm: imm})
+}
+
+// Jmp emits an unconditional branch to label.
+func (b *Builder) Jmp(label string) *Builder { return b.emitBranch(OpJmp, label) }
+
+// JmpReg emits an indirect branch through reg.
+func (b *Builder) JmpReg(reg Reg) *Builder { return b.emit(Instr{Op: OpJmpReg, Dst: reg}) }
+
+// Je emits a branch taken when ZF=1.
+func (b *Builder) Je(label string) *Builder { return b.emitBranch(OpJe, label) }
+
+// Jne emits a branch taken when ZF=0.
+func (b *Builder) Jne(label string) *Builder { return b.emitBranch(OpJne, label) }
+
+// Jl emits a signed less-than branch.
+func (b *Builder) Jl(label string) *Builder { return b.emitBranch(OpJl, label) }
+
+// Jle emits a signed less-or-equal branch.
+func (b *Builder) Jle(label string) *Builder { return b.emitBranch(OpJle, label) }
+
+// Jg emits a signed greater-than branch.
+func (b *Builder) Jg(label string) *Builder { return b.emitBranch(OpJg, label) }
+
+// Jge emits a signed greater-or-equal branch.
+func (b *Builder) Jge(label string) *Builder { return b.emitBranch(OpJge, label) }
+
+// Jb emits an unsigned below branch (CF=1).
+func (b *Builder) Jb(label string) *Builder { return b.emitBranch(OpJb, label) }
+
+// Jae emits an unsigned above-or-equal branch (CF=0).
+func (b *Builder) Jae(label string) *Builder { return b.emitBranch(OpJae, label) }
+
+// Js emits a branch taken when SF=1.
+func (b *Builder) Js(label string) *Builder { return b.emitBranch(OpJs, label) }
+
+// Jns emits a branch taken when SF=0.
+func (b *Builder) Jns(label string) *Builder { return b.emitBranch(OpJns, label) }
+
+// Loop emits dec rcx; branch to label while rcx != 0.
+func (b *Builder) Loop(label string) *Builder { return b.emitBranch(OpLoop, label) }
+
+// Call emits a local call to label.
+func (b *Builder) Call(label string) *Builder { return b.emitBranch(OpCall, label) }
+
+// CallSym emits a cross-program call to the named symbol, resolved at link
+// time by the loader.
+func (b *Builder) CallSym(symbol string) *Builder {
+	return b.emit(Instr{Op: OpCall, Sym: symbol})
+}
+
+// JmpSym emits a cross-program tail jump to the named symbol.
+func (b *Builder) JmpSym(symbol string) *Builder {
+	return b.emit(Instr{Op: OpJmp, Sym: symbol})
+}
+
+// Ret emits a return.
+func (b *Builder) Ret() *Builder { return b.emit(Instr{Op: OpRet}) }
+
+// Push emits push src.
+func (b *Builder) Push(src Reg) *Builder { return b.emit(Instr{Op: OpPush, Src: src}) }
+
+// Pop emits pop dst.
+func (b *Builder) Pop(dst Reg) *Builder { return b.emit(Instr{Op: OpPop, Dst: dst}) }
+
+// Load emits dst = mem[base+disp].
+func (b *Builder) Load(dst, base Reg, disp int64) *Builder {
+	return b.emit(Instr{Op: OpLoad, Dst: dst, Base: base, Imm: disp})
+}
+
+// Store emits mem[base+disp] = src.
+func (b *Builder) Store(src, base Reg, disp int64) *Builder {
+	return b.emit(Instr{Op: OpStore, Src: src, Base: base, Imm: disp})
+}
+
+// RepMovs emits the string copy (RCX words from [RSI] to [RDI]).
+func (b *Builder) RepMovs() *Builder { return b.emit(Instr{Op: OpRepMovs}) }
+
+// Cpuid emits cpuid.
+func (b *Builder) Cpuid() *Builder { return b.emit(Instr{Op: OpCpuid}) }
+
+// Rdtsc emits rdtsc.
+func (b *Builder) Rdtsc() *Builder { return b.emit(Instr{Op: OpRdtsc}) }
+
+// Out emits a device write of src to port.
+func (b *Builder) Out(port int64, src Reg) *Builder {
+	return b.emit(Instr{Op: OpOut, Src: src, Imm: port})
+}
+
+// AssertEq emits assert dst == imm.
+func (b *Builder) AssertEq(dst Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpAssertEq, Dst: dst, Imm: imm})
+}
+
+// AssertNe emits assert dst != imm.
+func (b *Builder) AssertNe(dst Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpAssertNe, Dst: dst, Imm: imm})
+}
+
+// AssertLe emits assert dst <= imm (unsigned).
+func (b *Builder) AssertLe(dst Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpAssertLe, Dst: dst, Imm: imm})
+}
+
+// AssertGe emits assert dst >= imm (unsigned).
+func (b *Builder) AssertGe(dst Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpAssertGe, Dst: dst, Imm: imm})
+}
+
+// VMEntry emits the VM-entry terminator.
+func (b *Builder) VMEntry() *Builder { return b.emit(Instr{Op: OpVMEntry}) }
+
+// Build resolves labels and returns the assembled program.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	idxs := make([]int, 0, len(b.fixups))
+	for i := range b.fixups {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		label := b.fixups[i]
+		target, ok := b.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined label %q in %s", label, b.name)
+		}
+		b.instrs[i].Imm = int64(target)
+	}
+	var fixups []Fixup
+	pidxs := make([]int, 0, len(b.protects))
+	for i := range b.protects {
+		pidxs = append(pidxs, i)
+	}
+	sort.Ints(pidxs)
+	for _, i := range pidxs {
+		label := b.protects[i]
+		target, ok := b.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined fixup label %q in %s", label, b.name)
+		}
+		if i >= len(b.instrs) {
+			return nil, fmt.Errorf("isa: Protect with no following instruction in %s", b.name)
+		}
+		fixups = append(fixups, Fixup{Idx: i, Target: target})
+	}
+	instrs := make([]Instr, len(b.instrs))
+	copy(instrs, b.instrs)
+	return &Program{Name: b.name, Instrs: instrs, Fixups: fixups}, nil
+}
+
+// MustBuild is Build that panics on assembler errors; handler programs are
+// static so an error is a programming bug.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

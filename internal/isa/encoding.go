@@ -1,0 +1,114 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// Binary instruction encoding. Every instruction packs into a fixed
+// InstrWords×8-byte representation so hypervisor text can be checksummed,
+// serialized, and integrity-checked — the loader verifies a stable text
+// digest, which is what makes whole-campaign determinism auditable.
+//
+// Layout (little-endian):
+//
+//	word 0: op(8) | dst(8) | src(8) | base(8) | symlen(16) | reserved(16)
+//	word 1: imm (two's complement)
+//	word 2+: symbol bytes (padded), symlen bytes long
+//
+// Direct branch targets must be resolved (symbols encode only pre-link).
+
+// InstrWords is the fixed number of 64-bit words of an encoded instruction
+// without its symbol payload.
+const InstrWords = 2
+
+// EncodeInstr packs an instruction into 64-bit words.
+func EncodeInstr(in Instr) []uint64 {
+	if len(in.Sym) > 0xFFFF {
+		panic("isa: symbol too long to encode")
+	}
+	w0 := uint64(in.Op) |
+		uint64(in.Dst)<<8 |
+		uint64(in.Src)<<16 |
+		uint64(in.Base)<<24 |
+		uint64(len(in.Sym))<<32
+	words := []uint64{w0, uint64(in.Imm)}
+	if in.Sym != "" {
+		buf := make([]byte, (len(in.Sym)+7)&^7)
+		copy(buf, in.Sym)
+		for i := 0; i < len(buf); i += 8 {
+			words = append(words, binary.LittleEndian.Uint64(buf[i:]))
+		}
+	}
+	return words
+}
+
+// DecodeInstr unpacks an instruction from words, returning the decoded
+// instruction and the number of words consumed.
+func DecodeInstr(words []uint64) (Instr, int, error) {
+	if len(words) < InstrWords {
+		return Instr{}, 0, fmt.Errorf("isa: truncated instruction (have %d words)", len(words))
+	}
+	w0 := words[0]
+	in := Instr{
+		Op:   Op(w0 & 0xFF),
+		Dst:  Reg(w0 >> 8 & 0xFF),
+		Src:  Reg(w0 >> 16 & 0xFF),
+		Base: Reg(w0 >> 24 & 0xFF),
+		Imm:  int64(words[1]),
+	}
+	if in.Op >= numOps {
+		return Instr{}, 0, fmt.Errorf("isa: invalid opcode %d", uint8(in.Op))
+	}
+	symLen := int(w0 >> 32 & 0xFFFF)
+	used := InstrWords
+	if symLen > 0 {
+		symWords := (symLen + 7) / 8
+		if len(words) < InstrWords+symWords {
+			return Instr{}, 0, fmt.Errorf("isa: truncated symbol (need %d words)", symWords)
+		}
+		buf := make([]byte, symWords*8)
+		for i := 0; i < symWords; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], words[InstrWords+i])
+		}
+		in.Sym = string(buf[:symLen])
+		used += symWords
+	}
+	return in, used, nil
+}
+
+// EncodeProgram packs a program's instructions into one word stream.
+func EncodeProgram(p *Program) []uint64 {
+	var words []uint64
+	for _, in := range p.Instrs {
+		words = append(words, EncodeInstr(in)...)
+	}
+	return words
+}
+
+// DecodeProgram unpacks a word stream produced by EncodeProgram.
+func DecodeProgram(name string, words []uint64) (*Program, error) {
+	p := &Program{Name: name}
+	for len(words) > 0 {
+		in, used, err := DecodeInstr(words)
+		if err != nil {
+			return nil, err
+		}
+		p.Instrs = append(p.Instrs, in)
+		words = words[used:]
+	}
+	return p, nil
+}
+
+// Digest returns a stable FNV-64a digest of the program's encoded form —
+// the text-integrity fingerprint the hypervisor loader exposes.
+func (p *Program) Digest() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, w := range EncodeProgram(p) {
+		binary.LittleEndian.PutUint64(buf[:], w)
+		h.Write(buf[:]) //nolint:errcheck // fnv never errors
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,106 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instr{
+		{Op: OpNop},
+		{Op: OpMovImm, Dst: RAX, Imm: -42},
+		{Op: OpLoad, Dst: RBX, Base: RSI, Imm: 0x7FFFFFFF},
+		{Op: OpCall, Sym: "copy_from_user"},
+		{Op: OpJmp, Imm: 0x10040},
+		{Op: OpAssertRange, Dst: RCX, Src: RDX, Imm: 255},
+		{Op: OpVMEntry},
+	}
+	for _, in := range cases {
+		words := EncodeInstr(in)
+		got, used, err := DecodeInstr(words)
+		if err != nil {
+			t.Fatalf("%v: %v", in, err)
+		}
+		if used != len(words) {
+			t.Errorf("%v: used %d of %d words", in, used, len(words))
+		}
+		if got != in {
+			t.Errorf("round trip: %+v → %+v", in, got)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, _, err := DecodeInstr(nil); err == nil {
+		t.Error("empty decode accepted")
+	}
+	if _, _, err := DecodeInstr([]uint64{0xFF, 0}); err == nil {
+		t.Error("invalid opcode accepted")
+	}
+	// Declared symbol longer than the stream.
+	w := EncodeInstr(Instr{Op: OpCall, Sym: "abcdefgh"})
+	if _, _, err := DecodeInstr(w[:2]); err == nil {
+		t.Error("truncated symbol accepted")
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	p := NewBuilder("roundtrip").
+		MovImm(RCX, 4).
+		Label("top").
+		Load(RAX, RSI, 8).
+		Store(RAX, RDI, 8).
+		Loop("top").
+		CallSym("evtchn_set_pending").
+		VMEntry().
+		MustBuild()
+	words := EncodeProgram(p)
+	q, err := DecodeProgram("roundtrip", words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Instrs) != len(p.Instrs) {
+		t.Fatalf("decoded %d instrs, want %d", len(q.Instrs), len(p.Instrs))
+	}
+	for i := range p.Instrs {
+		if q.Instrs[i] != p.Instrs[i] {
+			t.Errorf("instr %d: %v vs %v", i, p.Instrs[i], q.Instrs[i])
+		}
+	}
+}
+
+func TestDigestStableAndSensitive(t *testing.T) {
+	build := func(imm int64) *Program {
+		return NewBuilder("p").MovImm(RAX, imm).VMEntry().MustBuild()
+	}
+	a, b, c := build(1), build(1), build(2)
+	if a.Digest() != b.Digest() {
+		t.Error("identical programs have different digests")
+	}
+	if a.Digest() == c.Digest() {
+		t.Error("different programs share a digest")
+	}
+}
+
+// Property: any instruction with in-range fields round-trips exactly.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(op, dst, src, base uint8, imm int64, symSeed uint16) bool {
+		in := Instr{
+			Op:   Op(op) % numOps,
+			Dst:  Reg(dst),
+			Src:  Reg(src),
+			Base: Reg(base),
+			Imm:  imm,
+		}
+		if symSeed%3 == 0 {
+			syms := []string{"", "f", "do_event_channel_op", "update_runstate"}
+			in.Sym = syms[int(symSeed/3)%len(syms)]
+		}
+		words := EncodeInstr(in)
+		got, used, err := DecodeInstr(words)
+		return err == nil && used == len(words) && got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,272 @@
+// Package isa defines the instruction set of the simulated x86-64-like
+// machine used throughout this repository: the architectural register file,
+// opcodes with x86-flavoured semantics (flags, stack, string moves, cpuid,
+// rdtsc), and the program/assembler abstractions the hypervisor model is
+// written in.
+//
+// The ISA is deliberately small but rich enough that a single-bit flip in an
+// architectural register reproduces every propagation behaviour studied in
+// the Xentry paper: invalid control flow (#UD/#PF on fetch), valid-but-
+// incorrect control flow (flipped flags or loop counters), data corruption
+// in stack traffic, and corruption of values delivered to guests (cpuid,
+// time) that never perturbs control flow at all.
+package isa
+
+import "fmt"
+
+// Reg identifies an architectural register. The first sixteen are the
+// general-purpose registers; RIP and RFLAGS complete the architectural
+// state that the fault model may flip bits in.
+type Reg uint8
+
+// General-purpose and special registers.
+const (
+	RAX Reg = iota
+	RBX
+	RCX
+	RDX
+	RSI
+	RDI
+	RBP
+	RSP
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	RIP
+	RFLAGS
+	// NumReg is the size of the architectural register file.
+	NumReg
+	// NoReg marks an unused register operand.
+	NoReg Reg = 0xFF
+)
+
+// NumGPR is the number of general-purpose registers (everything before RIP).
+const NumGPR = 16
+
+var regNames = [NumReg]string{
+	"rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+	"rip", "rflags",
+}
+
+// String returns the conventional lower-case register mnemonic.
+func (r Reg) String() string {
+	if r == NoReg {
+		return "-"
+	}
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("reg(%d)", uint8(r))
+}
+
+// RFLAGS bit positions follow the x86 layout so injected flag flips land on
+// realistic bits.
+const (
+	FlagCF uint64 = 1 << 0  // carry
+	FlagZF uint64 = 1 << 6  // zero
+	FlagSF uint64 = 1 << 7  // sign
+	FlagOF uint64 = 1 << 11 // overflow
+)
+
+// Op is an opcode.
+type Op uint8
+
+// Opcodes. Operand conventions are documented per group; see Instr.
+const (
+	OpNop Op = iota
+	OpHlt    // halt the CPU (hypervisor panic path)
+
+	// Data movement. MOVI dst,imm; MOV dst,src.
+	OpMovImm
+	OpMov
+
+	// ALU register-register: op dst, src (dst = dst OP src).
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpMul
+	OpDiv // raises #DE when src is zero
+
+	// ALU register-immediate: op dst, imm.
+	OpAddImm
+	OpSubImm
+	OpAndImm
+	OpOrImm
+	OpXorImm
+	OpShlImm
+	OpShrImm
+
+	// Comparison: set flags only.
+	OpCmp     // cmp dst, src
+	OpCmpImm  // cmp dst, imm
+	OpTest    // test dst, src (AND, flags only)
+	OpTestImm // test dst, imm
+
+	// Control flow. Direct targets are label indices pre-link and absolute
+	// virtual addresses post-link, carried in Imm.
+	OpJmp
+	OpJmpReg // indirect: jump to address in Dst
+	OpJe
+	OpJne
+	OpJl
+	OpJle
+	OpJg
+	OpJge
+	OpJb
+	OpJae
+	OpJs
+	OpJns
+	OpLoop // dec rcx; jump if rcx != 0
+
+	OpCall // push return address; jump
+	OpRet  // pop return address; jump
+
+	// Stack: push src / pop dst via RSP (8-byte slots, descending).
+	OpPush
+	OpPop
+
+	// Memory: load dst, [base+disp]; store src, [base+disp].
+	OpLoad
+	OpStore
+
+	// String move: copy RCX 8-byte words from [RSI] to [RDI], post-
+	// incrementing both. Each word retires as one instruction so a
+	// corrupted RCX visibly lengthens the dynamic trace (paper Fig. 5a).
+	OpRepMovs
+
+	// Privileged/emulation helpers.
+	OpCpuid // leaf in RAX; results into RAX..RDX from the CPU cpuid table
+	OpRdtsc // RAX = low 32 bits of TSC, RDX = high 32 bits
+	OpOut   // out imm(port), src — device write
+
+	// Software assertions (Xen debug ASSERTs). When assertion checking is
+	// disabled they are compiled out (zero cost); when enabled a failed
+	// predicate stops execution with StopAssert.
+	OpAssertEq    // assert dst == imm
+	OpAssertNe    // assert dst != imm
+	OpAssertLe    // assert dst <= imm (unsigned)
+	OpAssertGe    // assert dst >= imm (unsigned)
+	OpAssertRange // assert src <= dst <= imm (unsigned; lower bound in Src-as-reg value)
+
+	// OpVMEntry ends the hypervisor execution and resumes the guest.
+	OpVMEntry
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpNop: "nop", OpHlt: "hlt",
+	OpMovImm: "movi", OpMov: "mov",
+	OpAdd: "add", OpSub: "sub", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpShr: "shr", OpMul: "mul", OpDiv: "div",
+	OpAddImm: "addi", OpSubImm: "subi", OpAndImm: "andi", OpOrImm: "ori",
+	OpXorImm: "xori", OpShlImm: "shli", OpShrImm: "shri",
+	OpCmp: "cmp", OpCmpImm: "cmpi", OpTest: "test", OpTestImm: "testi",
+	OpJmp: "jmp", OpJmpReg: "jmpr", OpJe: "je", OpJne: "jne",
+	OpJl: "jl", OpJle: "jle", OpJg: "jg", OpJge: "jge",
+	OpJb: "jb", OpJae: "jae", OpJs: "js", OpJns: "jns", OpLoop: "loop",
+	OpCall: "call", OpRet: "ret",
+	OpPush: "push", OpPop: "pop",
+	OpLoad: "load", OpStore: "store", OpRepMovs: "repmovs",
+	OpCpuid: "cpuid", OpRdtsc: "rdtsc", OpOut: "out",
+	OpAssertEq: "assert.eq", OpAssertNe: "assert.ne",
+	OpAssertLe: "assert.le", OpAssertGe: "assert.ge", OpAssertRange: "assert.range",
+	OpVMEntry: "vmentry",
+}
+
+// String returns the opcode mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsBranch reports whether the opcode is counted by the BR_INST_RETIRED
+// performance event (all control transfers, taken or not).
+func (o Op) IsBranch() bool {
+	switch o {
+	case OpJmp, OpJmpReg, OpJe, OpJne, OpJl, OpJle, OpJg, OpJge,
+		OpJb, OpJae, OpJs, OpJns, OpLoop, OpCall, OpRet:
+		return true
+	}
+	return false
+}
+
+// IsAssert reports whether the opcode is a software assertion.
+func (o Op) IsAssert() bool {
+	switch o {
+	case OpAssertEq, OpAssertNe, OpAssertLe, OpAssertGe, OpAssertRange:
+		return true
+	}
+	return false
+}
+
+// InstrBytes is the (fixed) encoded width of every instruction. Instruction
+// addresses are multiples of InstrBytes within the text segment; a flipped
+// RIP that lands off-boundary raises #UD, while one that lands on another
+// instruction produces valid-but-incorrect control flow.
+const InstrBytes = 4
+
+// Instr is one decoded instruction. Operand use by group:
+//
+//   - ALU/mov: Dst, Src or Dst, Imm
+//   - load/store: Dst/Src register, Base memory base register, Imm displacement
+//   - direct branches/call: Imm holds the target (label index pre-link,
+//     absolute address post-link)
+//   - asserts: Dst register checked against Imm (and Src for range lower bound)
+type Instr struct {
+	Op   Op
+	Dst  Reg
+	Src  Reg
+	Base Reg
+	Imm  int64
+
+	// Sym is a pre-link symbolic target for OpCall/OpJmp into another
+	// program; resolved by Program.Link.
+	Sym string
+}
+
+// String disassembles the instruction.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpNop, OpHlt, OpRet, OpCpuid, OpRdtsc, OpRepMovs, OpVMEntry:
+		return in.Op.String()
+	case OpMovImm, OpAddImm, OpSubImm, OpAndImm, OpOrImm, OpXorImm,
+		OpShlImm, OpShrImm, OpCmpImm, OpTestImm,
+		OpAssertEq, OpAssertNe, OpAssertLe, OpAssertGe:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Dst, in.Imm)
+	case OpAssertRange:
+		return fmt.Sprintf("%s %s in [%s, %d]", in.Op, in.Dst, in.Src, in.Imm)
+	case OpJmp, OpJe, OpJne, OpJl, OpJle, OpJg, OpJge, OpJb, OpJae,
+		OpJs, OpJns, OpLoop, OpCall:
+		if in.Sym != "" {
+			return fmt.Sprintf("%s %s", in.Op, in.Sym)
+		}
+		return fmt.Sprintf("%s 0x%x", in.Op, uint64(in.Imm))
+	case OpJmpReg:
+		return fmt.Sprintf("%s %s", in.Op, in.Dst)
+	case OpPush:
+		return fmt.Sprintf("%s %s", in.Op, in.Src)
+	case OpPop:
+		return fmt.Sprintf("%s %s", in.Op, in.Dst)
+	case OpLoad:
+		return fmt.Sprintf("%s %s, [%s%+d]", in.Op, in.Dst, in.Base, in.Imm)
+	case OpStore:
+		return fmt.Sprintf("%s %s, [%s%+d]", in.Op, in.Src, in.Base, in.Imm)
+	case OpOut:
+		return fmt.Sprintf("%s %d, %s", in.Op, in.Imm, in.Src)
+	default:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Dst, in.Src)
+	}
+}

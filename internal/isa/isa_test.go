@@ -1,0 +1,206 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := map[Reg]string{
+		RAX: "rax", RBX: "rbx", RCX: "rcx", RDX: "rdx",
+		RSI: "rsi", RDI: "rdi", RBP: "rbp", RSP: "rsp",
+		R8: "r8", R15: "r15", RIP: "rip", RFLAGS: "rflags",
+		NoReg: "-",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Reg(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestOpStringCoversAllOpcodes(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		s := op.String()
+		if strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+	}
+}
+
+func TestIsBranch(t *testing.T) {
+	branches := []Op{OpJmp, OpJmpReg, OpJe, OpJne, OpJl, OpJle, OpJg, OpJge,
+		OpJb, OpJae, OpJs, OpJns, OpLoop, OpCall, OpRet}
+	for _, op := range branches {
+		if !op.IsBranch() {
+			t.Errorf("%v should be a branch", op)
+		}
+	}
+	nonBranches := []Op{OpNop, OpMov, OpAdd, OpLoad, OpStore, OpPush, OpPop,
+		OpCpuid, OpRdtsc, OpVMEntry, OpAssertEq, OpRepMovs}
+	for _, op := range nonBranches {
+		if op.IsBranch() {
+			t.Errorf("%v should not be a branch", op)
+		}
+	}
+}
+
+func TestIsAssert(t *testing.T) {
+	for _, op := range []Op{OpAssertEq, OpAssertNe, OpAssertLe, OpAssertGe, OpAssertRange} {
+		if !op.IsAssert() {
+			t.Errorf("%v should be an assert", op)
+		}
+	}
+	if OpCmp.IsAssert() || OpTest.IsAssert() {
+		t.Error("cmp/test must not be asserts")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpNop}, "nop"},
+		{Instr{Op: OpMovImm, Dst: RAX, Imm: 42}, "movi rax, 42"},
+		{Instr{Op: OpMov, Dst: RBX, Src: RCX}, "mov rbx, rcx"},
+		{Instr{Op: OpLoad, Dst: RAX, Base: RSI, Imm: 16}, "load rax, [rsi+16]"},
+		{Instr{Op: OpStore, Src: RDX, Base: RDI, Imm: -8}, "store rdx, [rdi-8]"},
+		{Instr{Op: OpPush, Src: RBP}, "push rbp"},
+		{Instr{Op: OpPop, Dst: RBP}, "pop rbp"},
+		{Instr{Op: OpJmp, Imm: 0x1000}, "jmp 0x1000"},
+		{Instr{Op: OpCall, Sym: "copy_from_user"}, "call copy_from_user"},
+		{Instr{Op: OpJmpReg, Dst: RAX}, "jmpr rax"},
+		{Instr{Op: OpAssertLe, Dst: RCX, Imm: 255}, "assert.le rcx, 255"},
+		{Instr{Op: OpOut, Src: RAX, Imm: 3}, "out 3, rax"},
+		{Instr{Op: OpVMEntry}, "vmentry"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestBuilderLabelsForwardAndBackward(t *testing.T) {
+	p, err := NewBuilder("loopy").
+		MovImm(RCX, 3).
+		Label("top").
+		SubImm(RCX, 1).
+		CmpImm(RCX, 0).
+		Jne("top").
+		Jmp("done").
+		Hlt().
+		Label("done").
+		VMEntry().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 7 {
+		t.Fatalf("Len() = %d, want 7", p.Len())
+	}
+	// Jne at index 3 targets "top" = index 1.
+	if p.Instrs[3].Imm != 1 {
+		t.Errorf("jne target index = %d, want 1", p.Instrs[3].Imm)
+	}
+	// Jmp at index 4 targets "done" = index 6.
+	if p.Instrs[4].Imm != 6 {
+		t.Errorf("jmp target index = %d, want 6", p.Instrs[4].Imm)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	_, err := NewBuilder("bad").Jmp("nowhere").Build()
+	if err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("expected undefined-label error, got %v", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	_, err := NewBuilder("dup").Label("a").Nop().Label("a").Build()
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("expected duplicate-label error, got %v", err)
+	}
+}
+
+func TestLinkRewritesLocalTargets(t *testing.T) {
+	p := NewBuilder("f").
+		Label("top").
+		Nop().
+		Jmp("top").
+		VMEntry().
+		MustBuild()
+	if err := p.Link(0x4000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if p.Base != 0x4000 {
+		t.Fatalf("Base = %#x, want 0x4000", p.Base)
+	}
+	if got := uint64(p.Instrs[1].Imm); got != 0x4000 {
+		t.Errorf("linked jmp target = %#x, want 0x4000", got)
+	}
+	if got := p.AddrOf(2); got != 0x4000+2*InstrBytes {
+		t.Errorf("AddrOf(2) = %#x", got)
+	}
+}
+
+func TestLinkResolvesSymbols(t *testing.T) {
+	p := NewBuilder("caller").CallSym("helper").VMEntry().MustBuild()
+	symtab := map[string]uint64{"helper": 0x9000}
+	if err := p.Link(0x100, symtab); err != nil {
+		t.Fatal(err)
+	}
+	if got := uint64(p.Instrs[0].Imm); got != 0x9000 {
+		t.Errorf("linked call target = %#x, want 0x9000", got)
+	}
+	if p.Instrs[0].Sym != "" {
+		t.Error("symbol not cleared after linking")
+	}
+}
+
+func TestLinkUndefinedSymbol(t *testing.T) {
+	p := NewBuilder("caller").CallSym("ghost").MustBuild()
+	if err := p.Link(0, nil); err == nil {
+		t.Fatal("expected undefined-symbol error")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild should panic on undefined label")
+		}
+	}()
+	NewBuilder("bad").Jmp("missing").MustBuild()
+}
+
+// Property: linking at base B places instruction i at B + i*InstrBytes, and
+// every local branch target is a valid instruction boundary inside the
+// program.
+func TestLinkAddressesProperty(t *testing.T) {
+	f := func(n uint8, base uint32) bool {
+		count := int(n%32) + 2
+		b := NewBuilder("p").Label("start")
+		for i := 0; i < count; i++ {
+			b.Nop()
+		}
+		b.Jmp("start")
+		p := b.MustBuild()
+		alignedBase := uint64(base) &^ (InstrBytes - 1)
+		if err := p.Link(alignedBase, nil); err != nil {
+			return false
+		}
+		for i := range p.Instrs {
+			if p.AddrOf(i) != alignedBase+uint64(i)*InstrBytes {
+				return false
+			}
+		}
+		tgt := uint64(p.Instrs[count].Imm)
+		return tgt == alignedBase && (tgt-alignedBase)%InstrBytes == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

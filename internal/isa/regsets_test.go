@@ -1,0 +1,88 @@
+package isa
+
+import "testing"
+
+func TestReadWriteSets(t *testing.T) {
+	cases := []struct {
+		in     Instr
+		reads  []Reg
+		writes []Reg
+	}{
+		{Instr{Op: OpMovImm, Dst: RAX}, nil, []Reg{RAX}},
+		{Instr{Op: OpMov, Dst: RAX, Src: RBX}, []Reg{RBX}, []Reg{RAX}},
+		{Instr{Op: OpAdd, Dst: RAX, Src: RBX}, []Reg{RAX, RBX}, []Reg{RAX, RFLAGS}},
+		{Instr{Op: OpCmp, Dst: RAX, Src: RBX}, []Reg{RAX, RBX}, []Reg{RFLAGS}},
+		{Instr{Op: OpJe}, []Reg{RFLAGS}, nil},
+		{Instr{Op: OpJmpReg, Dst: R9}, []Reg{R9}, nil},
+		{Instr{Op: OpLoop}, []Reg{RCX}, []Reg{RCX}},
+		{Instr{Op: OpPush, Src: RBP}, []Reg{RBP, RSP}, []Reg{RSP}},
+		{Instr{Op: OpPop, Dst: RBP}, []Reg{RSP}, []Reg{RBP, RSP}},
+		{Instr{Op: OpCall}, []Reg{RSP}, []Reg{RSP}},
+		{Instr{Op: OpRet}, []Reg{RSP}, []Reg{RSP}},
+		{Instr{Op: OpLoad, Dst: RAX, Base: RSI}, []Reg{RSI}, []Reg{RAX}},
+		{Instr{Op: OpStore, Src: RAX, Base: RDI}, []Reg{RAX, RDI}, nil},
+		{Instr{Op: OpRepMovs}, []Reg{RCX, RSI, RDI}, []Reg{RCX, RSI, RDI}},
+		{Instr{Op: OpCpuid}, []Reg{RAX}, []Reg{RAX, RBX, RCX, RDX}},
+		{Instr{Op: OpRdtsc}, nil, []Reg{RAX, RDX}},
+		{Instr{Op: OpAssertLe, Dst: RCX}, []Reg{RCX}, nil},
+		{Instr{Op: OpVMEntry}, nil, nil},
+		{Instr{Op: OpNop}, nil, nil},
+	}
+	for _, c := range cases {
+		if got := c.in.Reads(); !sameRegs(got, c.reads) {
+			t.Errorf("%v Reads() = %v, want %v", c.in, got, c.reads)
+		}
+		if got := c.in.Writes(); !sameRegs(got, c.writes) {
+			t.Errorf("%v Writes() = %v, want %v", c.in, got, c.writes)
+		}
+	}
+}
+
+func sameRegs(a, b []Reg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := map[Reg]int{}
+	for _, r := range a {
+		seen[r]++
+	}
+	for _, r := range b {
+		seen[r]--
+		if seen[r] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestReadsRegWritesReg(t *testing.T) {
+	in := Instr{Op: OpAdd, Dst: RAX, Src: RBX}
+	if !in.ReadsReg(RAX) || !in.ReadsReg(RBX) || in.ReadsReg(RCX) {
+		t.Error("ReadsReg wrong")
+	}
+	if !in.WritesReg(RAX) || !in.WritesReg(RFLAGS) || in.WritesReg(RBX) {
+		t.Error("WritesReg wrong")
+	}
+}
+
+// Every conditional branch must read RFLAGS so flag corruption is visible
+// to activation analysis.
+func TestConditionalBranchesReadFlags(t *testing.T) {
+	for _, op := range []Op{OpJe, OpJne, OpJl, OpJle, OpJg, OpJge, OpJb, OpJae, OpJs, OpJns} {
+		in := Instr{Op: op}
+		if !in.ReadsReg(RFLAGS) {
+			t.Errorf("%v does not read rflags", op)
+		}
+	}
+}
+
+// Every ALU op must write RFLAGS (x86-style) so downstream branches see it.
+func TestALUWritesFlags(t *testing.T) {
+	for _, op := range []Op{OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpMul, OpDiv, OpAddImm, OpSubImm, OpCmp, OpCmpImm, OpTest, OpTestImm} {
+		in := Instr{Op: op, Dst: RAX, Src: RBX}
+		if !in.WritesReg(RFLAGS) {
+			t.Errorf("%v does not write rflags", op)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// Package mem implements the simulated machine's physical memory: a set of
+// typed, permission-checked regions (hypervisor data and stack, per-domain
+// memory, shared-info pages, device MMIO) over a flat 64-bit address space.
+// Accesses outside any region, or violating a region's permissions, return
+// a *Fault that the CPU core turns into the corresponding architectural
+// exception — exactly the signal Xentry's hardware-exception detector
+// consumes.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Perm is a permission bit mask for a region.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermRW = PermRead | PermWrite
+)
+
+// AccessKind distinguishes the operation that faulted.
+type AccessKind uint8
+
+// Access kinds.
+const (
+	AccessRead AccessKind = iota
+	AccessWrite
+)
+
+// String names the access kind.
+func (k AccessKind) String() string {
+	if k == AccessWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// FaultKind classifies a memory fault.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	// FaultUnmapped: the address belongs to no region (fatal page fault).
+	FaultUnmapped FaultKind = iota
+	// FaultProtection: the region exists but forbids the access (#GP-like).
+	FaultProtection
+	// FaultUnaligned: address not 8-byte aligned for a 64-bit access.
+	FaultUnaligned
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultUnmapped:
+		return "unmapped"
+	case FaultProtection:
+		return "protection"
+	case FaultUnaligned:
+		return "unaligned"
+	}
+	return "unknown"
+}
+
+// Fault describes a failed memory access.
+type Fault struct {
+	Kind   FaultKind
+	Access AccessKind
+	Addr   uint64
+	Region string // name of the violated region, if any
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	if f.Region != "" {
+		return fmt.Sprintf("mem: %s fault on %s of %#x (region %s)", f.Kind, f.Access, f.Addr, f.Region)
+	}
+	return fmt.Sprintf("mem: %s fault on %s of %#x", f.Kind, f.Access, f.Addr)
+}
+
+// Region is a contiguous mapped range.
+type Region struct {
+	Name  string
+	Start uint64
+	Size  uint64
+	Perm  Perm
+
+	words []uint64
+}
+
+// End returns the first address past the region.
+func (r *Region) End() uint64 { return r.Start + r.Size }
+
+func (r *Region) contains(addr uint64) bool {
+	return addr >= r.Start && addr < r.End()
+}
+
+// Memory is the machine's physical memory map.
+type Memory struct {
+	regions []*Region // sorted by Start
+}
+
+// New returns an empty memory map.
+func New() *Memory { return &Memory{} }
+
+// Map adds a region. Regions may not overlap; size is rounded up to a
+// multiple of 8 bytes.
+func (m *Memory) Map(name string, start, size uint64, perm Perm) (*Region, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("mem: region %q has zero size", name)
+	}
+	if start%8 != 0 {
+		return nil, fmt.Errorf("mem: region %q start %#x not 8-byte aligned", name, start)
+	}
+	size = (size + 7) &^ 7
+	r := &Region{Name: name, Start: start, Size: size, Perm: perm,
+		words: make([]uint64, size/8)}
+	for _, other := range m.regions {
+		if start < other.End() && other.Start < r.End() {
+			return nil, fmt.Errorf("mem: region %q [%#x,%#x) overlaps %q [%#x,%#x)",
+				name, start, r.End(), other.Name, other.Start, other.End())
+		}
+	}
+	m.regions = append(m.regions, r)
+	sort.Slice(m.regions, func(i, j int) bool { return m.regions[i].Start < m.regions[j].Start })
+	return r, nil
+}
+
+// MustMap is Map that panics on error, for static machine layout.
+func (m *Memory) MustMap(name string, start, size uint64, perm Perm) *Region {
+	r, err := m.Map(name, start, size, perm)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Find returns the region containing addr, or nil.
+func (m *Memory) Find(addr uint64) *Region {
+	// Binary search over sorted regions.
+	lo, hi := 0, len(m.regions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		r := m.regions[mid]
+		switch {
+		case addr < r.Start:
+			hi = mid
+		case addr >= r.End():
+			lo = mid + 1
+		default:
+			return r
+		}
+	}
+	return nil
+}
+
+// Region returns the named region, or nil.
+func (m *Memory) Region(name string) *Region {
+	for _, r := range m.regions {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// Regions returns all regions in address order.
+func (m *Memory) Regions() []*Region { return m.regions }
+
+func (m *Memory) locate(addr uint64, access AccessKind, need Perm) (*Region, error) {
+	if addr%8 != 0 {
+		return nil, &Fault{Kind: FaultUnaligned, Access: access, Addr: addr}
+	}
+	r := m.Find(addr)
+	if r == nil {
+		return nil, &Fault{Kind: FaultUnmapped, Access: access, Addr: addr}
+	}
+	if r.Perm&need == 0 {
+		return nil, &Fault{Kind: FaultProtection, Access: access, Addr: addr, Region: r.Name}
+	}
+	return r, nil
+}
+
+// Read64 loads the 64-bit word at addr.
+func (m *Memory) Read64(addr uint64) (uint64, error) {
+	r, err := m.locate(addr, AccessRead, PermRead)
+	if err != nil {
+		return 0, err
+	}
+	return r.words[(addr-r.Start)/8], nil
+}
+
+// Write64 stores the 64-bit word at addr.
+func (m *Memory) Write64(addr, val uint64) error {
+	r, err := m.locate(addr, AccessWrite, PermWrite)
+	if err != nil {
+		return err
+	}
+	r.words[(addr-r.Start)/8] = val
+	return nil
+}
+
+// Poke writes ignoring permissions (loader/testing backdoor).
+func (m *Memory) Poke(addr, val uint64) error {
+	if addr%8 != 0 {
+		return &Fault{Kind: FaultUnaligned, Access: AccessWrite, Addr: addr}
+	}
+	r := m.Find(addr)
+	if r == nil {
+		return &Fault{Kind: FaultUnmapped, Access: AccessWrite, Addr: addr}
+	}
+	r.words[(addr-r.Start)/8] = val
+	return nil
+}
+
+// Peek reads ignoring permissions (monitoring backdoor).
+func (m *Memory) Peek(addr uint64) (uint64, error) {
+	if addr%8 != 0 {
+		return 0, &Fault{Kind: FaultUnaligned, Access: AccessRead, Addr: addr}
+	}
+	r := m.Find(addr)
+	if r == nil {
+		return 0, &Fault{Kind: FaultUnmapped, Access: AccessRead, Addr: addr}
+	}
+	return r.words[(addr-r.Start)/8], nil
+}
+
+// Snapshot copies the full contents of every region, keyed by region name.
+func (m *Memory) Snapshot() map[string][]uint64 {
+	snap := make(map[string][]uint64, len(m.regions))
+	for _, r := range m.regions {
+		words := make([]uint64, len(r.words))
+		copy(words, r.words)
+		snap[r.Name] = words
+	}
+	return snap
+}
+
+// Restore reinstates a snapshot taken from the same layout.
+func (m *Memory) Restore(snap map[string][]uint64) error {
+	for _, r := range m.regions {
+		words, ok := snap[r.Name]
+		if !ok {
+			return fmt.Errorf("mem: snapshot missing region %q", r.Name)
+		}
+		if len(words) != len(r.words) {
+			return fmt.Errorf("mem: snapshot size mismatch for region %q", r.Name)
+		}
+		copy(r.words, words)
+	}
+	return nil
+}
+
+// Zero clears a region's contents.
+func (r *Region) Zero() {
+	for i := range r.words {
+		r.words[i] = 0
+	}
+}

@@ -1,0 +1,224 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapAndReadWrite(t *testing.T) {
+	m := New()
+	if _, err := m.Map("data", 0x1000, 64, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write64(0x1008, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Read64(0x1008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xdeadbeef {
+		t.Fatalf("Read64 = %#x, want 0xdeadbeef", v)
+	}
+}
+
+func TestUnmappedFault(t *testing.T) {
+	m := New()
+	m.MustMap("data", 0x1000, 64, PermRW)
+	_, err := m.Read64(0x8000)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("expected *Fault, got %v", err)
+	}
+	if f.Kind != FaultUnmapped || f.Access != AccessRead || f.Addr != 0x8000 {
+		t.Errorf("fault = %+v", f)
+	}
+}
+
+func TestProtectionFault(t *testing.T) {
+	m := New()
+	m.MustMap("ro", 0x1000, 64, PermRead)
+	err := m.Write64(0x1000, 1)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("expected *Fault, got %v", err)
+	}
+	if f.Kind != FaultProtection || f.Region != "ro" {
+		t.Errorf("fault = %+v", f)
+	}
+	// Reading is still fine.
+	if _, err := m.Read64(0x1000); err != nil {
+		t.Errorf("read of read-only region failed: %v", err)
+	}
+}
+
+func TestUnalignedFault(t *testing.T) {
+	m := New()
+	m.MustMap("data", 0x1000, 64, PermRW)
+	if _, err := m.Read64(0x1001); err == nil {
+		t.Fatal("expected unaligned fault")
+	}
+	var f *Fault
+	_, err := m.Read64(0x1004)
+	if !errors.As(err, &f) || f.Kind != FaultUnaligned {
+		t.Errorf("fault = %v", err)
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	m := New()
+	m.MustMap("a", 0x1000, 0x100, PermRW)
+	if _, err := m.Map("b", 0x1080, 0x100, PermRW); err == nil {
+		t.Fatal("expected overlap error")
+	}
+	if _, err := m.Map("c", 0x1100, 0x100, PermRW); err != nil {
+		t.Fatalf("adjacent region should be fine: %v", err)
+	}
+}
+
+func TestZeroSizeAndMisalignedStartRejected(t *testing.T) {
+	m := New()
+	if _, err := m.Map("z", 0x1000, 0, PermRW); err == nil {
+		t.Error("zero-size region accepted")
+	}
+	if _, err := m.Map("m", 0x1001, 8, PermRW); err == nil {
+		t.Error("misaligned region accepted")
+	}
+}
+
+func TestFindAndRegionLookup(t *testing.T) {
+	m := New()
+	m.MustMap("low", 0x1000, 0x100, PermRW)
+	m.MustMap("high", 0x9000, 0x100, PermRW)
+	if r := m.Find(0x1080); r == nil || r.Name != "low" {
+		t.Errorf("Find(0x1080) = %v", r)
+	}
+	if r := m.Find(0x90f8); r == nil || r.Name != "high" {
+		t.Errorf("Find(0x90f8) = %v", r)
+	}
+	if r := m.Find(0x9100); r != nil {
+		t.Errorf("Find past end = %v, want nil", r)
+	}
+	if r := m.Find(0x0); r != nil {
+		t.Errorf("Find(0) = %v, want nil", r)
+	}
+	if m.Region("low") == nil || m.Region("nope") != nil {
+		t.Error("Region lookup by name broken")
+	}
+}
+
+func TestPokePeekBypassPermissions(t *testing.T) {
+	m := New()
+	m.MustMap("ro", 0x1000, 64, PermRead)
+	if err := m.Poke(0x1000, 77); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Peek(0x1000)
+	if err != nil || v != 77 {
+		t.Fatalf("Peek = %d, %v", v, err)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	m := New()
+	m.MustMap("a", 0x1000, 64, PermRW)
+	m.MustMap("b", 0x2000, 64, PermRW)
+	if err := m.Write64(0x1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if err := m.Write64(0x1000, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write64(0x2000, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read64(0x1000); v != 1 {
+		t.Errorf("restored a[0] = %d, want 1", v)
+	}
+	if v, _ := m.Read64(0x2000); v != 0 {
+		t.Errorf("restored b[0] = %d, want 0", v)
+	}
+}
+
+func TestRestoreMismatch(t *testing.T) {
+	m := New()
+	m.MustMap("a", 0x1000, 64, PermRW)
+	if err := m.Restore(map[string][]uint64{}); err == nil {
+		t.Error("expected missing-region error")
+	}
+	if err := m.Restore(map[string][]uint64{"a": make([]uint64, 1)}); err == nil {
+		t.Error("expected size-mismatch error")
+	}
+}
+
+func TestRegionZero(t *testing.T) {
+	m := New()
+	r := m.MustMap("a", 0x1000, 64, PermRW)
+	if err := m.Write64(0x1010, 9); err != nil {
+		t.Fatal(err)
+	}
+	r.Zero()
+	if v, _ := m.Read64(0x1010); v != 0 {
+		t.Errorf("after Zero, word = %d", v)
+	}
+}
+
+// Property: any value written to any mapped, aligned address reads back
+// identically, and writes never bleed into neighbouring words.
+func TestReadWriteRoundTripProperty(t *testing.T) {
+	m := New()
+	const base, size = 0x1000, 0x400
+	m.MustMap("data", base, size, PermRW)
+	f := func(off uint16, val uint64) bool {
+		addr := base + (uint64(off)%(size/8))*8
+		var left, right uint64
+		if addr > base {
+			left, _ = m.Read64(addr - 8)
+		}
+		if addr+8 < base+size {
+			right, _ = m.Read64(addr + 8)
+		}
+		if err := m.Write64(addr, val); err != nil {
+			return false
+		}
+		got, err := m.Read64(addr)
+		if err != nil || got != val {
+			return false
+		}
+		if addr > base {
+			if l, _ := m.Read64(addr - 8); l != left {
+				return false
+			}
+		}
+		if addr+8 < base+size {
+			if r, _ := m.Read64(addr + 8); r != right {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFaultErrorStrings(t *testing.T) {
+	f := &Fault{Kind: FaultProtection, Access: AccessWrite, Addr: 0x42, Region: "ro"}
+	if s := f.Error(); s == "" {
+		t.Error("empty error string")
+	}
+	f2 := &Fault{Kind: FaultUnmapped, Access: AccessRead, Addr: 0x42}
+	if s := f2.Error(); s == "" {
+		t.Error("empty error string")
+	}
+	for _, k := range []FaultKind{FaultUnmapped, FaultProtection, FaultUnaligned} {
+		if k.String() == "unknown" {
+			t.Errorf("FaultKind %d unnamed", k)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Classifier is anything that labels a sample correct/incorrect. Both tree
+// models and the naive Bayes baseline satisfy it.
+type Classifier interface {
+	ClassifySample(s Sample) bool
+}
+
+// NaiveBayes is a Gaussian naive Bayes classifier — the kind of generative
+// model the paper's Section III-B argues against: it assumes a per-feature
+// probability distribution, which soft-error-induced signatures do not
+// follow, so it underperforms the discriminative trees. It is implemented
+// here as the comparison baseline (the approach of the paper's reference
+// [27]).
+type NaiveBayes struct {
+	// prior[c] is P(class); class index 0 = incorrect, 1 = correct.
+	prior [2]float64
+	// mean/variance per class per feature.
+	mean     [2][NumFeatures]float64
+	variance [2][NumFeatures]float64
+}
+
+// classIdx maps the label to the parameter index.
+func classIdx(correct bool) int {
+	if correct {
+		return 1
+	}
+	return 0
+}
+
+// TrainNaiveBayes fits per-class Gaussians to every feature.
+func TrainNaiveBayes(d Dataset) (*NaiveBayes, error) {
+	if len(d) == 0 {
+		return nil, fmt.Errorf("ml: empty training set")
+	}
+	c, i := d.Counts()
+	if c == 0 || i == 0 {
+		return nil, fmt.Errorf("ml: naive Bayes needs both classes (have %d correct, %d incorrect)", c, i)
+	}
+	nb := &NaiveBayes{}
+	var count [2]float64
+	for _, s := range d {
+		k := classIdx(s.Correct)
+		count[k]++
+		for f := 0; f < NumFeatures; f++ {
+			nb.mean[k][f] += float64(s.Features[f])
+		}
+	}
+	for k := 0; k < 2; k++ {
+		nb.prior[k] = count[k] / float64(len(d))
+		for f := 0; f < NumFeatures; f++ {
+			nb.mean[k][f] /= count[k]
+		}
+	}
+	for _, s := range d {
+		k := classIdx(s.Correct)
+		for f := 0; f < NumFeatures; f++ {
+			diff := float64(s.Features[f]) - nb.mean[k][f]
+			nb.variance[k][f] += diff * diff
+		}
+	}
+	for k := 0; k < 2; k++ {
+		for f := 0; f < NumFeatures; f++ {
+			nb.variance[k][f] /= count[k]
+			// Variance smoothing keeps degenerate features usable.
+			if nb.variance[k][f] < 1e-6 {
+				nb.variance[k][f] = 1e-6
+			}
+		}
+	}
+	return nb, nil
+}
+
+// logGaussian is the log density of x under N(mean, variance).
+func logGaussian(x, mean, variance float64) float64 {
+	diff := x - mean
+	return -0.5*math.Log(2*math.Pi*variance) - diff*diff/(2*variance)
+}
+
+// Classify returns the maximum-a-posteriori class for a feature vector.
+func (nb *NaiveBayes) Classify(features [NumFeatures]uint64) bool {
+	var logPost [2]float64
+	for k := 0; k < 2; k++ {
+		logPost[k] = math.Log(nb.prior[k])
+		for f := 0; f < NumFeatures; f++ {
+			logPost[k] += logGaussian(float64(features[f]), nb.mean[k][f], nb.variance[k][f])
+		}
+	}
+	return logPost[1] >= logPost[0]
+}
+
+// ClassifySample implements Classifier.
+func (nb *NaiveBayes) ClassifySample(s Sample) bool { return nb.Classify(s.Features) }
+
+// Interface checks.
+var (
+	_ Classifier = (*NaiveBayes)(nil)
+	_ Classifier = (*Tree)(nil)
+)

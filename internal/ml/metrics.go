@@ -1,0 +1,76 @@
+package ml
+
+import "fmt"
+
+// Confusion is the 2×2 confusion matrix of a detector evaluation. The
+// positive class is "incorrect execution" (a detection).
+type Confusion struct {
+	// TruePositive: incorrect executions flagged incorrect (detections).
+	TruePositive int
+	// FalseNegative: incorrect executions classified correct (misses).
+	FalseNegative int
+	// TrueNegative: correct executions classified correct.
+	TrueNegative int
+	// FalsePositive: correct executions flagged incorrect (spurious
+	// recoveries; the paper measures 0.7%).
+	FalsePositive int
+}
+
+// Total returns the number of evaluated samples.
+func (c Confusion) Total() int {
+	return c.TruePositive + c.FalseNegative + c.TrueNegative + c.FalsePositive
+}
+
+// Accuracy is the fraction classified correctly.
+func (c Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.TruePositive+c.TrueNegative) / float64(t)
+}
+
+// Coverage is the fraction of incorrect executions detected (recall on the
+// positive class).
+func (c Confusion) Coverage() float64 {
+	p := c.TruePositive + c.FalseNegative
+	if p == 0 {
+		return 0
+	}
+	return float64(c.TruePositive) / float64(p)
+}
+
+// FalsePositiveRate is the fraction of correct executions flagged.
+func (c Confusion) FalsePositiveRate() float64 {
+	n := c.TrueNegative + c.FalsePositive
+	if n == 0 {
+		return 0
+	}
+	return float64(c.FalsePositive) / float64(n)
+}
+
+// String summarises the matrix.
+func (c Confusion) String() string {
+	return fmt.Sprintf("acc=%.1f%% coverage=%.1f%% fpr=%.2f%% (tp=%d fn=%d tn=%d fp=%d)",
+		100*c.Accuracy(), 100*c.Coverage(), 100*c.FalsePositiveRate(),
+		c.TruePositive, c.FalseNegative, c.TrueNegative, c.FalsePositive)
+}
+
+// Evaluate classifies every sample in the dataset and tallies the matrix.
+func Evaluate(t Classifier, d Dataset) Confusion {
+	var c Confusion
+	for _, s := range d {
+		predictedCorrect := t.ClassifySample(s)
+		switch {
+		case !s.Correct && !predictedCorrect:
+			c.TruePositive++
+		case !s.Correct && predictedCorrect:
+			c.FalseNegative++
+		case s.Correct && predictedCorrect:
+			c.TrueNegative++
+		default:
+			c.FalsePositive++
+		}
+	}
+	return c
+}

@@ -1,0 +1,93 @@
+package ml
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rule export: the paper notes that "the tree can be summarized in a set of
+// rules" which are "essentially a series of branches with conditions" that
+// the hypervisor implementation evaluates (Section IV, "Enabling VM
+// transition detection"). Rules flattens a trained tree into exactly that
+// form — one conjunctive integer-comparison rule per leaf — which is the
+// artifact a C implementation would compile into the hypervisor.
+
+// Comparison is one integer test within a rule.
+type Comparison struct {
+	Feature   int
+	Threshold uint64
+	// LessEq: feature ≤ threshold (otherwise feature > threshold).
+	LessEq bool
+}
+
+// String renders the comparison.
+func (c Comparison) String() string {
+	op := ">"
+	if c.LessEq {
+		op = "<="
+	}
+	return fmt.Sprintf("%s %s %d", FeatureName(c.Feature), op, c.Threshold)
+}
+
+// Rule is a conjunction of comparisons ending in a classification.
+type Rule struct {
+	Conditions []Comparison
+	Correct    bool
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	class := "INCORRECT"
+	if r.Correct {
+		class = "CORRECT"
+	}
+	if len(r.Conditions) == 0 {
+		return "always → " + class
+	}
+	parts := make([]string, len(r.Conditions))
+	for i, c := range r.Conditions {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " && ") + " → " + class
+}
+
+// Matches reports whether the feature vector satisfies every condition.
+func (r Rule) Matches(features [NumFeatures]uint64) bool {
+	for _, c := range r.Conditions {
+		v := features[c.Feature]
+		if c.LessEq != (v <= c.Threshold) {
+			return false
+		}
+	}
+	return true
+}
+
+// Rules flattens the tree into its leaf rules, in left-to-right order. The
+// rules are exhaustive and mutually exclusive: every feature vector matches
+// exactly one.
+func (t *Tree) Rules() []Rule {
+	var rules []Rule
+	var walk func(n *Node, conds []Comparison)
+	walk = func(n *Node, conds []Comparison) {
+		if n.Leaf {
+			rule := Rule{Conditions: append([]Comparison(nil), conds...), Correct: n.Correct}
+			rules = append(rules, rule)
+			return
+		}
+		walk(n.Left, append(conds, Comparison{Feature: n.Feature, Threshold: n.Threshold, LessEq: true}))
+		walk(n.Right, append(conds, Comparison{Feature: n.Feature, Threshold: n.Threshold, LessEq: false}))
+	}
+	walk(t.Root, nil)
+	return rules
+}
+
+// ClassifyByRules classifies through the rule list (reference semantics for
+// the compiled form; Classify through the tree is the fast path).
+func ClassifyByRules(rules []Rule, features [NumFeatures]uint64) (bool, bool) {
+	for _, r := range rules {
+		if r.Matches(features) {
+			return r.Correct, true
+		}
+	}
+	return false, false
+}

@@ -1,0 +1,97 @@
+package ml
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRulesMatchTreeExactly(t *testing.T) {
+	train := synthetic(1500, 300, 51)
+	tree, err := Train(train, DefaultRandomTree(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := Rules(tree)
+	if len(rules) == 0 {
+		t.Fatal("no rules exported")
+	}
+	for _, s := range train {
+		want, _ := tree.Classify(s.Features)
+		got, matched := ClassifyByRules(rules, s.Features)
+		if !matched {
+			t.Fatalf("no rule matched %v (rules not exhaustive)", s.Features)
+		}
+		if got != want {
+			t.Fatalf("rule classification %v != tree %v for %v", got, want, s.Features)
+		}
+	}
+}
+
+// Rules adapts the method call for readability in tests.
+func Rules(t *Tree) []Rule { return t.Rules() }
+
+// Property: the rule set is exhaustive and mutually exclusive — every
+// feature vector matches exactly one rule, and that rule agrees with the
+// tree.
+func TestRulesExhaustiveExclusiveProperty(t *testing.T) {
+	train := synthetic(800, 200, 53)
+	tree, err := Train(train, DefaultDecisionTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := tree.Rules()
+	f := func(a, b, c, d, e uint64) bool {
+		features := [NumFeatures]uint64{a % 70, b % 100000, c % 10000, d % 10000, e % 10000}
+		matches := 0
+		var verdict bool
+		for _, r := range rules {
+			if r.Matches(features) {
+				matches++
+				verdict = r.Correct
+			}
+		}
+		if matches != 1 {
+			return false
+		}
+		want, _ := tree.Classify(features)
+		return verdict == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRuleRendering(t *testing.T) {
+	r := Rule{
+		Conditions: []Comparison{
+			{Feature: FeatWM, Threshold: 30, LessEq: true},
+			{Feature: FeatRT, Threshold: 200, LessEq: false},
+		},
+		Correct: false,
+	}
+	s := r.String()
+	if !strings.Contains(s, "WM <= 30") || !strings.Contains(s, "RT > 200") ||
+		!strings.Contains(s, "INCORRECT") {
+		t.Errorf("rule rendering: %q", s)
+	}
+	leaf := Rule{Correct: true}
+	if got := leaf.String(); !strings.Contains(got, "always") {
+		t.Errorf("unconditional rule: %q", got)
+	}
+}
+
+func TestSingleLeafTreeRules(t *testing.T) {
+	var d Dataset
+	for i := 0; i < 10; i++ {
+		d = append(d, NewSample(0, uint64(i), 0, 0, 0, true))
+	}
+	tree, err := Train(d, DefaultDecisionTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := tree.Rules()
+	if len(rules) != 1 || !rules[0].Correct || len(rules[0].Conditions) != 0 {
+		t.Errorf("single-leaf rules = %+v", rules)
+	}
+}

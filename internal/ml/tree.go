@@ -1,0 +1,258 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Node is one decision-tree node. Internal nodes route samples by an
+// integer threshold comparison (feature ≤ Threshold → Left); leaves carry
+// the class.
+type Node struct {
+	Leaf    bool
+	Correct bool // leaf class
+
+	Feature   int
+	Threshold uint64
+	Left      *Node
+	Right     *Node
+}
+
+// Tree is a trained classifier.
+type Tree struct {
+	Root *Node
+	// Cfg is the configuration the tree was trained with.
+	Cfg Config
+}
+
+// Config controls tree induction.
+type Config struct {
+	// MaxDepth bounds tree depth (0 means unbounded).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (≥1).
+	MinLeaf int
+	// RandomFeatures, when >0, makes this a random tree: each split
+	// considers only that many randomly drawn features. The paper uses
+	// ⌊log₂(#features)⌋+1 = 3.
+	RandomFeatures int
+	// Seed drives the random-tree feature draws.
+	Seed int64
+}
+
+// PaperRandomFeatures is ⌊log₂(NumFeatures)⌋+1, the WEKA RandomTree
+// default the paper cites.
+const PaperRandomFeatures = 3
+
+// DefaultDecisionTree returns the plain decision-tree configuration.
+func DefaultDecisionTree() Config { return Config{MaxDepth: 24, MinLeaf: 2} }
+
+// DefaultRandomTree returns the paper's random-tree configuration.
+func DefaultRandomTree(seed int64) Config {
+	return Config{MaxDepth: 24, MinLeaf: 1, RandomFeatures: PaperRandomFeatures, Seed: seed}
+}
+
+// entropy computes the binary entropy of a (correct, incorrect) count pair.
+func entropy(c, i int) float64 {
+	n := c + i
+	if n == 0 || c == 0 || i == 0 {
+		return 0
+	}
+	pc := float64(c) / float64(n)
+	pi := float64(i) / float64(n)
+	return -pc*math.Log2(pc) - pi*math.Log2(pi)
+}
+
+// split describes one candidate split and its information gain D
+// (paper Section III-B: D(T,Tl,Tr) = H(T) − (Pl·H(Tl) + Pr·H(Tr))).
+type split struct {
+	feature   int
+	threshold uint64
+	gain      float64
+}
+
+// bestSplitOn finds the best threshold for one feature by scanning class
+// boundaries of the value-sorted samples.
+func bestSplitOn(d Dataset, f int, parentEntropy float64) (split, bool) {
+	type vl struct {
+		v       uint64
+		correct bool
+	}
+	vals := make([]vl, len(d))
+	for i, s := range d {
+		vals[i] = vl{s.Features[f], s.Correct}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].v < vals[j].v })
+
+	totalC, totalI := d.Counts()
+	n := float64(len(d))
+	best := split{feature: f, gain: -1}
+	leftC, leftI := 0, 0
+	for i := 0; i < len(vals)-1; i++ {
+		if vals[i].correct {
+			leftC++
+		} else {
+			leftI++
+		}
+		if vals[i].v == vals[i+1].v {
+			continue // threshold must separate distinct values
+		}
+		rightC, rightI := totalC-leftC, totalI-leftI
+		nl := float64(leftC + leftI)
+		nr := float64(rightC + rightI)
+		gain := parentEntropy - (nl/n*entropy(leftC, leftI) + nr/n*entropy(rightC, rightI))
+		if gain > best.gain {
+			best.gain = gain
+			best.threshold = vals[i].v
+		}
+	}
+	return best, best.gain >= 0
+}
+
+// Train induces a tree on the dataset with the given configuration.
+func Train(d Dataset, cfg Config) (*Tree, error) {
+	if len(d) == 0 {
+		return nil, fmt.Errorf("ml: empty training set")
+	}
+	if cfg.MinLeaf < 1 {
+		cfg.MinLeaf = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	root := grow(d, cfg, rng, 0)
+	return &Tree{Root: root, Cfg: cfg}, nil
+}
+
+// grow recursively builds nodes.
+func grow(d Dataset, cfg Config, rng *rand.Rand, depth int) *Node {
+	c, i := d.Counts()
+	if c == 0 || i == 0 || len(d) < 2*cfg.MinLeaf ||
+		(cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) {
+		return &Node{Leaf: true, Correct: d.Majority()}
+	}
+	parentEntropy := entropy(c, i)
+
+	features := candidateFeatures(cfg, rng)
+	best := split{gain: -1}
+	found := false
+	for _, f := range features {
+		s, ok := bestSplitOn(d, f, parentEntropy)
+		if ok && s.gain > best.gain {
+			best = s
+			found = true
+		}
+	}
+	if !found || best.gain <= 0 {
+		// Random trees retry with the full feature set before giving up,
+		// like WEKA falling back when the drawn subset is uninformative.
+		if cfg.RandomFeatures > 0 {
+			for f := 0; f < NumFeatures; f++ {
+				s, ok := bestSplitOn(d, f, parentEntropy)
+				if ok && s.gain > best.gain {
+					best = s
+					found = true
+				}
+			}
+		}
+		if !found || best.gain <= 0 {
+			return &Node{Leaf: true, Correct: d.Majority()}
+		}
+	}
+	left, right := d.Split(best.feature, best.threshold)
+	if len(left) < cfg.MinLeaf || len(right) < cfg.MinLeaf {
+		return &Node{Leaf: true, Correct: d.Majority()}
+	}
+	return &Node{
+		Feature:   best.feature,
+		Threshold: best.threshold,
+		Left:      grow(left, cfg, rng, depth+1),
+		Right:     grow(right, cfg, rng, depth+1),
+	}
+}
+
+// candidateFeatures returns the features considered at one node: all for a
+// decision tree, a random subset for a random tree.
+func candidateFeatures(cfg Config, rng *rand.Rand) []int {
+	if cfg.RandomFeatures <= 0 || cfg.RandomFeatures >= NumFeatures {
+		fs := make([]int, NumFeatures)
+		for i := range fs {
+			fs[i] = i
+		}
+		return fs
+	}
+	perm := rng.Perm(NumFeatures)
+	return perm[:cfg.RandomFeatures]
+}
+
+// Classify routes a feature vector to a class. It also reports the number
+// of comparisons performed — the integer work the in-hypervisor
+// implementation pays at VM entry.
+func (t *Tree) Classify(features [NumFeatures]uint64) (correct bool, comparisons int) {
+	n := t.Root
+	for !n.Leaf {
+		comparisons++
+		if features[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Correct, comparisons
+}
+
+// ClassifySample classifies a sample's features.
+func (t *Tree) ClassifySample(s Sample) bool {
+	c, _ := t.Classify(s.Features)
+	return c
+}
+
+// Size returns the number of nodes.
+func (t *Tree) Size() int { return countNodes(t.Root) }
+
+func countNodes(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.Leaf {
+		return 1
+	}
+	return 1 + countNodes(n.Left) + countNodes(n.Right)
+}
+
+// Depth returns the maximum depth (root = 0).
+func (t *Tree) Depth() int { return nodeDepth(t.Root) }
+
+func nodeDepth(n *Node) int {
+	if n == nil || n.Leaf {
+		return 0
+	}
+	l, r := nodeDepth(n.Left), nodeDepth(n.Right)
+	if l > r {
+		return 1 + l
+	}
+	return 1 + r
+}
+
+// String renders the tree as indented rules (paper Fig. 6 style).
+func (t *Tree) String() string {
+	var b strings.Builder
+	renderNode(&b, t.Root, 0)
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n.Leaf {
+		class := "Incorrect"
+		if n.Correct {
+			class = "Correct"
+		}
+		fmt.Fprintf(b, "%s→ %s\n", indent, class)
+		return
+	}
+	fmt.Fprintf(b, "%sif %s <= %d:\n", indent, FeatureName(n.Feature), n.Threshold)
+	renderNode(b, n.Left, depth+1)
+	fmt.Fprintf(b, "%selse:\n", indent)
+	renderNode(b, n.Right, depth+1)
+}

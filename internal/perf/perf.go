@@ -1,0 +1,102 @@
+// Package perf models the hardware performance counters Xentry relies on
+// for feature collection (paper Table I): retired instructions
+// (INST_RETIRED), retired branches (BR_INST_RETIRED), and retired memory
+// loads/stores (MEM_INST_RETIRED.LOADS/STORES). Counters are per logical
+// CPU — the paper notes logical cores do not share counters — and are armed
+// at VM exit and read back at VM entry by the Xentry shim.
+package perf
+
+import "fmt"
+
+// Event identifies a hardware performance monitoring event.
+type Event uint8
+
+// The four events Xentry programs (paper Table I).
+const (
+	// InstRetired counts committed instructions (synonym RT).
+	InstRetired Event = iota
+	// BranchRetired counts committed branch instructions (synonym BR).
+	BranchRetired
+	// LoadsRetired counts committed memory read accesses (synonym RM).
+	LoadsRetired
+	// StoresRetired counts committed memory write accesses (synonym WM).
+	StoresRetired
+	// NumEvents is the number of programmable counters.
+	NumEvents
+)
+
+var eventNames = [NumEvents]string{
+	"INST_RETIRED", "BR_INST_RETIRED",
+	"MEM_INST_RETIRED.LOADS", "MEM_INST_RETIRED.STORES",
+}
+
+var eventSynonyms = [NumEvents]string{"RT", "BR", "RM", "WM"}
+
+// String returns the architectural event name.
+func (e Event) String() string {
+	if int(e) < len(eventNames) {
+		return eventNames[e]
+	}
+	return fmt.Sprintf("event(%d)", uint8(e))
+}
+
+// Synonym returns the short name used in the paper (RT/BR/RM/WM).
+func (e Event) Synonym() string {
+	if int(e) < len(eventSynonyms) {
+		return eventSynonyms[e]
+	}
+	return e.String()
+}
+
+// Sample is one reading of all four counters.
+type Sample [NumEvents]uint64
+
+// RT returns the retired-instruction count.
+func (s Sample) RT() uint64 { return s[InstRetired] }
+
+// BR returns the retired-branch count.
+func (s Sample) BR() uint64 { return s[BranchRetired] }
+
+// RM returns the retired-load count.
+func (s Sample) RM() uint64 { return s[LoadsRetired] }
+
+// WM returns the retired-store count.
+func (s Sample) WM() uint64 { return s[StoresRetired] }
+
+// String formats the sample compactly.
+func (s Sample) String() string {
+	return fmt.Sprintf("RT=%d BR=%d RM=%d WM=%d", s.RT(), s.BR(), s.RM(), s.WM())
+}
+
+// Counters is the performance monitoring unit of one logical CPU.
+type Counters struct {
+	armed  bool
+	counts Sample
+}
+
+// New returns a disarmed counter bank.
+func New() *Counters { return &Counters{} }
+
+// Arm zeroes and enables counting. The Xentry shim calls this right before
+// the original VM-exit handler runs.
+func (c *Counters) Arm() {
+	c.counts = Sample{}
+	c.armed = true
+}
+
+// Disarm stops counting; the accumulated counts remain readable.
+func (c *Counters) Disarm() { c.armed = false }
+
+// Armed reports whether the bank is counting.
+func (c *Counters) Armed() bool { return c.armed }
+
+// Read returns the current counter values.
+func (c *Counters) Read() Sample { return c.counts }
+
+// Count adds n occurrences of event e when armed. The CPU core calls this
+// at instruction retirement.
+func (c *Counters) Count(e Event, n uint64) {
+	if c.armed {
+		c.counts[e] += n
+	}
+}

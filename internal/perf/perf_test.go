@@ -1,0 +1,101 @@
+package perf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestArmResetsCounts(t *testing.T) {
+	c := New()
+	c.Arm()
+	c.Count(InstRetired, 10)
+	c.Arm()
+	if got := c.Read().RT(); got != 0 {
+		t.Fatalf("after re-arm RT = %d, want 0", got)
+	}
+}
+
+func TestDisarmedIgnoresCounts(t *testing.T) {
+	c := New()
+	c.Count(InstRetired, 5)
+	if got := c.Read().RT(); got != 0 {
+		t.Fatalf("disarmed counter accumulated %d", got)
+	}
+	c.Arm()
+	c.Count(InstRetired, 5)
+	c.Disarm()
+	c.Count(InstRetired, 7)
+	if got := c.Read().RT(); got != 5 {
+		t.Fatalf("RT = %d, want 5", got)
+	}
+}
+
+func TestArmedFlag(t *testing.T) {
+	c := New()
+	if c.Armed() {
+		t.Error("new counters should be disarmed")
+	}
+	c.Arm()
+	if !c.Armed() {
+		t.Error("Arm did not arm")
+	}
+	c.Disarm()
+	if c.Armed() {
+		t.Error("Disarm did not disarm")
+	}
+}
+
+func TestAllEventsIndependent(t *testing.T) {
+	c := New()
+	c.Arm()
+	c.Count(InstRetired, 1)
+	c.Count(BranchRetired, 2)
+	c.Count(LoadsRetired, 3)
+	c.Count(StoresRetired, 4)
+	s := c.Read()
+	if s.RT() != 1 || s.BR() != 2 || s.RM() != 3 || s.WM() != 4 {
+		t.Fatalf("sample = %v", s)
+	}
+}
+
+func TestEventNames(t *testing.T) {
+	want := map[Event][2]string{
+		InstRetired:   {"INST_RETIRED", "RT"},
+		BranchRetired: {"BR_INST_RETIRED", "BR"},
+		LoadsRetired:  {"MEM_INST_RETIRED.LOADS", "RM"},
+		StoresRetired: {"MEM_INST_RETIRED.STORES", "WM"},
+	}
+	for e, names := range want {
+		if e.String() != names[0] {
+			t.Errorf("%d.String() = %q, want %q", e, e.String(), names[0])
+		}
+		if e.Synonym() != names[1] {
+			t.Errorf("%d.Synonym() = %q, want %q", e, e.Synonym(), names[1])
+		}
+	}
+}
+
+func TestSampleString(t *testing.T) {
+	s := Sample{10, 2, 3, 4}
+	if got := s.String(); got != "RT=10 BR=2 RM=3 WM=4" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// Property: counts accumulate additively per event while armed.
+func TestCountAdditiveProperty(t *testing.T) {
+	f := func(incs []uint16, ev uint8) bool {
+		c := New()
+		c.Arm()
+		e := Event(ev % uint8(NumEvents))
+		var want uint64
+		for _, n := range incs {
+			c.Count(e, uint64(n))
+			want += uint64(n)
+		}
+		return c.Read()[e] == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

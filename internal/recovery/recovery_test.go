@@ -1,0 +1,91 @@
+package recovery
+
+import (
+	"strings"
+	"testing"
+
+	"xentry/internal/workload"
+)
+
+func testTrace(n int) []ActivationCost {
+	trace := make([]ActivationCost, n)
+	for i := range trace {
+		trace[i] = ActivationCost{GuestCycles: 10000, HandlerCycles: 200}
+	}
+	return trace
+}
+
+func TestZeroFPRLeavesOnlyCopyCost(t *testing.T) {
+	m := Model{CopyCycles: 100, RestoreCycles: 100, FalsePositiveRate: 0}
+	est := m.EstimateForTrace("mcf", testTrace(500), 10, 1)
+	// Only the per-exit snapshot cost remains: 100/(10200).
+	want := 100.0 / 10200.0
+	if est.Overhead < want*0.99 || est.Overhead > want*1.01 {
+		t.Errorf("overhead = %f, want ≈%f", est.Overhead, want)
+	}
+	if est.Min != est.Max {
+		t.Errorf("deterministic model should have zero spread: %f vs %f", est.Min, est.Max)
+	}
+	if est.FalsePositives != 0 {
+		t.Errorf("false positives = %f", est.FalsePositives)
+	}
+}
+
+func TestFPRAddsReexecutionCost(t *testing.T) {
+	m0 := Model{CopyCycles: 100, RestoreCycles: 100, FalsePositiveRate: 0}
+	m1 := Model{CopyCycles: 100, RestoreCycles: 100, FalsePositiveRate: 0.05}
+	trace := testTrace(2000)
+	e0 := m0.EstimateForTrace("x", trace, 20, 1)
+	e1 := m1.EstimateForTrace("x", trace, 20, 1)
+	if e1.Overhead <= e0.Overhead {
+		t.Errorf("FPR did not add cost: %f vs %f", e1.Overhead, e0.Overhead)
+	}
+	if e1.FalsePositives < 50 || e1.FalsePositives > 150 {
+		t.Errorf("fp/run = %f, want ≈100", e1.FalsePositives)
+	}
+}
+
+func TestSpreadIsSmall(t *testing.T) {
+	// The paper reports max-min spread < 0.03% at 0.7% FPR over 100 reps.
+	m := DefaultModel()
+	trace := testTrace(5000)
+	est := m.EstimateForTrace("postmark", trace, 100, 7)
+	if spread := est.Max - est.Min; spread > 0.002 {
+		t.Errorf("spread = %f, want small", spread)
+	}
+	if est.Overhead <= 0 {
+		t.Error("overhead should be positive")
+	}
+}
+
+func TestIODominatedWorkloadsCostMore(t *testing.T) {
+	// Higher activation rates (shorter guest intervals) raise recovery
+	// overhead — postmark > bzip2 in Fig. 11.
+	m := DefaultModel()
+	pm, _ := workload.ByName("postmark")
+	bz, _ := workload.ByName("bzip2")
+	tracePM := SyntheticTrace(pm, workload.PV, 3000, 200, 3)
+	traceBZ := SyntheticTrace(bz, workload.PV, 3000, 200, 3)
+	ePM := m.EstimateForTrace("postmark", tracePM, 50, 5)
+	eBZ := m.EstimateForTrace("bzip2", traceBZ, 50, 5)
+	if ePM.Overhead <= eBZ.Overhead {
+		t.Errorf("postmark %.3f%% should exceed bzip2 %.3f%%",
+			100*ePM.Overhead, 100*eBZ.Overhead)
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	m := DefaultModel()
+	est := m.EstimateForTrace("mcf", testTrace(100), 5, 2)
+	if s := est.String(); !strings.Contains(s, "mcf") || !strings.Contains(s, "overhead=") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestDefaultRepsApplied(t *testing.T) {
+	m := DefaultModel()
+	est := m.EstimateForTrace("x", testTrace(50), 0, 2)
+	if est.Overhead <= 0 {
+		t.Error("zero reps should default to 100 and still produce an estimate")
+	}
+}

@@ -1,0 +1,244 @@
+// Package sim is the full-system simulator of the evaluation (the paper
+// used Simics): it assembles the mini-Xen hypervisor, wraps it with the
+// Xentry sentry, and drives it with benchmark workloads — producing the
+// deterministic activation streams that the fault-injection campaigns,
+// training-data collection, and overhead studies all replay.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xentry/internal/core"
+	"xentry/internal/guest"
+	"xentry/internal/hv"
+	"xentry/internal/ml"
+	"xentry/internal/workload"
+)
+
+// Config describes one simulated machine setup.
+type Config struct {
+	// Benchmark is the workload name (see workload.Names).
+	Benchmark string
+	// Mode is the virtualization mode.
+	Mode workload.Mode
+	// Domains is the domain count (domain 0 privileged). The paper's
+	// injection setup is Dom0 plus two PV DomUs.
+	Domains int
+	// Seed drives every random draw; equal seeds replay identical
+	// activation streams.
+	Seed int64
+	// Detection selects the Xentry configuration.
+	Detection core.Options
+}
+
+// DefaultConfig mirrors the paper's injection setup.
+func DefaultConfig(benchmark string, seed int64) Config {
+	return Config{
+		Benchmark: benchmark,
+		Mode:      workload.PV,
+		Domains:   3,
+		Seed:      seed,
+		Detection: core.FullDetection(),
+	}
+}
+
+// Activation is one completed VM exit/entry cycle.
+type Activation struct {
+	Index   int
+	Ev      hv.ExitEvent
+	Outcome core.Outcome
+	Record  guest.Record
+	// GuestCycles is the guest compute time preceding this exit.
+	GuestCycles float64
+	// Recovered reports that a positive detection triggered the recovery
+	// mechanism and the activation was re-executed from the snapshot; the
+	// first detection's technique is preserved in FirstDetection.
+	Recovered      bool
+	FirstDetection core.Technique
+}
+
+// Machine is one simulated host.
+type Machine struct {
+	Cfg     Config
+	HV      *hv.Hypervisor
+	Sentry  *core.Sentry
+	Profile *workload.Profile
+
+	// RecoverOnDetection enables the paper's Section VI recovery
+	// mechanism live: the machine snapshots critical state at every VM
+	// exit and, on any positive detection (correct or false), restores
+	// the snapshot and re-executes the activation once. The transient
+	// fault does not recur, so re-execution normally completes cleanly.
+	RecoverOnDetection bool
+	// Recoveries counts triggered recoveries.
+	Recoveries int
+
+	rng  *rand.Rand
+	step int
+	// Clock accumulates virtual cycles: guest compute + hypervisor
+	// execution + detection shim.
+	Clock float64
+}
+
+// NewMachine builds a machine from the configuration.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.Domains == 0 {
+		cfg.Domains = 3
+	}
+	prof, err := workload.ByName(cfg.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	h, err := hv.New(cfg.Domains)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		Cfg:     cfg,
+		HV:      h,
+		Sentry:  core.New(h, cfg.Detection),
+		Profile: prof,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// SetModel installs a trained transition-detection model.
+func (m *Machine) SetModel(t *ml.Tree) { m.Sentry.SetModel(t) }
+
+// nextEvent draws the next VM exit deterministically from the workload.
+func (m *Machine) nextEvent() (*hv.ExitEvent, float64, error) {
+	// Domain selection: the control domain runs the I/O backend and
+	// management plane (~20% of exits); application domains share the rest.
+	var dom int
+	if m.rng.Float64() < 0.2 {
+		dom = 0
+	} else if m.Cfg.Domains > 1 {
+		dom = 1 + m.rng.Intn(m.Cfg.Domains-1)
+	}
+	reason := m.Profile.SampleReason(m.Cfg.Mode, m.rng)
+	if dom == 0 && m.rng.Float64() < 0.1 {
+		// Management-plane traffic only Dom0 issues.
+		if m.rng.Intn(2) == 0 {
+			reason = hv.HCDomctl
+		} else {
+			reason = hv.HCSysctl
+		}
+	}
+	args, err := hv.PrepareGuestInput(m.HV, dom, reason, m.rng.Uint64())
+	if err != nil {
+		return nil, 0, err
+	}
+	interval := m.Profile.SampleInterval(m.Cfg.Mode, m.rng)
+	return &hv.ExitEvent{Reason: reason, Dom: dom, Args: args}, interval, nil
+}
+
+// Step executes one activation.
+func (m *Machine) Step() (Activation, error) {
+	ev, interval, err := m.nextEvent()
+	if err != nil {
+		return Activation{}, err
+	}
+	// The TSC runs at wall-clock rate: it advances across the guest's
+	// compute interval, not just during hypervisor execution.
+	m.HV.CPU.TSC += uint64(interval)
+	var snap map[string][]uint64
+	if m.RecoverOnDetection {
+		// Preserve the critical data and the VM exit reason at every VM
+		// exit (paper Section VI).
+		snap = m.HV.Snapshot()
+	}
+	out, err := m.Sentry.Execute(ev, hv.DefaultBudget)
+	if err != nil {
+		return Activation{}, err
+	}
+	recovered := false
+	firstDetection := out.Technique
+	if m.RecoverOnDetection && out.Technique != core.TechNone {
+		// Positive detection: restore the snapshot and re-execute. The
+		// soft error was transient, so the re-execution runs fault-free;
+		// re-execution roughly doubles the activation's hypervisor time.
+		if err := m.HV.Restore(snap); err != nil {
+			return Activation{}, err
+		}
+		out, err = m.Sentry.Execute(ev, hv.DefaultBudget)
+		if err != nil {
+			return Activation{}, err
+		}
+		m.Recoveries++
+		recovered = true
+	}
+	rec := guest.Capture(m.HV, ev)
+	// The guest acknowledges delivered events before resuming work.
+	if err := m.HV.ClearEventPending(ev.Dom); err != nil {
+		return Activation{}, err
+	}
+	m.Clock += interval + float64(out.Result.Steps) + float64(out.ShimCycles)
+	act := Activation{
+		Index:          m.step,
+		Ev:             *ev,
+		Outcome:        out,
+		Record:         rec,
+		GuestCycles:    interval,
+		Recovered:      recovered,
+		FirstDetection: firstDetection,
+	}
+	m.step++
+	return act, nil
+}
+
+// Run executes n activations and returns them.
+func (m *Machine) Run(n int) ([]Activation, error) {
+	acts := make([]Activation, 0, n)
+	for i := 0; i < n; i++ {
+		act, err := m.Step()
+		if err != nil {
+			return acts, err
+		}
+		acts = append(acts, act)
+	}
+	return acts, nil
+}
+
+// GoldenRun builds a fresh machine from cfg and records the fault-free
+// stream: activations (with features), guest records, and per-activation
+// dynamic instruction counts. Injection runs replay the same cfg.
+func GoldenRun(cfg Config, n int) ([]Activation, error) {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	acts, err := m.Run(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := range acts {
+		if acts[i].Outcome.Technique != core.TechNone {
+			return nil, fmt.Errorf("sim: golden run flagged at activation %d (%v)",
+				i, acts[i].Outcome.Technique)
+		}
+		if acts[i].Outcome.Hang {
+			return nil, fmt.Errorf("sim: golden run hung at activation %d", i)
+		}
+	}
+	return acts, nil
+}
+
+// MeanHandlerCost estimates the average hypervisor execution length
+// (instructions per activation) for a configuration — the handler-cost
+// input of the Fig. 3 frequency model.
+func MeanHandlerCost(cfg Config, n int) (float64, error) {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		return 0, err
+	}
+	var total uint64
+	for i := 0; i < n; i++ {
+		act, err := m.Step()
+		if err != nil {
+			return 0, err
+		}
+		total += act.Outcome.Result.Steps + act.Outcome.ShimCycles
+	}
+	return float64(total) / float64(n), nil
+}

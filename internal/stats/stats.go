@@ -1,0 +1,201 @@
+// Package stats provides the descriptive statistics the evaluation figures
+// are built from: five-number summaries for box plots (Fig. 3), empirical
+// CDFs (Fig. 10), percentiles, and simple fixed-width text rendering used
+// by the report tools.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// FiveNum is a box-plot summary.
+type FiveNum struct {
+	Min, Q1, Median, Q3, Max float64
+	N                        int
+}
+
+// Summarize computes the five-number summary of xs.
+func Summarize(xs []float64) FiveNum {
+	if len(xs) == 0 {
+		return FiveNum{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return FiveNum{
+		Min:    s[0],
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+		Max:    s[len(s)-1],
+		N:      len(s),
+	}
+}
+
+// String formats the summary compactly.
+func (f FiveNum) String() string {
+	return fmt.Sprintf("min=%.3g q1=%.3g med=%.3g q3=%.3g max=%.3g (n=%d)",
+		f.Min, f.Q1, f.Median, f.Q3, f.Max, f.N)
+}
+
+// quantileSorted computes the q-quantile of sorted data by linear
+// interpolation.
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Quantile computes the q-quantile (0 ≤ q ≤ 1) of unsorted data.
+func Quantile(xs []float64, q float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds the ECDF of xs.
+func NewCDF(xs []float64) *CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X ≤ x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	idx := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Inverse returns the smallest x with P(X ≤ x) ≥ p.
+func (c *CDF) Inverse(p float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	idx := int(math.Ceil(p*float64(len(c.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(c.sorted) {
+		idx = len(c.sorted) - 1
+	}
+	return c.sorted[idx]
+}
+
+// Points samples the CDF at the given xs, returning P(X ≤ x) per point
+// (one series of Fig. 10).
+func (c *CDF) Points(xs []float64) []float64 {
+	ps := make([]float64, len(xs))
+	for i, x := range xs {
+		ps[i] = c.At(x)
+	}
+	return ps
+}
+
+// Histogram counts xs into equal-width bins over [lo, hi).
+func Histogram(xs []float64, lo, hi float64, bins int) []int {
+	counts := make([]int, bins)
+	if bins == 0 || hi <= lo {
+		return counts
+	}
+	w := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		if x < lo || x >= hi {
+			continue
+		}
+		counts[int((x-lo)/w)]++
+	}
+	return counts
+}
+
+// Table renders rows as fixed-width text with a header, for the report
+// binaries.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row (stringified cells).
+func (t *Table) AddRow(cells ...string) *Table {
+	t.rows = append(t.rows, cells)
+	return t
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Pct formats a ratio as a percentage string.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

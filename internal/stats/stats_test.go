@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	f := Summarize([]float64{1, 2, 3, 4, 5})
+	if f.Min != 1 || f.Max != 5 || f.Median != 3 || f.Q1 != 2 || f.Q3 != 4 || f.N != 5 {
+		t.Errorf("summary = %+v", f)
+	}
+	if s := f.String(); !strings.Contains(s, "med=3") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	f := Summarize(nil)
+	if f.N != 0 {
+		t.Errorf("empty summary N = %d", f.N)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := map[float64]float64{0: 10, 1: 40, 0.5: 25}
+	for q, want := range cases {
+		if got := Quantile(xs, q); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Quantile(%.2f) = %f, want %f", q, got, want)
+		}
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("single-element quantile = %f", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Mean = %f", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{100, 200, 300, 400, 500})
+	if c.N() != 5 {
+		t.Errorf("N = %d", c.N())
+	}
+	cases := map[float64]float64{50: 0, 100: 0.2, 250: 0.4, 500: 1, 999: 1}
+	for x, want := range cases {
+		if got := c.At(x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("At(%f) = %f, want %f", x, got, want)
+		}
+	}
+	if got := c.Inverse(0.95); got != 500 {
+		t.Errorf("Inverse(0.95) = %f", got)
+	}
+	if got := c.Inverse(0.2); got != 100 {
+		t.Errorf("Inverse(0.2) = %f", got)
+	}
+	pts := c.Points([]float64{100, 300})
+	if pts[0] != 0.2 || pts[1] != 0.6 {
+		t.Errorf("Points = %v", pts)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(5) != 0 {
+		t.Error("empty CDF At != 0")
+	}
+	if !math.IsNaN(c.Inverse(0.5)) {
+		t.Error("empty CDF Inverse should be NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts := Histogram([]float64{0, 1, 5, 9, 10, -1}, 0, 10, 2)
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Errorf("counts = %v (expected out-of-range 10 and -1 dropped)", counts)
+	}
+	if got := Histogram(nil, 0, 0, 3); len(got) != 3 {
+		t.Errorf("degenerate histogram = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("bench", "overhead").
+		AddRow("mcf", "1.6%").
+		AddRow("postmark", "6.3%")
+	s := tab.String()
+	if !strings.Contains(s, "bench") || !strings.Contains(s, "postmark") {
+		t.Errorf("table:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4", len(lines))
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.123); got != "12.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+// Property: the ECDF is monotone and At(Inverse(p)) ≥ p.
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				raw[i] = float64(i)
+			}
+		}
+		p = math.Abs(p)
+		p -= math.Floor(p)
+		c := NewCDF(raw)
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		prev := -1.0
+		for _, x := range sorted {
+			cur := c.At(x)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return c.At(c.Inverse(p))+1e-12 >= p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: min ≤ q1 ≤ median ≤ q3 ≤ max for any data.
+func TestFiveNumOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		clean := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

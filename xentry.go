@@ -1,0 +1,26 @@
+// Package xentry is a from-scratch Go reproduction of "Xentry:
+// Hypervisor-Level Soft Error Detection" (Xu, Chiang, Huang — ICPP 2014):
+// a soft-error detection framework for hypervisors built from runtime
+// detection (fatal hardware exceptions and software assertions) and VM
+// transition detection (a decision-tree classifier over performance-counter
+// signatures evaluated at every VM entry).
+//
+// Because the original system lives inside Xen and was evaluated with the
+// Simics full-system simulator, this module rebuilds the evaluation stack
+// itself: a deterministic machine simulator (internal/isa, internal/cpu,
+// internal/mem), a mini-Xen whose VM-exit handlers are real programs on the
+// simulated CPU (internal/hv), guest workload and consequence models
+// (internal/guest, internal/workload), a fault-injection methodology
+// (internal/inject), the tree learners (internal/ml), and Xentry itself
+// (internal/core). internal/experiments regenerates every table and figure
+// of the paper's evaluation; the cmd/ tools and the root-level benchmarks
+// are thin wrappers over it.
+//
+// See README.md for a tour and DESIGN.md for the full system inventory.
+package xentry
+
+// Version identifies this reproduction.
+const Version = "1.0.0"
+
+// PaperTitle is the reproduced publication.
+const PaperTitle = "Xentry: Hypervisor-Level Soft Error Detection (ICPP 2014)"
