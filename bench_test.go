@@ -8,6 +8,8 @@ package xentry
 // use cmd/xentry-report for the full-scale numbers.
 
 import (
+	"math/rand"
+	"sort"
 	"testing"
 
 	"xentry/internal/core"
@@ -387,6 +389,56 @@ func BenchmarkInjectionRun(b *testing.B) {
 		if _, err := runner.RunOne(plan); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCampaignThroughput measures raw campaign engine throughput —
+// injections per second — with the checkpoint pool at several intervals K
+// and with checkpointing disabled (every run replays its fault-free prefix
+// from machine reset, the pre-checkpoint engine). The pool is built outside
+// the timer, as RunCampaign builds it eagerly before dispatching workers;
+// plans replay the same seed in activation order, matching the campaign
+// claim loop.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		every int
+	}{
+		{"K=1", 1},
+		{"K=16", 16},
+		{"K=off", -1},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			runner, err := inject.NewRunner(sim.DefaultConfig("postmark", 3), 160, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runner.CheckpointEvery = bc.every
+			if err := runner.EnsureCheckpoints(); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(17))
+			plans := make([]inject.Plan, 256)
+			for i := range plans {
+				plans[i] = runner.RandomPlan(rng)
+			}
+			sort.Slice(plans, func(i, j int) bool {
+				return plans[i].Activation < plans[j].Activation
+			})
+			worker := runner.NewWorker()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := worker.RunOne(plans[i%len(plans)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			secs := b.Elapsed().Seconds()
+			if secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "inj/s")
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/inj")
+		})
 	}
 }
 

@@ -7,16 +7,48 @@
 //
 // Usage:
 //
-//	xentry-campaign [-injections N] [-activations N] [-seed S]
+//	xentry-campaign [-injections N] [-activations N] [-seed S] [-checkpoint-every K]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"sync"
+	"time"
 
 	"xentry/internal/experiments"
 )
+
+// progressPrinter renders a live injections/sec line on stderr, throttled so
+// the terminal is not the bottleneck. Safe for concurrent Progress calls.
+type progressPrinter struct {
+	mu    sync.Mutex
+	start time.Time
+	last  time.Time
+}
+
+func newProgressPrinter() *progressPrinter {
+	now := time.Now()
+	return &progressPrinter{start: now, last: now}
+}
+
+func (p *progressPrinter) report(done, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	if done < total && now.Sub(p.last) < 200*time.Millisecond {
+		return
+	}
+	p.last = now
+	elapsed := now.Sub(p.start).Seconds()
+	rate := float64(done) / elapsed
+	fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d injections (%.0f inj/s)", done, total, rate)
+	if done == total {
+		fmt.Fprintf(os.Stderr, " in %.1fs\n", elapsed)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -25,6 +57,8 @@ func main() {
 	activations := flag.Int("activations", 160, "hypervisor activations per run")
 	seed := flag.Int64("seed", 20140901, "deterministic seed")
 	recover := flag.Bool("recover", false, "also run the live-recovery study (Section VI implemented)")
+	checkpointEvery := flag.Int("checkpoint-every", 0,
+		"golden-checkpoint interval K (0 = default, negative disables checkpointing)")
 	flag.Parse()
 
 	sc := experiments.DefaultScale()
@@ -41,7 +75,7 @@ func main() {
 	fmt.Println()
 
 	log.Printf("running campaign (%d injections per benchmark)...", sc.CampaignInjections)
-	res, err := experiments.Campaign(sc, train.Best())
+	res, err := experiments.CampaignWith(sc, train.Best(), *checkpointEvery, newProgressPrinter().report)
 	if err != nil {
 		log.Fatal(err)
 	}

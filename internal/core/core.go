@@ -127,6 +127,10 @@ func (s *Sentry) Stats() Stats { return s.stats }
 // ResetStats clears the tallies.
 func (s *Sentry) ResetStats() { s.stats = Stats{} }
 
+// RestoreStats reinstates tallies captured with Stats — used when the
+// machine wrapping this sentry is restored from a checkpoint.
+func (s *Sentry) RestoreStats(st Stats) { s.stats = st }
+
 // FatalException implements the paper's exception parsing: surfacing
 // exceptions are fatal corruptions unless they belong to the legal classes
 // already consumed by the hypervisor's fixup machinery (which never

@@ -172,6 +172,28 @@ func (c *CPU) Reset() {
 	c.Regs = [isa.NumReg]uint64{}
 }
 
+// State is the CPU's complete mutable architectural state: the register
+// file (including RIP and RFLAGS), the TSC, and the accumulated cycle
+// count. Hooks, the cpuid table, and the assert switch are configuration,
+// not state, and are not captured.
+type State struct {
+	Regs   [isa.NumReg]uint64
+	TSC    uint64
+	Cycles uint64
+}
+
+// State captures the CPU's architectural state for a checkpoint.
+func (c *CPU) State() State {
+	return State{Regs: c.Regs, TSC: c.TSC, Cycles: c.Cycles}
+}
+
+// RestoreState reinstates a captured State.
+func (c *CPU) RestoreState(s State) {
+	c.Regs = s.Regs
+	c.TSC = s.TSC
+	c.Cycles = s.Cycles
+}
+
 // errVMEntry and friends signal non-exception stops out of step().
 var (
 	errVMEntry = errors.New("vmentry")

@@ -359,6 +359,16 @@ func min(a, b int) int {
 // Campaign runs the detection-effectiveness fault-injection campaign with
 // the trained model installed.
 func Campaign(sc Scale, model *ml.Tree) (*inject.CampaignResult, error) {
+	return CampaignWith(sc, model, 0, nil)
+}
+
+// CampaignWith is Campaign with the campaign engine's knobs exposed:
+// checkpointEvery is the golden-checkpoint interval K (0 = default,
+// negative disables checkpointing) and progress, when non-nil, receives
+// cumulative (done, total) after every completed injection — it is called
+// concurrently from worker goroutines. The aggregates are bit-identical for
+// every checkpointEvery value; only wall-clock changes.
+func CampaignWith(sc Scale, model *ml.Tree, checkpointEvery int, progress func(done, total int)) (*inject.CampaignResult, error) {
 	cfg := inject.CampaignConfig{
 		Benchmarks:             workload.Names(),
 		Mode:                   workload.PV,
@@ -368,6 +378,8 @@ func Campaign(sc Scale, model *ml.Tree) (*inject.CampaignResult, error) {
 		Workers:                sc.Workers,
 		Detection:              core.FullDetection(),
 		Model:                  model,
+		CheckpointEvery:        checkpointEvery,
+		Progress:               progress,
 	}
 	return inject.RunCampaign(cfg)
 }

@@ -295,6 +295,44 @@ func (h *Hypervisor) Snapshot() map[string][]uint64 {
 	return h.Mem.Snapshot()
 }
 
+// Checkpoint is a complete hypervisor-level machine image: the CPU's
+// architectural state, the PMU, the TSC shadow used by live recovery, and a
+// copy-on-write image of machine memory. Unlike the partial Snapshot/
+// Restore pair (memory + TSC only, used for live-recovery re-execution
+// whose cycle cost must stay charged), restoring a Checkpoint reproduces
+// the hypervisor bit-for-bit — the property the campaign engine's shared
+// checkpoint pool depends on. Checkpoints are immutable and safe to restore
+// into many hypervisors concurrently.
+type Checkpoint struct {
+	cpu     cpu.State
+	pmu     perf.State
+	mem     *mem.Checkpoint
+	tscSnap uint64
+}
+
+// Checkpoint captures the hypervisor's complete mutable state. It is cheap:
+// memory is captured copy-on-write (one pointer per page).
+func (h *Hypervisor) Checkpoint() *Checkpoint {
+	return &Checkpoint{
+		cpu:     h.CPU.State(),
+		pmu:     h.CPU.PMU.State(),
+		mem:     h.Mem.Checkpoint(),
+		tscSnap: h.tscSnap,
+	}
+}
+
+// RestoreFrom reinstates a Checkpoint taken from an identically configured
+// hypervisor (same domain count, hence same memory layout).
+func (h *Hypervisor) RestoreFrom(cp *Checkpoint) error {
+	if err := h.Mem.RestoreCheckpoint(cp.mem); err != nil {
+		return err
+	}
+	h.CPU.RestoreState(cp.cpu)
+	h.CPU.PMU.RestoreState(cp.pmu)
+	h.tscSnap = cp.tscSnap
+	return nil
+}
+
 // Restore reinstates a Snapshot and resets the CPU's architectural state.
 // Accumulated cycles are preserved: restoration is used both for repeatable
 // injection runs and for live recovery re-execution, whose cost is real.

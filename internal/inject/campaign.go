@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"xentry/internal/core"
 	"xentry/internal/guest"
@@ -35,6 +36,16 @@ type CampaignConfig struct {
 	Model *ml.Tree
 	// Recover enables live recovery (paper Section VI) on every run.
 	Recover bool
+	// CheckpointEvery is the golden-checkpoint interval K per runner
+	// (0 = DefaultCheckpointEvery, negative disables checkpointing). The
+	// interval is pure mechanism: Tally aggregates are bit-identical for
+	// any value, only wall-clock changes.
+	CheckpointEvery int
+	// Progress, when set, is invoked after every completed injection with
+	// the cumulative campaign progress (done of total across all
+	// benchmarks), e.g. for a live throughput display. It is called
+	// concurrently from worker goroutines and must be safe for that.
+	Progress func(done, total int)
 }
 
 // DefaultCampaign returns a campaign sized down from the paper's 30,000
@@ -202,10 +213,12 @@ type CampaignResult struct {
 	Total        *Tally
 }
 
-// RunCampaign executes the campaign with a worker pool (one independent
-// simulated machine per run, so parallelism is trivially safe) and returns
+// RunCampaign executes the campaign with a worker pool and returns
 // deterministic aggregates: plans are pre-generated from the seed and
-// results are folded in plan order.
+// results are folded in plan order. Each worker owns one reusable machine
+// restored from the runner's shared read-only checkpoint pool per run, so
+// the fault-free prefix is never re-simulated from machine reset; workers
+// claim plans sorted by activation through an atomic counter.
 func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	if len(cfg.Benchmarks) == 0 {
 		cfg.Benchmarks = workload.Names()
@@ -221,6 +234,8 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		PerBenchmark: map[string]*Tally{},
 		Total:        NewTally(),
 	}
+	total := len(cfg.Benchmarks) * cfg.InjectionsPerBenchmark
+	var completed atomic.Int64
 	for bi, bench := range cfg.Benchmarks {
 		simCfg := sim.Config{
 			Benchmark: bench,
@@ -234,26 +249,47 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 			return nil, fmt.Errorf("inject: golden run for %s: %w", bench, err)
 		}
 		runner.Recover = cfg.Recover
+		runner.CheckpointEvery = cfg.CheckpointEvery
+		if err := runner.EnsureCheckpoints(); err != nil {
+			return nil, fmt.Errorf("inject: checkpoint pool for %s: %w", bench, err)
+		}
 		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(bi+1)*104729))
 		plans := make([]Plan, cfg.InjectionsPerBenchmark)
 		for i := range plans {
 			plans[i] = runner.RandomPlan(rng)
 		}
+		// Claim plans in activation order: consecutive runs restore the
+		// same or adjacent checkpoints, keeping residual replays and COW
+		// page traffic minimal. Outcomes are still recorded (and folded)
+		// at their original plan index, so aggregates stay deterministic.
+		order := make([]int, len(plans))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return plans[order[a]].Activation < plans[order[b]].Activation
+		})
 
 		outcomes := make([]Outcome, len(plans))
 		errs := make([]error, len(plans))
+		var next atomic.Int64
 		var wg sync.WaitGroup
-		next := make(chan int, len(plans))
-		for i := range plans {
-			next <- i
-		}
-		close(next)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for i := range next {
-					outcomes[i], errs[i] = runner.RunOne(plans[i])
+				worker := runner.NewWorker()
+				for {
+					n := next.Add(1) - 1
+					if n >= int64(len(order)) {
+						return
+					}
+					i := order[n]
+					outcomes[i], errs[i] = worker.RunOne(plans[i])
+					done := completed.Add(1)
+					if cfg.Progress != nil {
+						cfg.Progress(int(done), total)
+					}
 				}
 			}()
 		}

@@ -1,0 +1,265 @@
+package inject
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"xentry/internal/sim"
+)
+
+// TestPlanStepInvariantHolds pins the Plan.Step invariant: Step is drawn in
+// [0, Steps) of the *golden* activation, and because the simulator is
+// deterministic, the re-executed activation of the injection run retires
+// exactly the same instruction count — whether the prefix was replayed from
+// reset or restored from the checkpoint pool. So the flip always lands
+// inside the activation.
+func TestPlanStepInvariantHolds(t *testing.T) {
+	r := testRunner(t, "freqmine", nil)
+	for _, every := range []int{16, -1} {
+		r2 := testRunner(t, "freqmine", nil)
+		r2.CheckpointEvery = every
+		w := r2.NewWorker()
+		for _, a := range []int{0, 1, 15, 16, 17, 31, 42, r.Activations - 1} {
+			m, err := w.machineAt(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			act, err := m.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := r.Golden[a].Outcome.Result.Steps
+			if act.Outcome.Result.Steps != golden {
+				t.Fatalf("every=%d activation %d: re-executed %d steps, golden %d",
+					every, a, act.Outcome.Result.Steps, golden)
+			}
+			// RandomPlan draws Step over the golden count, so any drawn Step
+			// is strictly inside the re-executed activation.
+			rng := rand.New(rand.NewSource(int64(a)))
+			for i := 0; i < 32; i++ {
+				p := r.RandomPlan(rng)
+				if p.Step >= r.Golden[p.Activation].Outcome.Result.Steps && p.Step != 0 {
+					t.Fatalf("plan %v: step beyond golden activation length", p)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointOutcomesMatchNoCheckpoint: the checkpoint interval is pure
+// mechanism. Every plan must classify identically with checkpointing on
+// (several K values) and off.
+func TestCheckpointOutcomesMatchNoCheckpoint(t *testing.T) {
+	newRunner := func(every int) *Runner {
+		r := testRunner(t, "canneal", nil)
+		r.CheckpointEvery = every
+		return r
+	}
+	rng := rand.New(rand.NewSource(77))
+	ref := newRunner(-1)
+	plans := make([]Plan, 40)
+	for i := range plans {
+		plans[i] = ref.RandomPlan(rng)
+	}
+	want := make([]Outcome, len(plans))
+	refWorker := ref.NewWorker()
+	for i, p := range plans {
+		var err error
+		if want[i], err = refWorker.RunOne(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, every := range []int{1, 16, 50} {
+		r := newRunner(every)
+		w := r.NewWorker()
+		for i, p := range plans {
+			got, err := w.RunOne(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want[i] {
+				t.Fatalf("every=%d plan %v:\ncheckpointed: %+v\nfrom reset:   %+v",
+					every, p, got, want[i])
+			}
+		}
+	}
+}
+
+// TestCheckpointPoolSharedAcrossWorkers: many workers share one runner's
+// read-only pool concurrently (run under -race) and each reproduces the
+// reference outcome for its plans.
+func TestCheckpointPoolSharedAcrossWorkers(t *testing.T) {
+	r := testRunner(t, "postmark", nil)
+	rng := rand.New(rand.NewSource(13))
+	plans := make([]Plan, 48)
+	want := make([]Outcome, len(plans))
+	ref := r.NewWorker()
+	for i := range plans {
+		plans[i] = r.RandomPlan(rng)
+		var err error
+		if want[i], err = ref.RunOne(plans[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const workers = 6
+	got := make([]Outcome, len(plans))
+	errs := make([]error, len(plans))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			worker := r.NewWorker()
+			for i := w; i < len(plans); i += workers {
+				got[i], errs[i] = worker.RunOne(plans[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range plans {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if got[i] != want[i] {
+			t.Fatalf("plan %v: concurrent outcome %+v != reference %+v",
+				plans[i], got[i], want[i])
+		}
+	}
+}
+
+// TestCampaignTallyIdenticalOnVsOff: campaign aggregates are bit-identical
+// with checkpointing on vs. off for the same seed — including the
+// per-technique latency lists, which are folded in plan order.
+func TestCampaignTallyIdenticalOnVsOff(t *testing.T) {
+	run := func(every int) *CampaignResult {
+		cfg := DefaultCampaign(50, 11)
+		cfg.Benchmarks = []string{"mcf", "x264"}
+		cfg.Activations = 60
+		cfg.Workers = 4
+		cfg.CheckpointEvery = every
+		res, err := RunCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	on, off := run(16), run(-1)
+	if !reflect.DeepEqual(on.Total, off.Total) {
+		t.Errorf("total tally differs:\non:  %+v\noff: %+v", on.Total, off.Total)
+	}
+	if !reflect.DeepEqual(on.PerBenchmark, off.PerBenchmark) {
+		t.Errorf("per-benchmark tallies differ:\non:  %+v\noff: %+v",
+			on.PerBenchmark, off.PerBenchmark)
+	}
+}
+
+// TestCampaignRecoveryIdenticalOnVsOff repeats the bit-identity check with
+// the live-recovery mechanism enabled, since recovery snapshots interact
+// with the same memory pages the checkpoints share.
+func TestCampaignRecoveryIdenticalOnVsOff(t *testing.T) {
+	run := func(every int) *Tally {
+		cfg := DefaultCampaign(40, 23)
+		cfg.Benchmarks = []string{"postmark"}
+		cfg.Activations = 50
+		cfg.Workers = 3
+		cfg.Recover = true
+		cfg.CheckpointEvery = every
+		res, err := RunCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Total
+	}
+	if on, off := run(8), run(-1); !reflect.DeepEqual(on, off) {
+		t.Errorf("recovery-mode tally differs:\non:  %+v\noff: %+v", on, off)
+	}
+}
+
+// TestCampaignProgressCallback: Progress reports every completion with a
+// stable total and reaches done == total exactly once at the end.
+func TestCampaignProgressCallback(t *testing.T) {
+	const perBench = 30
+	var mu sync.Mutex
+	calls := 0
+	maxDone := 0
+	cfg := DefaultCampaign(perBench, 3)
+	cfg.Benchmarks = []string{"bzip2", "canneal"}
+	cfg.Activations = 40
+	cfg.Workers = 4
+	cfg.Progress = func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if total != 2*perBench {
+			t.Errorf("total = %d, want %d", total, 2*perBench)
+		}
+		if done < 1 || done > total {
+			t.Errorf("done = %d out of range", done)
+		}
+		if done > maxDone {
+			maxDone = done
+		}
+	}
+	if _, err := RunCampaign(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2*perBench {
+		t.Errorf("progress called %d times, want %d", calls, 2*perBench)
+	}
+	if maxDone != 2*perBench {
+		t.Errorf("max done = %d, want %d", maxDone, 2*perBench)
+	}
+}
+
+// TestWorkerMachineReuse: a worker reuses one machine across runs when the
+// pool is active (the perf point of the whole exercise).
+func TestWorkerMachineReuse(t *testing.T) {
+	r := testRunner(t, "mcf", nil)
+	w := r.NewWorker()
+	if _, err := w.RunOne(Plan{Activation: 5, Step: 0, Reg: 3, Bit: 1}); err != nil {
+		t.Fatal(err)
+	}
+	first := w.m
+	if first == nil {
+		t.Fatal("worker did not retain its machine")
+	}
+	if _, err := w.RunOne(Plan{Activation: 40, Step: 2, Reg: 4, Bit: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if w.m != first {
+		t.Error("worker rebuilt its machine instead of restoring a checkpoint")
+	}
+}
+
+// TestEnsureCheckpointsIdempotent: concurrent EnsureCheckpoints calls build
+// the pool exactly once.
+func TestEnsureCheckpointsIdempotent(t *testing.T) {
+	r := testRunner(t, "x264", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := r.EnsureCheckpoints(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(r.pool) == 0 {
+		t.Fatal("pool not built")
+	}
+	wantLen := (r.Activations + r.poolK - 1) / r.poolK
+	if len(r.pool) != wantLen {
+		t.Errorf("pool size %d, want %d", len(r.pool), wantLen)
+	}
+	// Pool positions: pool[j] sits immediately before activation j*K.
+	for j, cp := range r.pool {
+		if cp.Step != j*r.poolK {
+			t.Errorf("pool[%d].Step = %d, want %d", j, cp.Step, j*r.poolK)
+		}
+	}
+	var _ *sim.Checkpoint = r.pool[0]
+}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"xentry/internal/core"
 	"xentry/internal/ml"
@@ -106,20 +108,31 @@ func CollectDataset(cfg DatasetConfig) (ml.Dataset, error) {
 		for i := range plans {
 			plans[i] = runner.RandomPlan(rng)
 		}
+		// Same checkpoint-pool execution scheme as RunCampaign: per-worker
+		// reusable machines, plans claimed in activation order.
+		order := make([]int, len(plans))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return plans[order[a]].Activation < plans[order[b]].Activation
+		})
 		outcomes := make([]Outcome, len(plans))
 		errs := make([]error, len(plans))
+		var next atomic.Int64
 		var wg sync.WaitGroup
-		next := make(chan int, len(plans))
-		for i := range plans {
-			next <- i
-		}
-		close(next)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for i := range next {
-					outcomes[i], errs[i] = runner.RunOne(plans[i])
+				worker := runner.NewWorker()
+				for {
+					n := next.Add(1) - 1
+					if n >= int64(len(order)) {
+						return
+					}
+					i := order[n]
+					outcomes[i], errs[i] = worker.RunOne(plans[i])
 				}
 			}()
 		}

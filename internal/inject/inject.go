@@ -10,6 +10,7 @@ package inject
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"xentry/internal/core"
 	"xentry/internal/cpu"
@@ -21,6 +22,13 @@ import (
 
 // Plan is one injection: flip one bit of one register at one dynamic
 // instruction of one hypervisor activation.
+//
+// Invariant: Step is drawn in [0, Steps) of the *golden* activation, but
+// the flip is applied to the *re-executed* activation of the injection run.
+// These coincide because the simulator is deterministic: an identically
+// configured machine replaying the fault-free prefix retires exactly the
+// golden instruction count at Plan.Activation, so the flip always lands
+// inside the activation (TestPlanStepInvariantHolds asserts this).
 type Plan struct {
 	Activation int
 	Step       uint64
@@ -111,6 +119,12 @@ type Outcome struct {
 	HasFeatures bool
 }
 
+// DefaultCheckpointEvery is the default golden-checkpoint interval K: a
+// checkpoint is recorded every K activations. Smaller K means less residual
+// prefix replay per injection but more checkpoint memory; at 512-byte COW
+// pages the memory cost stays negligible well below K=1.
+const DefaultCheckpointEvery = 16
+
 // Runner replays a fixed workload configuration and injects faults into it.
 type Runner struct {
 	Cfg         sim.Config
@@ -121,6 +135,26 @@ type Runner struct {
 	// injected machines: snapshot at VM exit, restore and re-execute on
 	// positive detection.
 	Recover bool
+	// CheckpointEvery is the checkpoint interval K: during a reference
+	// replay, a full-machine checkpoint is recorded every K activations
+	// into a shared read-only pool, and each injection run restores the
+	// nearest preceding checkpoint instead of re-simulating the fault-free
+	// prefix from machine reset (the paper ran inside Simics, whose
+	// checkpointing provides exactly this). 0 means DefaultCheckpointEvery;
+	// a negative value disables checkpointing (every run replays from
+	// reset, the pre-checkpoint behaviour). Set it, along with Model and
+	// Recover, before the first run: the pool is built once, lazily.
+	CheckpointEvery int
+
+	ckptOnce sync.Once
+	ckptErr  error
+	// pool[j] is the machine state immediately before activation j*poolK,
+	// recorded from a machine configured exactly like the injection
+	// machines (model installed, recovery switch set) so a restore is
+	// indistinguishable from having replayed the prefix. Read-only after
+	// ckptOnce; shared across workers.
+	pool  []*sim.Checkpoint
+	poolK int
 }
 
 // NewRunner computes the golden run for the configuration. The golden run
@@ -132,6 +166,99 @@ func NewRunner(cfg sim.Config, activations int, model *ml.Tree) (*Runner, error)
 		return nil, err
 	}
 	return &Runner{Cfg: cfg, Activations: activations, Model: model, Golden: golden}, nil
+}
+
+// newMachine builds a machine configured like every injection run's.
+func (r *Runner) newMachine() (*sim.Machine, error) {
+	m, err := sim.NewMachine(r.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.SetModel(r.Model)
+	m.RecoverOnDetection = r.Recover
+	return m, nil
+}
+
+// EnsureCheckpoints builds the checkpoint pool if checkpointing is enabled
+// and the pool has not been built yet. It is called automatically on the
+// first run; calling it eagerly (e.g. before starting a timer) is safe and
+// idempotent, also across concurrent workers.
+func (r *Runner) EnsureCheckpoints() error {
+	r.ckptOnce.Do(func() { r.ckptErr = r.buildCheckpoints() })
+	return r.ckptErr
+}
+
+func (r *Runner) buildCheckpoints() error {
+	k := r.CheckpointEvery
+	if k == 0 {
+		k = DefaultCheckpointEvery
+	}
+	if k < 0 {
+		return nil
+	}
+	m, err := r.newMachine()
+	if err != nil {
+		return err
+	}
+	pool := make([]*sim.Checkpoint, 0, (r.Activations+k-1)/k)
+	for i := 0; i < r.Activations; i++ {
+		if i%k == 0 {
+			pool = append(pool, m.Checkpoint())
+		}
+		if _, err := m.Step(); err != nil {
+			return fmt.Errorf("inject: checkpoint reference run: %w", err)
+		}
+	}
+	r.pool, r.poolK = pool, k
+	return nil
+}
+
+// Worker is one campaign worker's execution context: it owns a reusable
+// simulated machine that is restored from the shared checkpoint pool for
+// each run instead of being rebuilt from scratch. Workers are not safe for
+// concurrent use; create one per goroutine (the Runner and its pool are
+// shared safely).
+type Worker struct {
+	r *Runner
+	m *sim.Machine
+}
+
+// NewWorker returns a worker bound to the runner.
+func (r *Runner) NewWorker() *Worker { return &Worker{r: r} }
+
+// machineAt returns a machine whose state is exactly the fault-free stream
+// immediately before the given activation: restored from the nearest
+// preceding checkpoint plus a short residual replay when checkpointing is
+// on, or a fresh machine replaying from reset when it is off.
+func (w *Worker) machineAt(activation int) (*sim.Machine, error) {
+	r := w.r
+	if err := r.EnsureCheckpoints(); err != nil {
+		return nil, err
+	}
+	m := w.m
+	if len(r.pool) > 0 {
+		if m == nil {
+			var err error
+			if m, err = r.newMachine(); err != nil {
+				return nil, err
+			}
+			w.m = m
+		}
+		if err := m.RestoreFrom(r.pool[activation/r.poolK]); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		if m, err = r.newMachine(); err != nil {
+			return nil, err
+		}
+	}
+	for i := m.StepIndex(); i < activation; i++ {
+		if _, err := m.Step(); err != nil {
+			return nil, fmt.Errorf("inject: prefix replay: %w", err)
+		}
+	}
+	return m, nil
 }
 
 // RandomPlan draws an injection plan uniformly over the golden run's
@@ -184,25 +311,29 @@ func isStackConsumer(op isa.Op) bool {
 	return false
 }
 
-// RunOne executes one injection run and classifies its outcome.
+// RunOne executes one injection run and classifies its outcome. It is a
+// convenience wrapper over a single-use Worker; campaign loops should hold
+// one Worker per goroutine so the machine is reused across runs.
 func (r *Runner) RunOne(plan Plan) (Outcome, error) {
+	return r.NewWorker().RunOne(plan)
+}
+
+// RunOne executes one injection run and classifies its outcome. The
+// worker's machine is positioned at the plan's activation via the
+// checkpoint pool (or a from-reset replay when checkpointing is off) —
+// either way its state is byte-identical to the fault-free prefix, so
+// outcomes do not depend on the checkpoint interval.
+func (w *Worker) RunOne(plan Plan) (Outcome, error) {
+	r := w.r
 	if plan.Activation < 0 || plan.Activation >= r.Activations {
 		return Outcome{}, fmt.Errorf("inject: plan activation %d out of range", plan.Activation)
 	}
-	m, err := sim.NewMachine(r.Cfg)
+	m, err := w.machineAt(plan.Activation)
 	if err != nil {
 		return Outcome{}, err
 	}
-	m.SetModel(r.Model)
-	m.RecoverOnDetection = r.Recover
 	c := m.HV.CPU
-
-	// Replay the fault-free prefix.
-	for i := 0; i < plan.Activation; i++ {
-		if _, err := m.Step(); err != nil {
-			return Outcome{}, fmt.Errorf("inject: prefix replay: %w", err)
-		}
-	}
+	defer func() { c.PreStep = nil }()
 
 	o := Outcome{Plan: plan, DetectedAt: -1}
 	var (

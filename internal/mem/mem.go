@@ -5,6 +5,11 @@
 // a *Fault that the CPU core turns into the corresponding architectural
 // exception — exactly the signal Xentry's hardware-exception detector
 // consumes.
+//
+// Region contents are stored as fixed-size pages with copy-on-write
+// sharing, so a full-memory Checkpoint costs one pointer copy per page and
+// many machines can be restored from the same checkpoint concurrently —
+// the substrate the campaign engine's checkpoint pool stands on.
 package mem
 
 import (
@@ -81,6 +86,14 @@ func (f *Fault) Error() string {
 	return fmt.Sprintf("mem: %s fault on %s of %#x", f.Kind, f.Access, f.Addr)
 }
 
+// Page geometry: 64 words (512 bytes) balances checkpoint granularity
+// against per-page bookkeeping for this machine's ~280 KiB of memory.
+const (
+	pageShift = 6
+	pageWords = 1 << pageShift
+	pageMask  = pageWords - 1
+)
+
 // Region is a contiguous mapped range.
 type Region struct {
 	Name  string
@@ -88,7 +101,10 @@ type Region struct {
 	Size  uint64
 	Perm  Perm
 
-	words []uint64
+	// pages holds the contents; a page flagged in shared also belongs to at
+	// least one Checkpoint and must be copied before it is written.
+	pages  [][]uint64
+	shared []bool
 }
 
 // End returns the first address past the region.
@@ -96,6 +112,37 @@ func (r *Region) End() uint64 { return r.Start + r.Size }
 
 func (r *Region) contains(addr uint64) bool {
 	return addr >= r.Start && addr < r.End()
+}
+
+// newPages allocates zeroed pages for n words (the last page may be short).
+func newPages(n uint64) [][]uint64 {
+	pages := make([][]uint64, (n+pageWords-1)/pageWords)
+	for i := range pages {
+		l := uint64(pageWords)
+		if rem := n - uint64(i)*pageWords; rem < l {
+			l = rem
+		}
+		pages[i] = make([]uint64, l)
+	}
+	return pages
+}
+
+// word reads word index i of the region.
+func (r *Region) word(i uint64) uint64 {
+	return r.pages[i>>pageShift][i&pageMask]
+}
+
+// setWord writes word index i, copying the page first if it is shared with
+// a checkpoint (copy-on-write).
+func (r *Region) setWord(i, v uint64) {
+	p := i >> pageShift
+	if r.shared[p] {
+		np := make([]uint64, len(r.pages[p]))
+		copy(np, r.pages[p])
+		r.pages[p] = np
+		r.shared[p] = false
+	}
+	r.pages[p][i&pageMask] = v
 }
 
 // Memory is the machine's physical memory map.
@@ -116,8 +163,9 @@ func (m *Memory) Map(name string, start, size uint64, perm Perm) (*Region, error
 		return nil, fmt.Errorf("mem: region %q start %#x not 8-byte aligned", name, start)
 	}
 	size = (size + 7) &^ 7
+	pages := newPages(size / 8)
 	r := &Region{Name: name, Start: start, Size: size, Perm: perm,
-		words: make([]uint64, size/8)}
+		pages: pages, shared: make([]bool, len(pages))}
 	for _, other := range m.regions {
 		if start < other.End() && other.Start < r.End() {
 			return nil, fmt.Errorf("mem: region %q [%#x,%#x) overlaps %q [%#x,%#x)",
@@ -190,7 +238,7 @@ func (m *Memory) Read64(addr uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return r.words[(addr-r.Start)/8], nil
+	return r.word((addr - r.Start) / 8), nil
 }
 
 // Write64 stores the 64-bit word at addr.
@@ -199,7 +247,7 @@ func (m *Memory) Write64(addr, val uint64) error {
 	if err != nil {
 		return err
 	}
-	r.words[(addr-r.Start)/8] = val
+	r.setWord((addr-r.Start)/8, val)
 	return nil
 }
 
@@ -212,7 +260,7 @@ func (m *Memory) Poke(addr, val uint64) error {
 	if r == nil {
 		return &Fault{Kind: FaultUnmapped, Access: AccessWrite, Addr: addr}
 	}
-	r.words[(addr-r.Start)/8] = val
+	r.setWord((addr-r.Start)/8, val)
 	return nil
 }
 
@@ -225,38 +273,91 @@ func (m *Memory) Peek(addr uint64) (uint64, error) {
 	if r == nil {
 		return 0, &Fault{Kind: FaultUnmapped, Access: AccessRead, Addr: addr}
 	}
-	return r.words[(addr-r.Start)/8], nil
+	return r.word((addr - r.Start) / 8), nil
 }
 
 // Snapshot copies the full contents of every region, keyed by region name.
 func (m *Memory) Snapshot() map[string][]uint64 {
 	snap := make(map[string][]uint64, len(m.regions))
 	for _, r := range m.regions {
-		words := make([]uint64, len(r.words))
-		copy(words, r.words)
+		words := make([]uint64, r.Size/8)
+		for i, p := range r.pages {
+			copy(words[i*pageWords:], p)
+		}
 		snap[r.Name] = words
 	}
 	return snap
 }
 
-// Restore reinstates a snapshot taken from the same layout.
+// Restore reinstates a snapshot taken from the same layout. Pages are
+// rebuilt fresh so checkpointed pages shared with other machines are never
+// written in place.
 func (m *Memory) Restore(snap map[string][]uint64) error {
 	for _, r := range m.regions {
 		words, ok := snap[r.Name]
 		if !ok {
 			return fmt.Errorf("mem: snapshot missing region %q", r.Name)
 		}
-		if len(words) != len(r.words) {
+		if uint64(len(words)) != r.Size/8 {
 			return fmt.Errorf("mem: snapshot size mismatch for region %q", r.Name)
 		}
-		copy(r.words, words)
+		pages := newPages(r.Size / 8)
+		for i, p := range pages {
+			copy(p, words[i*pageWords:])
+		}
+		r.pages = pages
+		r.shared = make([]bool, len(pages))
+	}
+	return nil
+}
+
+// Checkpoint is an immutable copy-on-write image of a Memory's full
+// contents. Taking one costs a pointer copy per page; pages are only
+// duplicated when either side writes them afterwards. A Checkpoint may be
+// restored into any number of machines with the same layout, concurrently —
+// the shared pages are never written in place.
+type Checkpoint struct {
+	pages map[string][][]uint64
+}
+
+// Checkpoint captures the current contents. All live pages become shared:
+// subsequent writes through this Memory copy the touched page first.
+func (m *Memory) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{pages: make(map[string][][]uint64, len(m.regions))}
+	for _, r := range m.regions {
+		for i := range r.shared {
+			r.shared[i] = true
+		}
+		pages := make([][]uint64, len(r.pages))
+		copy(pages, r.pages)
+		cp.pages[r.Name] = pages
+	}
+	return cp
+}
+
+// RestoreCheckpoint reinstates a Checkpoint taken from the same layout.
+// The restored pages are shared: the first write to each copies it.
+func (m *Memory) RestoreCheckpoint(cp *Checkpoint) error {
+	for _, r := range m.regions {
+		pages, ok := cp.pages[r.Name]
+		if !ok {
+			return fmt.Errorf("mem: checkpoint missing region %q", r.Name)
+		}
+		if len(pages) != len(r.pages) {
+			return fmt.Errorf("mem: checkpoint size mismatch for region %q", r.Name)
+		}
+		copy(r.pages, pages)
+		for i := range r.shared {
+			r.shared[i] = true
+		}
 	}
 	return nil
 }
 
 // Zero clears a region's contents.
 func (r *Region) Zero() {
-	for i := range r.words {
-		r.words[i] = 0
+	r.pages = newPages(r.Size / 8)
+	for i := range r.shared {
+		r.shared[i] = false
 	}
 }

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -220,5 +221,183 @@ func TestFaultErrorStrings(t *testing.T) {
 		if k.String() == "unknown" {
 			t.Errorf("FaultKind %d unnamed", k)
 		}
+	}
+}
+
+func TestCheckpointIsolatesLaterWrites(t *testing.T) {
+	m := New()
+	m.MustMap("a", 0x1000, 0x800, PermRW) // spans several pages
+	if err := m.Write64(0x1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	cp := m.Checkpoint()
+	// Writes after the capture must not leak into the checkpoint.
+	if err := m.Write64(0x1000, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write64(0x1400, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RestoreCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read64(0x1000); v != 1 {
+		t.Errorf("restored word = %d, want 1", v)
+	}
+	if v, _ := m.Read64(0x1400); v != 0 {
+		t.Errorf("restored untouched word = %d, want 0", v)
+	}
+}
+
+func TestCheckpointRestoreIntoSecondMemory(t *testing.T) {
+	layout := func() *Memory {
+		m := New()
+		m.MustMap("a", 0x1000, 0x200, PermRW)
+		m.MustMap("b", 0x2000, 0x200, PermRW)
+		return m
+	}
+	src := layout()
+	for off := uint64(0); off < 0x200; off += 8 {
+		if err := src.Write64(0x1000+off, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp := src.Checkpoint()
+
+	dst := layout()
+	if err := dst.Write64(0x2000, 42); err != nil { // dirty state to be wiped
+		t.Fatal(err)
+	}
+	if err := dst.RestoreCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	for off := uint64(0); off < 0x200; off += 8 {
+		if v, _ := dst.Read64(0x1000 + off); v != off {
+			t.Fatalf("dst a[%#x] = %d, want %d", off, v, off)
+		}
+	}
+	if v, _ := dst.Read64(0x2000); v != 0 {
+		t.Errorf("dst b[0] = %d, want 0 (checkpoint value)", v)
+	}
+	// COW isolation: dst's writes must not bleed back into src or the
+	// checkpoint.
+	if err := dst.Write64(0x1000, 777); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := src.Read64(0x1000); v != 0 {
+		t.Errorf("src saw dst's write: %d", v)
+	}
+	third := layout()
+	if err := third.RestoreCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := third.Read64(0x1000); v != 0 {
+		t.Errorf("checkpoint corrupted by dst write: %d", v)
+	}
+}
+
+func TestCheckpointConcurrentRestores(t *testing.T) {
+	src := New()
+	src.MustMap("a", 0x1000, 0x1000, PermRW)
+	for off := uint64(0); off < 0x1000; off += 8 {
+		if err := src.Write64(0x1000+off, off^0x5a5a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp := src.Checkpoint()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m := New()
+			m.MustMap("a", 0x1000, 0x1000, PermRW)
+			if err := m.RestoreCheckpoint(cp); err != nil {
+				t.Error(err)
+				return
+			}
+			// Interleave reads of shared pages with COW writes.
+			for off := uint64(0); off < 0x1000; off += 8 {
+				if v, _ := m.Read64(0x1000 + off); v != off^0x5a5a {
+					t.Errorf("g%d: word %#x = %d", g, off, v)
+					return
+				}
+				if off%64 == uint64(g*8)%64 {
+					if err := m.Write64(0x1000+off, uint64(g)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestCheckpointLayoutMismatch(t *testing.T) {
+	src := New()
+	src.MustMap("a", 0x1000, 64, PermRW)
+	cp := src.Checkpoint()
+	other := New()
+	other.MustMap("b", 0x1000, 64, PermRW)
+	if err := other.RestoreCheckpoint(cp); err == nil {
+		t.Error("expected missing-region error")
+	}
+	bigger := New()
+	bigger.MustMap("a", 0x1000, 0x1000, PermRW)
+	if err := bigger.RestoreCheckpoint(cp); err == nil {
+		t.Error("expected size-mismatch error")
+	}
+}
+
+func TestSnapshotRestoreDoesNotCorruptCheckpoint(t *testing.T) {
+	// The live-recovery path (flat Snapshot/Restore) and the campaign path
+	// (Checkpoint/RestoreCheckpoint) coexist on the same pages: a Restore
+	// must rebuild pages rather than write shared ones in place.
+	m := New()
+	m.MustMap("a", 0x1000, 0x200, PermRW)
+	if err := m.Write64(0x1000, 5); err != nil {
+		t.Fatal(err)
+	}
+	cp := m.Checkpoint()
+	snap := m.Snapshot()
+	if err := m.Write64(0x1000, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read64(0x1000); v != 5 {
+		t.Fatalf("snapshot restore gave %d, want 5", v)
+	}
+	if err := m.Write64(0x1000, 7); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New()
+	fresh.MustMap("a", 0x1000, 0x200, PermRW)
+	if err := fresh.RestoreCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := fresh.Read64(0x1000); v != 5 {
+		t.Errorf("checkpoint word = %d, want 5", v)
+	}
+}
+
+func TestZeroAfterCheckpointPreservesCheckpoint(t *testing.T) {
+	m := New()
+	r := m.MustMap("a", 0x1000, 64, PermRW)
+	if err := m.Write64(0x1000, 3); err != nil {
+		t.Fatal(err)
+	}
+	cp := m.Checkpoint()
+	r.Zero()
+	if v, _ := m.Read64(0x1000); v != 0 {
+		t.Fatalf("after Zero, word = %d", v)
+	}
+	if err := m.RestoreCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read64(0x1000); v != 3 {
+		t.Errorf("restored word = %d, want 3", v)
 	}
 }

@@ -100,3 +100,20 @@ func (c *Counters) Count(e Event, n uint64) {
 		c.counts[e] += n
 	}
 }
+
+// State is the complete PMU state for a machine checkpoint.
+type State struct {
+	Armed  bool
+	Counts Sample
+}
+
+// State captures the counter bank.
+func (c *Counters) State() State {
+	return State{Armed: c.armed, Counts: c.counts}
+}
+
+// RestoreState reinstates a captured State.
+func (c *Counters) RestoreState(s State) {
+	c.armed = s.Armed
+	c.counts = s.Counts
+}

@@ -1,0 +1,81 @@
+// Package rng provides the simulator's deterministic pseudo-random number
+// generator. Unlike math/rand.Rand — whose generator state is opaque — the
+// entire generator state is one exported-able uint64, so a machine
+// checkpoint can capture it and a restore can reproduce the exact remaining
+// draw sequence: equal state ⇒ identical activation streams. The generator
+// is splitmix64 (Steele, Lea & Flood), which passes BigCrush and whose
+// next-state function is a single 64-bit addition.
+package rng
+
+import "math"
+
+// RNG is a splitmix64 generator. The zero value is a valid generator
+// (seeded with 0); use New to seed it explicitly.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. Equal seeds produce identical
+// streams.
+func New(seed int64) *RNG { return &RNG{state: uint64(seed)} }
+
+// State returns the complete generator state. Restoring it with SetState
+// reproduces the exact remaining stream.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState reinstates a state previously returned by State.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Int63 returns a uniform value in [0, 1<<63).
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0. Rejection
+// sampling removes the modulo bias, like math/rand.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive n")
+	}
+	if n&(n-1) == 0 { // power of two
+		return r.Int63() & (n - 1)
+	}
+	max := int64((1 << 63) - 1 - (1<<63)%uint64(n))
+	v := r.Int63()
+	for v > max {
+		v = r.Int63()
+	}
+	return v % n
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Int63n(int64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate via the Box–Muller
+// transform. Unlike math/rand's ziggurat it keeps no cached second variate,
+// so the generator state remains the single splitmix64 word.
+func (r *RNG) NormFloat64() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

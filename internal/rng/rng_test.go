@@ -1,0 +1,117 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEqualSeedsEqualStreams(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	a := New(7)
+	for i := 0; i < 57; i++ {
+		a.Uint64()
+	}
+	s := a.State()
+	// Mixed draw sequence after the capture point.
+	want := []float64{a.Float64(), float64(a.Intn(1000)), a.NormFloat64(), float64(a.Int63n(77))}
+
+	b := New(999) // arbitrary different history
+	b.SetState(s)
+	got := []float64{b.Float64(), float64(b.Intn(1000)), b.NormFloat64(), float64(b.Int63n(77))}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("draw %d after restore: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/64 draws collided across seeds", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(4)
+	for _, n := range []int{1, 2, 3, 7, 64, 1000} {
+		seen := map[int]bool{}
+		for i := 0; i < 2000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d", n, v)
+			}
+			seen[v] = true
+		}
+		if n <= 64 && len(seen) != n {
+			t.Errorf("Intn(%d) covered only %d values", n, len(seen))
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// Coarse chi-square-ish check on 16 buckets.
+	r := New(6)
+	const n = 160000
+	var buckets [16]int
+	for i := 0; i < n; i++ {
+		buckets[r.Uint64()>>60]++
+	}
+	for i, c := range buckets {
+		if c < n/16-n/100 || c > n/16+n/100 {
+			t.Errorf("bucket %d count %d deviates from %d", i, c, n/16)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"testing"
+
+	"xentry/internal/workload"
+)
+
+// stream runs n activations and returns them along with the final clock.
+func stream(t *testing.T, m *Machine, n int) ([]Activation, float64) {
+	t.Helper()
+	acts, err := m.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acts, m.Clock
+}
+
+// assertSameStream compares two activation streams byte-for-byte:
+// Activation is a comparable struct (events, outcomes, features, records,
+// guest cycles, recovery flags), so == is an exact equality.
+func assertSameStream(t *testing.T, label string, want, got []Activation) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: stream lengths %d vs %d", label, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: activation %d diverged:\nfresh:    %+v\nrestored: %+v",
+				label, want[i].Index, want[i], got[i])
+		}
+	}
+}
+
+// TestCheckpointRestoreEquivalence is the core checkpoint guarantee: a
+// machine restored from a checkpoint taken at activation k produces an
+// activation stream (events, outcomes, features, records, clock) identical
+// to a fresh machine stepped k times — across benchmarks, modes, and
+// checkpoint positions.
+func TestCheckpointRestoreEquivalence(t *testing.T) {
+	const n = 48
+	benchmarks := []string{"postmark", "mcf", "freqmine"}
+	modes := []workload.Mode{workload.PV, workload.HVM}
+	ks := []int{0, 1, 7, 16, 47}
+	for _, bench := range benchmarks {
+		for _, mode := range modes {
+			cfg := DefaultConfig(bench, 117)
+			cfg.Mode = mode
+
+			// Reference: one fresh machine running straight through.
+			ref, err := NewMachine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refActs, refClock := stream(t, ref, n)
+
+			for _, k := range ks {
+				// Source machine: step k times, checkpoint.
+				src, err := NewMachine(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stream(t, src, k)
+				cp := src.Checkpoint()
+				if cp.Step != k {
+					t.Fatalf("checkpoint step = %d, want %d", cp.Step, k)
+				}
+
+				// Restore into a machine with a different history: it ran
+				// past the checkpoint already, like a reused campaign worker.
+				dst, err := NewMachine(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stream(t, dst, n) // arbitrary dirty state
+				if err := dst.RestoreFrom(cp); err != nil {
+					t.Fatal(err)
+				}
+				if dst.StepIndex() != k {
+					t.Fatalf("restored step index = %d, want %d", dst.StepIndex(), k)
+				}
+				got, gotClock := stream(t, dst, n-k)
+				label := bench + "/" + mode.String()
+				assertSameStream(t, label, refActs[k:], got)
+				if gotClock != refClock {
+					t.Errorf("%s k=%d: clock %v != fresh clock %v", label, k, gotClock, refClock)
+				}
+
+				// The checkpoint is reusable: a second restore replays the
+				// identical residual stream.
+				if err := dst.RestoreFrom(cp); err != nil {
+					t.Fatal(err)
+				}
+				again, _ := stream(t, dst, n-k)
+				assertSameStream(t, label+"/second-restore", got, again)
+			}
+		}
+	}
+}
+
+// TestCheckpointImmutableUnderSourceWrites: the source machine keeps
+// running after the checkpoint is taken; copy-on-write must isolate the
+// checkpoint from those writes.
+func TestCheckpointImmutableUnderSourceWrites(t *testing.T) {
+	cfg := DefaultConfig("postmark", 9)
+	src, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream(t, src, 10)
+	cp := src.Checkpoint()
+	// Dirty the source heavily after the capture.
+	srcRest, _ := stream(t, src, 30)
+
+	dst, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.RestoreFrom(cp); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := stream(t, dst, 30)
+	assertSameStream(t, "post-checkpoint stream", srcRest, got)
+}
+
+// TestCheckpointSharedAcrossMachines: two machines restored from the same
+// checkpoint diverge only through their own writes (COW isolation), each
+// reproducing the identical stream.
+func TestCheckpointSharedAcrossMachines(t *testing.T) {
+	cfg := DefaultConfig("x264", 31)
+	src, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream(t, src, 16)
+	cp := src.Checkpoint()
+
+	var streams [2][]Activation
+	for i := range streams {
+		m, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.RestoreFrom(cp); err != nil {
+			t.Fatal(err)
+		}
+		streams[i], _ = stream(t, m, 24)
+	}
+	assertSameStream(t, "two restores", streams[0], streams[1])
+}
+
+// TestCheckpointWithRecoveryMode: checkpoints taken from a machine with
+// live recovery enabled restore the recovery counters too.
+func TestCheckpointWithRecoveryMode(t *testing.T) {
+	cfg := DefaultConfig("mcf", 33)
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RecoverOnDetection = true
+	stream(t, m, 8)
+	m.Recoveries = 3 // pretend recoveries happened
+	cp := m.Checkpoint()
+	stream(t, m, 8)
+	m.Recoveries = 7
+	if err := m.RestoreFrom(cp); err != nil {
+		t.Fatal(err)
+	}
+	if m.Recoveries != 3 {
+		t.Errorf("recoveries after restore = %d, want 3", m.Recoveries)
+	}
+	if got := m.Sentry.Stats().Activations; got != 8 {
+		t.Errorf("sentry activations after restore = %d, want 8", got)
+	}
+}

@@ -7,12 +7,12 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 
 	"xentry/internal/core"
 	"xentry/internal/guest"
 	"xentry/internal/hv"
 	"xentry/internal/ml"
+	"xentry/internal/rng"
 	"xentry/internal/workload"
 )
 
@@ -74,7 +74,10 @@ type Machine struct {
 	// Recoveries counts triggered recoveries.
 	Recoveries int
 
-	rng  *rand.Rand
+	// rng drives every workload draw. It is an explicit-state generator
+	// (internal/rng) rather than math/rand so a Checkpoint can capture the
+	// sampling state exactly: equal state ⇒ identical activation streams.
+	rng  *rng.RNG
 	step int
 	// Clock accumulates virtual cycles: guest compute + hypervisor
 	// execution + detection shim.
@@ -99,8 +102,56 @@ func NewMachine(cfg Config) (*Machine, error) {
 		HV:      h,
 		Sentry:  core.New(h, cfg.Detection),
 		Profile: prof,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     rng.New(cfg.Seed),
 	}, nil
+}
+
+// StepIndex is the index of the next activation Step will execute.
+func (m *Machine) StepIndex() int { return m.step }
+
+// Checkpoint is a complete machine image: restoring it reproduces the exact
+// remaining activation stream (events, outcomes, features, records, clock)
+// the machine would have produced had it kept running — the Simics-style
+// capability the paper's injection campaigns lean on. Checkpoints are
+// immutable (memory is captured copy-on-write) and safe to restore into
+// many machines concurrently.
+type Checkpoint struct {
+	// Step is the index of the next activation after restore.
+	Step       int
+	Clock      float64
+	Recoveries int
+
+	rngState uint64
+	stats    core.Stats
+	hv       *hv.Checkpoint
+}
+
+// Checkpoint captures the machine's full state before its next activation.
+// Taking one is cheap: all bulk state is shared copy-on-write.
+func (m *Machine) Checkpoint() *Checkpoint {
+	return &Checkpoint{
+		Step:       m.step,
+		Clock:      m.Clock,
+		Recoveries: m.Recoveries,
+		rngState:   m.rng.State(),
+		stats:      m.Sentry.Stats(),
+		hv:         m.HV.Checkpoint(),
+	}
+}
+
+// RestoreFrom reinstates a Checkpoint taken from an identically configured
+// machine (same Config). The installed model and RecoverOnDetection switch
+// are configuration, not state: they are left as set on this machine.
+func (m *Machine) RestoreFrom(cp *Checkpoint) error {
+	if err := m.HV.RestoreFrom(cp.hv); err != nil {
+		return err
+	}
+	m.step = cp.Step
+	m.Clock = cp.Clock
+	m.Recoveries = cp.Recoveries
+	m.rng.SetState(cp.rngState)
+	m.Sentry.RestoreStats(cp.stats)
+	return nil
 }
 
 // SetModel installs a trained transition-detection model.

@@ -11,10 +11,18 @@ package workload
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"xentry/internal/hv"
 )
+
+// Source is the randomness a workload model consumes. Both *math/rand.Rand
+// and the simulator's explicit-state *rng.RNG satisfy it; the machine uses
+// the latter so its sampling state can be checkpointed and restored.
+type Source interface {
+	Intn(n int) int
+	Float64() float64
+	NormFloat64() float64
+}
 
 // Mode is the virtualization mode.
 type Mode int
@@ -224,7 +232,7 @@ func Names() []string {
 }
 
 // SampleReason draws one exit reason from the profile's mixture.
-func (p *Profile) SampleReason(mode Mode, rng *rand.Rand) hv.ExitReason {
+func (p *Profile) SampleReason(mode Mode, rng Source) hv.ExitReason {
 	mix := p.Mix[mode]
 	total := 0
 	for _, w := range mix {
@@ -242,7 +250,7 @@ func (p *Profile) SampleReason(mode Mode, rng *rand.Rand) hv.ExitReason {
 
 // SampleInterval draws one guest compute interval (cycles between exits),
 // log-normally spread around the mode's mean.
-func (p *Profile) SampleInterval(mode Mode, rng *rand.Rand) float64 {
+func (p *Profile) SampleInterval(mode Mode, rng Source) float64 {
 	mean := p.MeanInterval[mode]
 	iv := mean * math.Exp(p.Spread*rng.NormFloat64()-p.Spread*p.Spread/2)
 	if iv < minInterval {
@@ -254,7 +262,7 @@ func (p *Profile) SampleInterval(mode Mode, rng *rand.Rand) float64 {
 // FrequencySample simulates one wall-clock second and returns the number
 // of hypervisor activations in it, given the mean handler cost in cycles.
 // This is the generator behind Fig. 3's box plots.
-func (p *Profile) FrequencySample(mode Mode, rng *rand.Rand, handlerCost float64) float64 {
+func (p *Profile) FrequencySample(mode Mode, rng Source, handlerCost float64) float64 {
 	mean := p.MeanInterval[mode]
 	if p.BurstProb > 0 && rng.Float64() < p.BurstProb {
 		mean /= p.BurstFactor

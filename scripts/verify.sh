@@ -1,0 +1,12 @@
+#!/bin/sh
+# Tier-1 verification: build, vet, full test suite, and a race-detector pass
+# over the packages with real concurrency (the campaign engine's workers
+# share the read-only checkpoint pool; the simulator is what they restore).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/inject/ ./internal/sim/
