@@ -8,47 +8,30 @@
 // Usage:
 //
 //	xentry-campaign [-injections N] [-activations N] [-seed S] [-checkpoint-every K]
+//	                [-json] [-store DIR] [-server URL [-campaign ID]]
+//
+// -json emits the machine-readable campaign report (the same encoding the
+// campaign server returns) instead of the rendered figures. -store makes
+// the run durable: every outcome lands in an append-only WAL under DIR,
+// and re-running with the same flags resumes instead of restarting.
+// -server dispatches the campaign to a running xentry-serve coordinator
+// and streams its progress.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"sync"
-	"time"
 
 	"xentry/internal/experiments"
+	"xentry/internal/inject"
+	"xentry/internal/progress"
+	"xentry/internal/server"
+	"xentry/internal/store"
+	"xentry/internal/workload"
 )
-
-// progressPrinter renders a live injections/sec line on stderr, throttled so
-// the terminal is not the bottleneck. Safe for concurrent Progress calls.
-type progressPrinter struct {
-	mu    sync.Mutex
-	start time.Time
-	last  time.Time
-}
-
-func newProgressPrinter() *progressPrinter {
-	now := time.Now()
-	return &progressPrinter{start: now, last: now}
-}
-
-func (p *progressPrinter) report(done, total int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	now := time.Now()
-	if done < total && now.Sub(p.last) < 200*time.Millisecond {
-		return
-	}
-	p.last = now
-	elapsed := now.Sub(p.start).Seconds()
-	rate := float64(done) / elapsed
-	fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d injections (%.0f inj/s)", done, total, rate)
-	if done == total {
-		fmt.Fprintf(os.Stderr, " in %.1fs\n", elapsed)
-	}
-}
 
 func main() {
 	log.SetFlags(0)
@@ -59,6 +42,10 @@ func main() {
 	recover := flag.Bool("recover", false, "also run the live-recovery study (Section VI implemented)")
 	checkpointEvery := flag.Int("checkpoint-every", 0,
 		"golden-checkpoint interval K (0 = default, negative disables checkpointing)")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable campaign report instead of figures")
+	storeDir := flag.String("store", "", "durable result-store directory (resumes an interrupted campaign)")
+	serverURL := flag.String("server", "", "dispatch the campaign to a running xentry-serve coordinator")
+	campaignID := flag.String("campaign", "", "campaign ID for -server mode (empty = server assigns one)")
 	flag.Parse()
 
 	sc := experiments.DefaultScale()
@@ -66,30 +53,132 @@ func main() {
 	sc.Activations = *activations
 	sc.Seed = *seed
 
+	if *serverURL != "" {
+		if *recover {
+			log.Fatal("-recover is local-only; run it without -server")
+		}
+		if *storeDir != "" {
+			log.Fatal("-store is local-only; the server keeps its own store per campaign")
+		}
+		if err := runRemote(*serverURL, *campaignID, sc, *checkpointEvery, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := runLocal(sc, *checkpointEvery, *storeDir, *jsonOut, *recover); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runLocal trains and runs the campaign in-process, optionally recording
+// every outcome durably under storeDir.
+func runLocal(sc experiments.Scale, checkpointEvery int, storeDir string, jsonOut, recoverStudy bool) error {
 	log.Printf("training transition detector (%d injections)...", sc.TrainInjections)
 	train, err := experiments.Train(sc)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Print(train.Render())
-	fmt.Println()
+	if !jsonOut {
+		fmt.Print(train.Render())
+		fmt.Println()
+	}
+
+	printer := progress.New(os.Stderr, "campaign", "injections")
+	var sink *store.Store
+	if storeDir != "" {
+		cfg := experiments.CampaignConfigFor(sc, train.Best(), checkpointEvery)
+		sink, err = store.Open(storeDir, store.Meta{
+			CampaignID:  "local",
+			Benchmarks:  cfg.Benchmarks,
+			Injections:  cfg.InjectionsPerBenchmark,
+			Activations: cfg.Activations,
+			Seed:        cfg.Seed,
+		}, store.Options{})
+		if err != nil {
+			return err
+		}
+		defer sink.Close()
+		if n := sink.TotalCount(); n > 0 {
+			log.Printf("resuming: %d outcomes already in %s", n, storeDir)
+		}
+	}
 
 	log.Printf("running campaign (%d injections per benchmark)...", sc.CampaignInjections)
-	res, err := experiments.CampaignWith(sc, train.Best(), *checkpointEvery, newProgressPrinter().report)
-	if err != nil {
-		log.Fatal(err)
+	var storeSink inject.ResultSink
+	if sink != nil {
+		storeSink = sink
 	}
-	fmt.Println(experiments.RenderFig8(res))
-	fmt.Println(experiments.RenderFig9(res))
-	fmt.Println(experiments.RenderFig10(res))
-	fmt.Println(experiments.RenderTableII(res))
+	res, err := experiments.CampaignSink(sc, train.Best(), checkpointEvery, printer.Report, storeSink)
+	if err != nil {
+		return err
+	}
 
-	if *recover {
+	if jsonOut {
+		rep := experiments.NewCampaignReport(res, workload.Names())
+		data, err := rep.EncodeJSON()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+	} else {
+		fmt.Println(experiments.RenderCampaign(res))
+	}
+
+	if recoverStudy {
 		log.Print("running paired recovery campaign...")
 		study, err := experiments.Recovery(sc, train.Best())
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println(study.Render())
 	}
+	return nil
+}
+
+// runRemote submits the campaign to an xentry-serve coordinator, follows
+// its event stream with a live progress line, and renders the returned
+// report.
+func runRemote(base, id string, sc experiments.Scale, checkpointEvery int, jsonOut bool) error {
+	client := &server.Client{Base: base}
+	spec := server.CampaignSpec{
+		ID:                     id,
+		InjectionsPerBenchmark: sc.CampaignInjections,
+		Activations:            sc.Activations,
+		Seed:                   sc.Seed,
+		CheckpointEvery:        checkpointEvery,
+		TrainInjections:        sc.TrainInjections,
+	}
+	st, err := client.Submit(spec)
+	if err != nil {
+		return err
+	}
+	log.Printf("campaign %s submitted to %s (%d injections total)", st.ID, base, st.Total)
+
+	printer := progress.New(os.Stderr, "campaign "+st.ID, "injections")
+	err = client.StreamEvents(context.Background(), st.ID, func(ev server.Event) {
+		switch ev.Type {
+		case server.EventOutcome, server.EventCampaignDone:
+			printer.Report(ev.Done, ev.Total)
+		case server.EventWorkerDead:
+			log.Printf("worker %d died; shards reassigned", ev.Worker)
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	rep, err := client.Report(st.ID)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		data, err := rep.EncodeJSON()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		return nil
+	}
+	fmt.Println(experiments.RenderCampaign(rep.Result))
+	return nil
 }

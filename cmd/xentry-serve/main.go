@@ -1,0 +1,65 @@
+// Command xentry-serve runs the distributed campaign coordinator: an
+// HTTP/JSON service that accepts fault-injection campaign specs, splits
+// each campaign into activation-sorted shards, executes them on a bounded
+// worker pool, and records every outcome in a durable write-ahead store so
+// interrupted campaigns resume instead of restarting.
+//
+// Usage:
+//
+//	xentry-serve [-addr :8044] [-data DIR] [-workers N] [-shard-size N]
+//	             [-max-attempts N] [-shard-timeout D]
+//
+// API:
+//
+//	POST /campaigns                submit (or resume) a campaign spec
+//	GET  /campaigns                list campaign statuses
+//	GET  /campaigns/{id}           one campaign's live status
+//	GET  /campaigns/{id}/events    server-sent event stream of progress
+//	GET  /campaigns/{id}/result    finished campaign's evaluation report
+//	GET  /metrics                  Prometheus-style counters
+//	GET  /debug/pprof/             runtime profiles
+//
+// Submit campaigns with `xentry-campaign -server http://host:8044` or any
+// HTTP client.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"runtime"
+	"time"
+
+	"xentry/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xentry-serve: ")
+	addr := flag.String("addr", ":8044", "listen address")
+	data := flag.String("data", "xentry-data", "root directory for campaign result stores")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "injection worker pool size")
+	shardSize := flag.Int("shard-size", 64, "plan indices per shard")
+	maxAttempts := flag.Int("max-attempts", 3, "attempts per shard before the campaign fails")
+	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard attempt timeout (0 = none)")
+	flag.Parse()
+
+	s, err := server.NewServer(server.Config{
+		DataDir:      *data,
+		Workers:      *workers,
+		ShardSize:    *shardSize,
+		MaxAttempts:  *maxAttempts,
+		Backoff:      100 * time.Millisecond,
+		ShardTimeout: *shardTimeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	log.Printf("serving on %s (data %s, %d workers, shard size %d)",
+		*addr, *data, *workers, *shardSize)
+	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

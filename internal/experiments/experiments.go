@@ -369,7 +369,13 @@ func Campaign(sc Scale, model *ml.Tree) (*inject.CampaignResult, error) {
 // concurrently from worker goroutines. The aggregates are bit-identical for
 // every checkpointEvery value; only wall-clock changes.
 func CampaignWith(sc Scale, model *ml.Tree, checkpointEvery int, progress func(done, total int)) (*inject.CampaignResult, error) {
-	cfg := inject.CampaignConfig{
+	return CampaignSink(sc, model, checkpointEvery, progress, nil)
+}
+
+// CampaignConfigFor is the campaign configuration CampaignWith runs —
+// exposed so durable (store-backed) runs describe the identical campaign.
+func CampaignConfigFor(sc Scale, model *ml.Tree, checkpointEvery int) inject.CampaignConfig {
+	return inject.CampaignConfig{
 		Benchmarks:             workload.Names(),
 		Mode:                   workload.PV,
 		InjectionsPerBenchmark: sc.CampaignInjections,
@@ -379,9 +385,19 @@ func CampaignWith(sc Scale, model *ml.Tree, checkpointEvery int, progress func(d
 		Detection:              core.FullDetection(),
 		Model:                  model,
 		CheckpointEvery:        checkpointEvery,
-		Progress:               progress,
 	}
-	return inject.RunCampaign(cfg)
+}
+
+// CampaignSink is CampaignWith with every outcome recorded through sink
+// (e.g. a durable result store): outcomes the sink already holds are
+// skipped, the rest are recorded as they complete, and the folded result
+// comes from the sink — so an interrupted campaign resumes where it left
+// off and still ends bit-identical to an uninterrupted run. A nil sink
+// folds in memory.
+func CampaignSink(sc Scale, model *ml.Tree, checkpointEvery int, progress func(done, total int), sink inject.ResultSink) (*inject.CampaignResult, error) {
+	cfg := CampaignConfigFor(sc, model, checkpointEvery)
+	cfg.Progress = progress
+	return inject.ResumeCampaign(cfg, sink)
 }
 
 // RenderFig8 formats the overall-coverage figure: per benchmark, the share

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"xentry/internal/core"
+	"xentry/internal/inject"
+	"xentry/internal/stats"
+	"xentry/internal/store"
+)
+
+// reportTechniques are the detection techniques the report breaks shares
+// and latency CDFs down by, in figure order.
+var reportTechniques = []core.Technique{
+	core.TechHWException, core.TechAssertion, core.TechVMTransition,
+}
+
+// CampaignReport is the machine-readable encoding of the campaign's
+// evaluation: overall coverage, per-benchmark technique shares (Fig. 8),
+// detection-latency CDF points (Fig. 10), the Table II undetected-cause
+// rows, plus the full folded aggregates so every figure can be re-rendered
+// from the report alone. The xentry-campaign -json flag and the campaign
+// server's result endpoint emit exactly this structure.
+type CampaignReport struct {
+	Injections int     `json:"injections"`
+	Manifested int     `json:"manifested"`
+	Coverage   float64 `json:"coverage"`
+	// TechniqueShares is the campaign-wide share of manifested faults each
+	// technique caught, keyed by technique name.
+	TechniqueShares map[string]float64 `json:"technique_shares"`
+	PerBenchmark    []BenchmarkReport  `json:"per_benchmark"`
+	// LatencyCDF holds Fig. 10's CDF sampled at Fig10Points per technique.
+	LatencyCDF map[string][]CDFPoint `json:"latency_cdf"`
+	TableII    []CauseRow            `json:"table2"`
+	// Result is the full campaign aggregate the figures fold from.
+	Result *inject.CampaignResult `json:"result"`
+}
+
+// BenchmarkReport is one benchmark's row of the report.
+type BenchmarkReport struct {
+	Benchmark       string             `json:"benchmark"`
+	Injections      int                `json:"injections"`
+	Manifested      int                `json:"manifested"`
+	Undetected      int                `json:"undetected"`
+	Coverage        float64            `json:"coverage"`
+	TechniqueShares map[string]float64 `json:"technique_shares"`
+}
+
+// CDFPoint is one sampled point of a latency CDF: the fraction P of
+// detections with latency ≤ LE instructions.
+type CDFPoint struct {
+	LE float64 `json:"le"`
+	P  float64 `json:"p"`
+}
+
+// CauseRow is one Table II row.
+type CauseRow struct {
+	Cause string  `json:"cause"`
+	Count int     `json:"count"`
+	Share float64 `json:"share"`
+}
+
+// NewCampaignReport builds the machine-readable report from campaign
+// aggregates.
+func NewCampaignReport(res *inject.CampaignResult, benchmarks []string) *CampaignReport {
+	tot := res.Total
+	rep := &CampaignReport{
+		Injections:      tot.Injections,
+		Manifested:      tot.Manifested,
+		Coverage:        tot.Coverage(),
+		TechniqueShares: map[string]float64{},
+		LatencyCDF:      map[string][]CDFPoint{},
+		Result:          res,
+	}
+	for _, tech := range reportTechniques {
+		rep.TechniqueShares[tech.String()] = tot.TechniqueShare(tech)
+		lats := tot.Latencies[tech]
+		xs := make([]float64, len(lats))
+		for i, l := range lats {
+			xs[i] = float64(l)
+		}
+		cdf := stats.NewCDF(xs)
+		points := make([]CDFPoint, len(Fig10Points))
+		for i, p := range cdf.Points(Fig10Points) {
+			points[i] = CDFPoint{LE: Fig10Points[i], P: p}
+		}
+		rep.LatencyCDF[tech.String()] = points
+	}
+	for _, bench := range benchmarks {
+		tl := res.PerBenchmark[bench]
+		if tl == nil {
+			continue
+		}
+		br := BenchmarkReport{
+			Benchmark:       bench,
+			Injections:      tl.Injections,
+			Manifested:      tl.Manifested,
+			Undetected:      tl.Undetected,
+			Coverage:        tl.Coverage(),
+			TechniqueShares: map[string]float64{},
+		}
+		for _, tech := range reportTechniques {
+			br.TechniqueShares[tech.String()] = tl.TechniqueShare(tech)
+		}
+		rep.PerBenchmark = append(rep.PerBenchmark, br)
+	}
+	for _, cause := range []inject.Cause{
+		inject.CauseMisclassified, inject.CauseStackValue,
+		inject.CauseTimeValue, inject.CauseOtherValue,
+	} {
+		n := tot.ByCause[cause]
+		rep.TableII = append(rep.TableII, CauseRow{
+			Cause: cause.String(), Count: n, Share: safeDiv(n, tot.Undetected),
+		})
+	}
+	return rep
+}
+
+// EncodeJSON renders the report as indented JSON.
+func (r *CampaignReport) EncodeJSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: encode report: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// RenderCampaign renders every campaign figure — Fig. 8, Fig. 9, Fig. 10,
+// Table II — from the aggregates, whether they came from a local run, a
+// store directory, or a server's report.
+func RenderCampaign(res *inject.CampaignResult) string {
+	var b strings.Builder
+	b.WriteString(RenderFig8(res))
+	b.WriteString("\n\n")
+	b.WriteString(RenderFig9(res))
+	b.WriteString("\n\n")
+	b.WriteString(RenderFig10(res))
+	b.WriteString("\n\n")
+	b.WriteString(RenderTableII(res))
+	return b.String()
+}
+
+// StoredCampaign folds the campaign aggregates out of a result-store
+// directory (a finished — or partial — campaign run through
+// internal/store), so figures can be rendered without re-running anything.
+func StoredCampaign(dir string) (*inject.CampaignResult, store.Meta, error) {
+	s, err := store.Open(dir, store.Meta{}, store.Options{ReadOnly: true})
+	if err != nil {
+		return nil, store.Meta{}, err
+	}
+	res, err := s.Result()
+	if err != nil {
+		return nil, store.Meta{}, err
+	}
+	return res, s.Meta(), nil
+}

@@ -1,17 +1,12 @@
 package inject
 
 import (
-	"fmt"
-	"math/rand"
 	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"xentry/internal/core"
 	"xentry/internal/guest"
 	"xentry/internal/ml"
-	"xentry/internal/sim"
 	"xentry/internal/workload"
 )
 
@@ -103,16 +98,32 @@ type Tally struct {
 
 // NewTally returns an empty tally.
 func NewTally() *Tally {
-	return &Tally{
-		DetectedBy:    map[core.Technique]int{},
-		ByConsequence: map[guest.Consequence]*ConsequenceTally{},
-		ByCause:       map[Cause]int{},
-		Latencies:     map[core.Technique][]uint64{},
+	t := &Tally{}
+	t.ensureMaps()
+	return t
+}
+
+// ensureMaps initialises the map fields so Add and Merge work on a
+// zero-value Tally (e.g. one decoded from JSON or embedded in a struct)
+// exactly as on one from NewTally.
+func (t *Tally) ensureMaps() {
+	if t.DetectedBy == nil {
+		t.DetectedBy = map[core.Technique]int{}
+	}
+	if t.ByConsequence == nil {
+		t.ByConsequence = map[guest.Consequence]*ConsequenceTally{}
+	}
+	if t.ByCause == nil {
+		t.ByCause = map[Cause]int{}
+	}
+	if t.Latencies == nil {
+		t.Latencies = map[core.Technique][]uint64{}
 	}
 }
 
 // Add folds one outcome into the tally.
 func (t *Tally) Add(o Outcome) {
+	t.ensureMaps()
 	t.Injections++
 	if o.Hang {
 		t.Hangs++
@@ -157,8 +168,17 @@ func (t *Tally) Add(o Outcome) {
 	}
 }
 
-// Merge folds another tally into this one.
+// Merge folds another tally into this one. Merging a nil or empty tally is
+// a no-op; merging into a zero-value Tally works like merging into
+// NewTally(). Merge is commutative and associative up to the order of the
+// per-technique latency lists — Normalize puts those in canonical form, so
+// folding any partition of outcomes shard-by-shard and merging yields the
+// same normalized tally as folding them unsharded.
 func (t *Tally) Merge(other *Tally) {
+	if other == nil {
+		return
+	}
+	t.ensureMaps()
 	t.Injections += other.Injections
 	t.NonActivated += other.NonActivated
 	t.Benign += other.Benign
@@ -190,7 +210,44 @@ func (t *Tally) Merge(other *Tally) {
 	}
 }
 
-// Coverage is detected/manifested — the paper's headline metric.
+// Clone returns a deep copy: mutating the clone (Add, Merge, Normalize)
+// never touches the original's maps or latency slices.
+func (t *Tally) Clone() *Tally {
+	c := *t
+	c.DetectedBy = make(map[core.Technique]int, len(t.DetectedBy))
+	for k, v := range t.DetectedBy {
+		c.DetectedBy[k] = v
+	}
+	c.ByCause = make(map[Cause]int, len(t.ByCause))
+	for k, v := range t.ByCause {
+		c.ByCause[k] = v
+	}
+	c.ByConsequence = make(map[guest.Consequence]*ConsequenceTally, len(t.ByConsequence))
+	for k, v := range t.ByConsequence {
+		ct := *v
+		c.ByConsequence[k] = &ct
+	}
+	c.Latencies = make(map[core.Technique][]uint64, len(t.Latencies))
+	for k, v := range t.Latencies {
+		c.Latencies[k] = append([]uint64(nil), v...)
+	}
+	return &c
+}
+
+// Normalize puts the tally in canonical form by sorting each technique's
+// latency list. Every other field is a count, so after Normalize the tally
+// is bit-identical regardless of the order outcomes were folded in — the
+// property that lets sharded, resumed, and store-replayed campaigns compare
+// equal to a single-process run. All campaign entry points normalize their
+// results before returning them.
+func (t *Tally) Normalize() {
+	for _, latencies := range t.Latencies {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	}
+}
+
+// Coverage is detected/manifested — the paper's headline metric. It is 0
+// for an empty tally (no manifested faults means nothing to cover).
 func (t *Tally) Coverage() float64 {
 	if t.Manifested == 0 {
 		return 0
@@ -200,8 +257,10 @@ func (t *Tally) Coverage() float64 {
 }
 
 // TechniqueShare is the fraction of manifested faults a technique caught.
+// It is 0 when no faults manifested (including on an empty or zero-value
+// tally), never NaN.
 func (t *Tally) TechniqueShare(tech core.Technique) float64 {
-	if t.Manifested == 0 {
+	if t.Manifested == 0 || t.DetectedBy == nil {
 		return 0
 	}
 	return float64(t.DetectedBy[tech]) / float64(t.Manifested)
@@ -213,101 +272,43 @@ type CampaignResult struct {
 	Total        *Tally
 }
 
-// RunCampaign executes the campaign with a worker pool and returns
-// deterministic aggregates: plans are pre-generated from the seed and
-// results are folded in plan order. Each worker owns one reusable machine
-// restored from the runner's shared read-only checkpoint pool per run, so
-// the fault-free prefix is never re-simulated from machine reset; workers
-// claim plans sorted by activation through an atomic counter.
-func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+// Normalize puts every tally of the result in canonical form (see
+// Tally.Normalize).
+func (r *CampaignResult) Normalize() {
+	for _, t := range r.PerBenchmark {
+		t.Normalize()
+	}
+	if r.Total != nil {
+		r.Total.Normalize()
+	}
+}
+
+// Normalized returns the config with defaults applied: all six benchmarks
+// when none are named, 160 activations when unset, GOMAXPROCS workers. The
+// seed schedule derived from a normalized config is the campaign's
+// identity — shards, resumed runs, and remote workers all reproduce the
+// exact same plans from it.
+func (cfg CampaignConfig) Normalized() CampaignConfig {
 	if len(cfg.Benchmarks) == 0 {
 		cfg.Benchmarks = workload.Names()
 	}
 	if cfg.Activations == 0 {
 		cfg.Activations = 160
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	result := &CampaignResult{
-		PerBenchmark: map[string]*Tally{},
-		Total:        NewTally(),
-	}
-	total := len(cfg.Benchmarks) * cfg.InjectionsPerBenchmark
-	var completed atomic.Int64
-	for bi, bench := range cfg.Benchmarks {
-		simCfg := sim.Config{
-			Benchmark: bench,
-			Mode:      cfg.Mode,
-			Domains:   3,
-			Seed:      cfg.Seed + int64(bi)*7919,
-			Detection: cfg.Detection,
-		}
-		runner, err := NewRunner(simCfg, cfg.Activations, cfg.Model)
-		if err != nil {
-			return nil, fmt.Errorf("inject: golden run for %s: %w", bench, err)
-		}
-		runner.Recover = cfg.Recover
-		runner.CheckpointEvery = cfg.CheckpointEvery
-		if err := runner.EnsureCheckpoints(); err != nil {
-			return nil, fmt.Errorf("inject: checkpoint pool for %s: %w", bench, err)
-		}
-		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(bi+1)*104729))
-		plans := make([]Plan, cfg.InjectionsPerBenchmark)
-		for i := range plans {
-			plans[i] = runner.RandomPlan(rng)
-		}
-		// Claim plans in activation order: consecutive runs restore the
-		// same or adjacent checkpoints, keeping residual replays and COW
-		// page traffic minimal. Outcomes are still recorded (and folded)
-		// at their original plan index, so aggregates stay deterministic.
-		order := make([]int, len(plans))
-		for i := range order {
-			order[i] = i
-		}
-		sort.SliceStable(order, func(a, b int) bool {
-			return plans[order[a]].Activation < plans[order[b]].Activation
-		})
+	return cfg
+}
 
-		outcomes := make([]Outcome, len(plans))
-		errs := make([]error, len(plans))
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				worker := runner.NewWorker()
-				for {
-					n := next.Add(1) - 1
-					if n >= int64(len(order)) {
-						return
-					}
-					i := order[n]
-					outcomes[i], errs[i] = worker.RunOne(plans[i])
-					done := completed.Add(1)
-					if cfg.Progress != nil {
-						cfg.Progress(int(done), total)
-					}
-				}
-			}()
-		}
-		wg.Wait()
-		for i := range errs {
-			if errs[i] != nil {
-				return nil, fmt.Errorf("inject: %s plan %v: %w", bench, plans[i], errs[i])
-			}
-		}
-		tally := NewTally()
-		for _, o := range outcomes {
-			tally.Add(o)
-		}
-		result.PerBenchmark[bench] = tally
-		result.Total.Merge(tally)
-	}
-	for _, latencies := range result.Total.Latencies {
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	}
-	return result, nil
+// RunCampaign executes the campaign with a worker pool and returns
+// deterministic aggregates: plans are pre-generated from the seed, outcomes
+// are folded at their original plan index, and the result is normalized.
+// Each worker owns one reusable machine restored from the runner's shared
+// read-only checkpoint pool per run, so the fault-free prefix is never
+// re-simulated from machine reset; workers claim plans sorted by activation
+// through an atomic counter. It is ResumeCampaign with no sink: nothing is
+// persisted and nothing is skipped.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	return ResumeCampaign(cfg, nil)
 }

@@ -131,7 +131,7 @@ func TestCheckpointPoolSharedAcrossWorkers(t *testing.T) {
 
 // TestCampaignTallyIdenticalOnVsOff: campaign aggregates are bit-identical
 // with checkpointing on vs. off for the same seed — including the
-// per-technique latency lists, which are folded in plan order.
+// per-technique latency lists, which Normalize sorts into canonical order.
 func TestCampaignTallyIdenticalOnVsOff(t *testing.T) {
 	run := func(every int) *CampaignResult {
 		cfg := DefaultCampaign(50, 11)

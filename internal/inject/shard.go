@@ -1,0 +1,237 @@
+package inject
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"xentry/internal/sim"
+)
+
+// This file is the shard-able face of the campaign engine: a campaign is a
+// deterministic function of its (normalized) config, so any subset of plan
+// indices can be executed anywhere — another goroutine, another process,
+// another machine — and folded back at the original index without changing
+// the aggregates. RunCampaign, the resumable ResumeCampaign, and the
+// distributed coordinator in internal/server are all thin orchestration
+// layers over the primitives here.
+
+// BenchmarkRun is the prepared execution context for one benchmark of a
+// campaign: the golden runner (with its shared checkpoint pool) and the
+// full deterministic plan list. Index is the benchmark's position in the
+// normalized config's Benchmarks slice; it feeds the seed schedule, so the
+// same (config, index) pair always reproduces the same plans.
+type BenchmarkRun struct {
+	Bench  string
+	Index  int
+	Runner *Runner
+	Plans  []Plan
+}
+
+// BenchmarkSim returns the deterministic simulator configuration for the
+// bi-th benchmark of the campaign. The seed schedule is part of the
+// campaign's identity: every shard and every resumed run must derive the
+// exact same config or outcomes stop being comparable.
+func (cfg CampaignConfig) BenchmarkSim(bi int) sim.Config {
+	cfg = cfg.Normalized()
+	return sim.Config{
+		Benchmark: cfg.Benchmarks[bi],
+		Mode:      cfg.Mode,
+		Domains:   3,
+		Seed:      cfg.Seed + int64(bi)*7919,
+		Detection: cfg.Detection,
+	}
+}
+
+// PrepareBenchmark computes the golden run, builds the checkpoint pool, and
+// generates the benchmark's full plan list from the campaign seed. It is
+// the expensive, deterministic setup step every executor of any shard of
+// the benchmark performs identically.
+func PrepareBenchmark(cfg CampaignConfig, bi int) (*BenchmarkRun, error) {
+	cfg = cfg.Normalized()
+	if bi < 0 || bi >= len(cfg.Benchmarks) {
+		return nil, fmt.Errorf("inject: benchmark index %d out of range [0,%d)", bi, len(cfg.Benchmarks))
+	}
+	bench := cfg.Benchmarks[bi]
+	runner, err := NewRunner(cfg.BenchmarkSim(bi), cfg.Activations, cfg.Model)
+	if err != nil {
+		return nil, fmt.Errorf("inject: golden run for %s: %w", bench, err)
+	}
+	runner.Recover = cfg.Recover
+	runner.CheckpointEvery = cfg.CheckpointEvery
+	if err := runner.EnsureCheckpoints(); err != nil {
+		return nil, fmt.Errorf("inject: checkpoint pool for %s: %w", bench, err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(bi+1)*104729))
+	plans := make([]Plan, cfg.InjectionsPerBenchmark)
+	for i := range plans {
+		plans[i] = runner.RandomPlan(rng)
+	}
+	return &BenchmarkRun{Bench: bench, Index: bi, Runner: runner, Plans: plans}, nil
+}
+
+// ActivationOrder returns the plan indices sorted by activation (stable, so
+// equal activations keep plan order). Executing runs in this order makes
+// consecutive restores hit the same or adjacent checkpoints, keeping
+// residual replays and COW page traffic minimal; outcomes are still folded
+// at their original index, so the order is pure mechanism.
+func ActivationOrder(plans []Plan) []int {
+	order := make([]int, len(plans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return plans[order[a]].Activation < plans[order[b]].Activation
+	})
+	return order
+}
+
+// SliceShards chunks an index order into shards of at most size indices,
+// preserving order. Slicing an activation-sorted order gives each shard a
+// contiguous activation range — the locality that makes a shard cheap for
+// whichever worker executes it. size <= 0 yields a single shard.
+func SliceShards(order []int, size int) [][]int {
+	if len(order) == 0 {
+		return nil
+	}
+	if size <= 0 {
+		size = len(order)
+	}
+	shards := make([][]int, 0, (len(order)+size-1)/size)
+	for len(order) > size {
+		shards = append(shards, order[:size:size])
+		order = order[size:]
+	}
+	return append(shards, order)
+}
+
+// RunIndices executes the given plan indices on this worker in order,
+// calling emit for each classified outcome. It stops early (returning
+// ctx.Err()) when the context is cancelled — the caller requeues whatever
+// was not emitted. emit runs on the worker's goroutine.
+func (w *Worker) RunIndices(ctx context.Context, plans []Plan, indices []int, emit func(index int, o Outcome)) error {
+	for _, i := range indices {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if i < 0 || i >= len(plans) {
+			return fmt.Errorf("inject: plan index %d out of range [0,%d)", i, len(plans))
+		}
+		o, err := w.RunOne(plans[i])
+		if err != nil {
+			return fmt.Errorf("inject: plan %v: %w", plans[i], err)
+		}
+		emit(i, o)
+	}
+	return nil
+}
+
+// ResultSink is durable storage for campaign outcomes, keyed by (benchmark,
+// plan index). ResumeCampaign skips indices the sink already has, records
+// every new outcome, and assembles the result from the sink, so a campaign
+// interrupted at any point resumes from exactly where its sink left off.
+// internal/store's WAL-backed Store is the canonical implementation.
+//
+// Has and Record are called concurrently from worker goroutines; Record
+// must deduplicate by (benchmark, index) since a reassigned shard may
+// re-execute runs whose outcomes were already persisted.
+type ResultSink interface {
+	// Has reports whether an outcome for the plan index is already stored.
+	Has(bench string, index int) bool
+	// Record persists one outcome. Recording an index twice is allowed and
+	// must fold only the first occurrence.
+	Record(bench string, index int, o Outcome) error
+	// Result assembles the normalized aggregates from everything stored.
+	Result() (*CampaignResult, error)
+}
+
+// ResumeCampaign executes every plan index the sink does not already hold
+// and returns the campaign aggregates. With a nil sink it is exactly
+// RunCampaign: run everything, fold in memory. With a sink, outcomes are
+// recorded as they complete and the final result comes from the sink, so
+// the returned aggregates cover stored-and-skipped runs too and are
+// bit-identical to an uninterrupted single-process run of the same config.
+func ResumeCampaign(cfg CampaignConfig, sink ResultSink) (*CampaignResult, error) {
+	cfg = cfg.Normalized()
+	total := len(cfg.Benchmarks) * cfg.InjectionsPerBenchmark
+	var completed atomic.Int64
+	if sink != nil {
+		// Already-stored runs count toward progress from the start.
+		for _, bench := range cfg.Benchmarks {
+			for i := 0; i < cfg.InjectionsPerBenchmark; i++ {
+				if sink.Has(bench, i) {
+					completed.Add(1)
+				}
+			}
+		}
+	}
+	result := &CampaignResult{
+		PerBenchmark: map[string]*Tally{},
+		Total:        NewTally(),
+	}
+	for bi, bench := range cfg.Benchmarks {
+		br, err := PrepareBenchmark(cfg, bi)
+		if err != nil {
+			return nil, err
+		}
+		order := ActivationOrder(br.Plans)
+		if sink != nil {
+			todo := order[:0]
+			for _, i := range order {
+				if !sink.Has(bench, i) {
+					todo = append(todo, i)
+				}
+			}
+			order = todo
+		}
+		outcomes := make([]Outcome, len(br.Plans))
+		errs := make([]error, len(br.Plans))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				worker := br.Runner.NewWorker()
+				for {
+					n := next.Add(1) - 1
+					if n >= int64(len(order)) {
+						return
+					}
+					i := order[n]
+					o, err := worker.RunOne(br.Plans[i])
+					if err == nil && sink != nil {
+						err = sink.Record(bench, i, o)
+					}
+					outcomes[i], errs[i] = o, err
+					done := completed.Add(1)
+					if cfg.Progress != nil {
+						cfg.Progress(int(done), total)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for _, i := range order {
+			if errs[i] != nil {
+				return nil, fmt.Errorf("inject: %s plan %v: %w", bench, br.Plans[i], errs[i])
+			}
+		}
+		if sink == nil {
+			tally := NewTally()
+			for _, o := range outcomes {
+				tally.Add(o)
+			}
+			result.PerBenchmark[bench] = tally
+			result.Total.Merge(tally)
+		}
+	}
+	if sink != nil {
+		return sink.Result()
+	}
+	result.Normalize()
+	return result, nil
+}

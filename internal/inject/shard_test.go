@@ -1,0 +1,129 @@
+package inject
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// testBenchmarkRun prepares a small campaign's only benchmark once.
+func testBenchmarkRun(t *testing.T) (CampaignConfig, *BenchmarkRun) {
+	t.Helper()
+	cfg := DefaultCampaign(24, 19)
+	cfg.Benchmarks = []string{"postmark"}
+	cfg.Activations = 40
+	br, err := PrepareBenchmark(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, br
+}
+
+// TestPrepareBenchmarkDeterministic: the same (config, index) always
+// yields the same plans — the invariant that lets any process anywhere
+// execute any shard.
+func TestPrepareBenchmarkDeterministic(t *testing.T) {
+	cfg, br := testBenchmarkRun(t)
+	br2, err := PrepareBenchmark(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(br.Plans, br2.Plans) {
+		t.Error("PrepareBenchmark plans differ across calls")
+	}
+	if _, err := PrepareBenchmark(cfg, 5); err == nil {
+		t.Error("out-of-range benchmark index must fail")
+	}
+}
+
+func TestActivationOrderAndShards(t *testing.T) {
+	_, br := testBenchmarkRun(t)
+	order := ActivationOrder(br.Plans)
+	if len(order) != len(br.Plans) {
+		t.Fatalf("order has %d indices, want %d", len(order), len(br.Plans))
+	}
+	seen := map[int]bool{}
+	for k := 1; k < len(order); k++ {
+		a, b := br.Plans[order[k-1]], br.Plans[order[k]]
+		if a.Activation > b.Activation {
+			t.Fatalf("order not sorted by activation at %d", k)
+		}
+		if a.Activation == b.Activation && order[k-1] > order[k] {
+			t.Fatalf("order not stable at %d", k)
+		}
+	}
+	for _, i := range order {
+		if seen[i] {
+			t.Fatalf("index %d appears twice", i)
+		}
+		seen[i] = true
+	}
+
+	shards := SliceShards(order, 7)
+	var flat []int
+	for si, sh := range shards {
+		if len(sh) == 0 || len(sh) > 7 {
+			t.Fatalf("shard %d has %d indices", si, len(sh))
+		}
+		flat = append(flat, sh...)
+	}
+	if !reflect.DeepEqual(flat, order) {
+		t.Error("shards do not concatenate back to the order")
+	}
+	if got := SliceShards(order, 0); len(got) != 1 || len(got[0]) != len(order) {
+		t.Error("size<=0 must yield a single shard")
+	}
+	if got := SliceShards(nil, 4); got != nil {
+		t.Error("empty order must yield no shards")
+	}
+}
+
+// TestRunIndicesMatchesRunOne: executing a shard through RunIndices gives
+// outcome-for-outcome the same classifications as RunOne.
+func TestRunIndicesMatchesRunOne(t *testing.T) {
+	_, br := testBenchmarkRun(t)
+	ref := br.Runner.NewWorker()
+	want := make([]Outcome, len(br.Plans))
+	for i, p := range br.Plans {
+		var err error
+		if want[i], err = ref.RunOne(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shard := ActivationOrder(br.Plans)[3:15]
+	got := map[int]Outcome{}
+	err := br.Runner.NewWorker().RunIndices(context.Background(), br.Plans, shard,
+		func(i int, o Outcome) { got[i] = o })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(shard) {
+		t.Fatalf("emitted %d outcomes, want %d", len(got), len(shard))
+	}
+	for _, i := range shard {
+		if got[i] != want[i] {
+			t.Errorf("index %d: shard outcome %+v != reference %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunIndicesStopsOnCancel: a killed worker's shard stops between runs
+// and reports ctx.Err(), leaving the un-emitted remainder for reassignment.
+func TestRunIndicesStopsOnCancel(t *testing.T) {
+	_, br := testBenchmarkRun(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	emitted := 0
+	err := br.Runner.NewWorker().RunIndices(ctx, br.Plans, ActivationOrder(br.Plans),
+		func(i int, o Outcome) {
+			emitted++
+			if emitted == 5 {
+				cancel()
+			}
+		})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if emitted != 5 {
+		t.Fatalf("emitted %d outcomes after cancel, want exactly 5", emitted)
+	}
+}

@@ -1,0 +1,162 @@
+package inject
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"xentry/internal/core"
+	"xentry/internal/guest"
+)
+
+// TestTallyZeroValue: Add and Merge must work on a zero-value Tally (one
+// decoded from JSON or embedded in a struct) exactly as on NewTally().
+func TestTallyZeroValue(t *testing.T) {
+	var zero Tally
+	zero.Add(Outcome{Activated: true, Manifested: true, Detected: core.TechAssertion,
+		Consequence: guest.AppCrash, Latency: 9})
+	if zero.Manifested != 1 || zero.DetectedBy[core.TechAssertion] != 1 {
+		t.Errorf("Add on zero-value tally = %+v", zero)
+	}
+
+	var dst Tally
+	src := NewTally()
+	src.Add(Outcome{Activated: true, Manifested: true, Cause: CauseStackValue,
+		Consequence: guest.AppSDC})
+	dst.Merge(src)
+	if dst.Injections != 1 || dst.ByCause[CauseStackValue] != 1 ||
+		dst.ByConsequence[guest.AppSDC].Total != 1 {
+		t.Errorf("Merge into zero-value tally = %+v", dst)
+	}
+	dst.Merge(nil) // no-op, no panic
+	if dst.Injections != 1 {
+		t.Errorf("Merge(nil) changed the tally: %+v", dst)
+	}
+}
+
+// TestTallyMergeEdgeCases is the table-driven pass over the merge and
+// division guards.
+func TestTallyMergeEdgeCases(t *testing.T) {
+	detected := func() *Tally {
+		tl := NewTally()
+		tl.Add(Outcome{Activated: true, Manifested: true, Detected: core.TechHWException,
+			Consequence: guest.AllVMFailure, Latency: 3})
+		return tl
+	}
+	undetected := func() *Tally {
+		tl := NewTally()
+		tl.Add(Outcome{Activated: true, Manifested: true, Cause: CauseOtherValue,
+			Consequence: guest.OneVMFailure})
+		return tl
+	}
+	cases := []struct {
+		name           string
+		dst, src       *Tally
+		wantInjections int
+		wantCoverage   float64
+		wantShare      float64 // TechniqueShare(TechHWException)
+	}{
+		{"empty into empty", NewTally(), NewTally(), 0, 0, 0},
+		{"detected into empty", NewTally(), detected(), 1, 1, 1},
+		{"empty into detected", detected(), NewTally(), 1, 1, 1},
+		{"undetected into detected", detected(), undetected(), 2, 0.5, 0.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.dst.Merge(tc.src)
+			if tc.dst.Injections != tc.wantInjections {
+				t.Errorf("injections = %d, want %d", tc.dst.Injections, tc.wantInjections)
+			}
+			if got := tc.dst.Coverage(); got != tc.wantCoverage {
+				t.Errorf("coverage = %v, want %v", got, tc.wantCoverage)
+			}
+			if got := tc.dst.TechniqueShare(core.TechHWException); got != tc.wantShare {
+				t.Errorf("share = %v, want %v", got, tc.wantShare)
+			}
+		})
+	}
+}
+
+// randomOutcome draws a structurally valid outcome: the field combinations
+// the classifier actually produces, over randomized values.
+func randomOutcome(rng *rand.Rand) Outcome {
+	o := Outcome{Plan: Plan{Activation: rng.Intn(50), Step: uint64(rng.Intn(1000))}}
+	switch rng.Intn(4) {
+	case 0: // non-activated
+	case 1: // benign, possibly a false positive
+		o.Activated = true
+		if rng.Intn(5) == 0 {
+			o.Detected = core.TechVMTransition
+		}
+	case 2: // manifested, detected
+		o.Activated, o.Manifested = true, true
+		o.Detected = []core.Technique{core.TechHWException, core.TechAssertion, core.TechVMTransition}[rng.Intn(3)]
+		o.Latency = uint64(rng.Intn(2000))
+		o.Consequence = []guest.Consequence{guest.AppSDC, guest.AppCrash, guest.AllVMFailure}[rng.Intn(3)]
+		o.LongLatency = rng.Intn(2) == 0
+		o.Recovered = rng.Intn(8) == 0
+	case 3: // manifested, undetected
+		o.Activated, o.Manifested = true, true
+		o.Cause = []Cause{CauseMisclassified, CauseStackValue, CauseTimeValue, CauseOtherValue}[rng.Intn(4)]
+		o.Consequence = []guest.Consequence{guest.AppSDC, guest.OneVMFailure}[rng.Intn(2)]
+		o.Hang = rng.Intn(10) == 0
+	}
+	return o
+}
+
+// TestTallyMergePartitionProperty: for any partition of any outcome set
+// into shards, folding per shard and merging the shard tallies (in any
+// order) equals the unsharded fold, after Normalize. This is the property
+// the whole distributed service rests on.
+func TestTallyMergePartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		outcomes := make([]Outcome, n)
+		whole := NewTally()
+		for i := range outcomes {
+			outcomes[i] = randomOutcome(rng)
+			whole.Add(outcomes[i])
+		}
+		whole.Normalize()
+
+		// Random partition: each outcome goes to one of k shards.
+		k := 1 + rng.Intn(8)
+		shards := make([]*Tally, k)
+		for i := range shards {
+			shards[i] = NewTally()
+		}
+		for i, o := range outcomes {
+			shards[(i*7+rng.Intn(k))%k].Add(o)
+		}
+		// Merge in a shuffled order.
+		merged := NewTally()
+		for _, si := range rng.Perm(k) {
+			merged.Merge(shards[si])
+		}
+		merged.Normalize()
+
+		if !reflect.DeepEqual(merged, whole) {
+			t.Fatalf("trial %d (n=%d, k=%d): sharded merge differs from unsharded fold:\nmerged: %+v\nwhole:  %+v",
+				trial, n, k, merged, whole)
+		}
+	}
+}
+
+// TestTallyClone: mutating a clone never touches the original.
+func TestTallyClone(t *testing.T) {
+	orig := NewTally()
+	orig.Add(Outcome{Activated: true, Manifested: true, Detected: core.TechAssertion,
+		Consequence: guest.AppSDC, Latency: 7})
+	c := orig.Clone()
+	c.Add(Outcome{Activated: true, Manifested: true, Detected: core.TechAssertion,
+		Consequence: guest.AppSDC, Latency: 3})
+	c.Normalize()
+	if orig.Injections != 1 || len(orig.Latencies[core.TechAssertion]) != 1 ||
+		orig.Latencies[core.TechAssertion][0] != 7 {
+		t.Errorf("clone mutation leaked into original: %+v", orig)
+	}
+	if orig.ByConsequence[guest.AppSDC].Total != 1 {
+		t.Errorf("clone shares ByConsequence pointers with original")
+	}
+}

@@ -1,0 +1,107 @@
+// Package progress renders live done/total progress lines for long-running
+// campaigns. The same printer backs the local xentry-campaign run, the
+// -server client mode, and any other caller with a (done, total) callback.
+package progress
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Printer renders a live rate line, rewriting it in place with "\r" and
+// throttling redraws so the terminal is never the bottleneck. Safe for
+// concurrent Report calls.
+type Printer struct {
+	// Label prefixes the line, e.g. "campaign". Defaults to "progress".
+	Label string
+	// Unit names the counted thing, e.g. "injections". Defaults to "items".
+	Unit string
+	// MinInterval is the redraw throttle. Defaults to 200ms. The final
+	// done == total report always draws.
+	MinInterval time.Duration
+	// Out defaults to no output when nil (useful in tests that only
+	// exercise the throttle).
+	Out io.Writer
+	// Now is the clock, injectable for tests. Defaults to time.Now.
+	Now func() time.Time
+
+	mu       sync.Mutex
+	start    time.Time
+	last     time.Time
+	drawn    int
+	finished bool
+}
+
+// New returns a printer writing to out, with the clock started now.
+func New(out io.Writer, label, unit string) *Printer {
+	p := &Printer{Label: label, Unit: unit, Out: out}
+	p.init()
+	return p
+}
+
+func (p *Printer) now() time.Time {
+	if p.Now != nil {
+		return p.Now()
+	}
+	return time.Now()
+}
+
+func (p *Printer) init() {
+	if p.start.IsZero() {
+		p.start = p.now()
+		p.last = p.start
+		if p.Label == "" {
+			p.Label = "progress"
+		}
+		if p.Unit == "" {
+			p.Unit = "items"
+		}
+		if p.MinInterval == 0 {
+			p.MinInterval = 200 * time.Millisecond
+		}
+	}
+}
+
+// Report draws the progress line if the throttle allows. It matches the
+// func(done, total int) progress-callback shape used across the repo. The
+// done == total report always draws, finishes the line, and latches the
+// printer: duplicate completion reports (e.g. a final outcome event
+// followed by a campaign_done event) draw only once.
+func (p *Printer) Report(done, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.init()
+	if p.finished {
+		return
+	}
+	now := p.now()
+	if done < total && now.Sub(p.last) < p.MinInterval {
+		return
+	}
+	if done == total {
+		p.finished = true
+	}
+	p.last = now
+	p.drawn++
+	if p.Out == nil {
+		return
+	}
+	elapsed := now.Sub(p.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(done) / elapsed
+	}
+	fmt.Fprintf(p.Out, "\r%s: %d/%d %s (%.0f %s/s)", p.Label, done, total, p.Unit, rate, p.Unit)
+	if done == total {
+		fmt.Fprintf(p.Out, " in %.1fs\n", elapsed)
+	}
+}
+
+// Drawn reports how many redraws survived the throttle (for tests).
+func (p *Printer) Drawn() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.drawn
+}

@@ -1,0 +1,80 @@
+package progress
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPrinterThrottle: with an injected clock, reports inside the throttle
+// window are dropped, reports past it draw, and the final report always
+// draws with the closing newline.
+func TestPrinterThrottle(t *testing.T) {
+	var buf bytes.Buffer
+	clock := time.Unix(1000, 0)
+	p := New(&buf, "campaign", "injections")
+	p.Now = func() time.Time { return clock }
+	p.start, p.last = clock, clock
+
+	p.Report(1, 100) // within 200ms of start: throttled
+	if got := p.Drawn(); got != 0 {
+		t.Fatalf("drawn = %d after throttled report, want 0", got)
+	}
+
+	clock = clock.Add(250 * time.Millisecond)
+	p.Report(2, 100)
+	if got := p.Drawn(); got != 1 {
+		t.Fatalf("drawn = %d after past-throttle report, want 1", got)
+	}
+	if !strings.Contains(buf.String(), "campaign: 2/100 injections") {
+		t.Errorf("output %q missing progress line", buf.String())
+	}
+
+	clock = clock.Add(10 * time.Millisecond)
+	p.Report(3, 100) // back inside the window
+	if got := p.Drawn(); got != 1 {
+		t.Fatalf("drawn = %d, throttle did not re-arm", got)
+	}
+
+	p.Report(100, 100) // final report bypasses the throttle
+	if got := p.Drawn(); got != 2 {
+		t.Fatalf("drawn = %d after final report, want 2", got)
+	}
+	if !strings.Contains(buf.String(), "100/100") || !strings.HasSuffix(buf.String(), "s\n") {
+		t.Errorf("final output %q missing completion line", buf.String())
+	}
+
+	p.Report(100, 100) // duplicate completion: latched, no redraw
+	if got := p.Drawn(); got != 2 {
+		t.Fatalf("drawn = %d after duplicate completion, want still 2", got)
+	}
+}
+
+// TestPrinterZeroValue: a zero-value Printer (no Out) is usable and only
+// counts draws.
+func TestPrinterZeroValue(t *testing.T) {
+	var p Printer
+	p.Report(5, 5)
+	if got := p.Drawn(); got != 1 {
+		t.Fatalf("drawn = %d, want 1", got)
+	}
+}
+
+// TestPrinterConcurrent: concurrent Report calls race-cleanly share the
+// throttle.
+func TestPrinterConcurrent(t *testing.T) {
+	p := New(nil, "x", "y")
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				p.Report(i, 1000)
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"xentry/internal/experiments"
+)
+
+// Client talks to a campaign server (cmd/xentry-serve) over its HTTP/JSON
+// API. The zero value plus a Base URL is ready to use.
+type Client struct {
+	// Base is the server's root URL, e.g. "http://localhost:8044".
+	Base string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// decodeError surfaces the server's {"error": ...} body as a Go error.
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("server: %s (%s)", e.Error, resp.Status)
+	}
+	return fmt.Errorf("server: %s", resp.Status)
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	resp, err := c.httpClient().Get(c.url(path))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit creates (or resumes) a campaign and returns its initial status,
+// including the server-assigned ID when the spec left it empty.
+func (c *Client) Submit(spec CampaignSpec) (*CampaignStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Post(c.url("/campaigns"), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, decodeError(resp)
+	}
+	var st CampaignStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Status fetches a campaign's live status.
+func (c *Client) Status(id string) (*CampaignStatus, error) {
+	var st CampaignStatus
+	if err := c.getJSON("/campaigns/"+id, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// List fetches every registered campaign's status, oldest first.
+func (c *Client) List() ([]CampaignStatus, error) {
+	var sts []CampaignStatus
+	if err := c.getJSON("/campaigns", &sts); err != nil {
+		return nil, err
+	}
+	return sts, nil
+}
+
+// Report fetches a finished campaign's evaluation report.
+func (c *Client) Report(id string) (*experiments.CampaignReport, error) {
+	var rep experiments.CampaignReport
+	if err := c.getJSON("/campaigns/"+id+"/result", &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// StreamEvents follows a campaign's SSE event stream, invoking fn per
+// event, until the terminal campaign_done/campaign_failed event, stream
+// end, or ctx cancellation. A campaign_failed event is returned as an
+// error.
+func (c *Client) StreamEvents(ctx context.Context, id string, fn func(Event)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/campaigns/"+id+"/events"), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			return fmt.Errorf("server: bad event: %w", err)
+		}
+		if fn != nil {
+			fn(ev)
+		}
+		switch ev.Type {
+		case EventCampaignDone:
+			return nil
+		case EventCampaignFailed:
+			return fmt.Errorf("server: campaign %s failed: %s", id, ev.Err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("server: event stream for %s ended without a terminal event", id)
+}
+
+// RunToCompletion submits a spec, follows its events, and returns the
+// final report — the remote analogue of inject.RunCampaign plus
+// experiments.NewCampaignReport.
+func (c *Client) RunToCompletion(ctx context.Context, spec CampaignSpec, onEvent func(Event)) (*experiments.CampaignReport, error) {
+	st, err := c.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.StreamEvents(ctx, st.ID, onEvent); err != nil {
+		return nil, err
+	}
+	return c.Report(st.ID)
+}

@@ -1,0 +1,589 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xentry/internal/core"
+	"xentry/internal/experiments"
+	"xentry/internal/inject"
+	"xentry/internal/store"
+	"xentry/internal/workload"
+)
+
+// CampaignSpec is the JSON body of POST /campaigns: everything needed to
+// reproduce the campaign deterministically. Submitting the same spec (same
+// ID included) against a data directory that already holds part of the
+// campaign resumes it — stored plan indices are never re-executed.
+type CampaignSpec struct {
+	// ID names the campaign (and its store directory). Optional: the
+	// server generates one. Client-chosen IDs make resume-after-restart
+	// explicit.
+	ID string `json:"id,omitempty"`
+	// Benchmarks defaults to all six.
+	Benchmarks             []string `json:"benchmarks,omitempty"`
+	InjectionsPerBenchmark int      `json:"injections_per_benchmark"`
+	Activations            int      `json:"activations,omitempty"`
+	Seed                   int64    `json:"seed,omitempty"`
+	// CheckpointEvery is the campaign engine's golden-checkpoint interval
+	// K (0 = default, negative disables).
+	CheckpointEvery int  `json:"checkpoint_every,omitempty"`
+	Recover         bool `json:"recover,omitempty"`
+	// TrainInjections > 0 trains the VM-transition model first (same
+	// deterministic training a local run performs); 0 runs without one.
+	TrainInjections int `json:"train_injections,omitempty"`
+	// ShardSize and PoolWorkers override the server's defaults for this
+	// campaign.
+	ShardSize   int `json:"shard_size,omitempty"`
+	PoolWorkers int `json:"pool_workers,omitempty"`
+}
+
+// withDefaults fills the deterministic defaults a local xentry-campaign
+// run would use.
+func (sp CampaignSpec) withDefaults() CampaignSpec {
+	if len(sp.Benchmarks) == 0 {
+		sp.Benchmarks = workload.Names()
+	}
+	if sp.Activations == 0 {
+		sp.Activations = 160
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 20140901
+	}
+	return sp
+}
+
+// campaignConfig builds the engine-facing config (model installed later).
+func (sp CampaignSpec) campaignConfig() inject.CampaignConfig {
+	return inject.CampaignConfig{
+		Benchmarks:             sp.Benchmarks,
+		Mode:                   workload.PV,
+		InjectionsPerBenchmark: sp.InjectionsPerBenchmark,
+		Activations:            sp.Activations,
+		Seed:                   sp.Seed,
+		Detection:              core.FullDetection(),
+		Recover:                sp.Recover,
+		CheckpointEvery:        sp.CheckpointEvery,
+	}
+}
+
+// CampaignStatus is the JSON body of GET /campaigns/{id}.
+type CampaignStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // "running" | "done" | "failed"
+	Error string `json:"error,omitempty"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	// PerBenchmark maps benchmark name to stored outcome count.
+	PerBenchmark map[string]int `json:"per_benchmark"`
+	// Dropped is the store's corrupt-record drop count (see store.Dropped).
+	Dropped        int       `json:"dropped"`
+	StartedAt      time.Time `json:"started_at"`
+	ElapsedSeconds float64   `json:"elapsed_seconds"`
+	RatePerSecond  float64   `json:"rate_per_second"`
+}
+
+// Config tunes the campaign server.
+type Config struct {
+	// DataDir is the root under which each campaign gets its store
+	// directory. Required.
+	DataDir string
+	// Defaults for specs that do not override them.
+	Workers      int
+	ShardSize    int
+	MaxAttempts  int
+	Backoff      time.Duration
+	ShardTimeout time.Duration
+}
+
+// Server is the HTTP coordinator: it owns the campaign registry, one
+// durable store and one sharded engine per campaign, and the event
+// streams.
+type Server struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	campaigns map[string]*campaign
+	order     []string
+	seq       int
+
+	// metrics, exposed at /metrics.
+	outcomesRecorded atomic.Int64
+	shardRetries     atomic.Int64
+	workerDeaths     atomic.Int64
+	campaignsDone    atomic.Int64
+	campaignsFailed  atomic.Int64
+}
+
+// campaign is one registered campaign's runtime state.
+type campaign struct {
+	id     string
+	spec   CampaignSpec
+	total  int
+	store  *store.Store
+	engine *Engine
+	events *broadcaster
+
+	mu       sync.Mutex
+	state    string
+	errMsg   string
+	report   *experiments.CampaignReport
+	started  time.Time
+	finished time.Time
+}
+
+// NewServer creates a campaign server rooted at cfg.DataDir.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("server: DataDir required")
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:       cfg,
+		ctx:       ctx,
+		cancel:    cancel,
+		campaigns: map[string]*campaign{},
+	}, nil
+}
+
+// Close stops every running campaign (their stores keep the completed
+// outcomes; resubmitting the same spec resumes them).
+func (s *Server) Close() { s.cancel() }
+
+// Handler returns the server's HTTP routes: the campaign API, Prometheus-
+// style /metrics, and /debug/pprof.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /campaigns", s.handleCreate)
+	mux.HandleFunc("GET /campaigns", s.handleList)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /campaigns/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+var idPattern = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec CampaignSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	spec = spec.withDefaults()
+	if spec.InjectionsPerBenchmark <= 0 {
+		httpError(w, http.StatusBadRequest, "injections_per_benchmark must be positive")
+		return
+	}
+	for _, bench := range spec.Benchmarks {
+		if _, err := workload.ByName(bench); err != nil {
+			httpError(w, http.StatusBadRequest, "unknown benchmark %q", bench)
+			return
+		}
+	}
+	if spec.ID != "" && !idPattern.MatchString(spec.ID) {
+		httpError(w, http.StatusBadRequest, "invalid campaign id")
+		return
+	}
+
+	s.mu.Lock()
+	if spec.ID == "" {
+		for {
+			s.seq++
+			id := fmt.Sprintf("c%06d", s.seq)
+			if _, taken := s.campaigns[id]; taken {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(s.cfg.DataDir, id)); err == nil {
+				continue // directory from a previous server life
+			}
+			spec.ID = id
+			break
+		}
+	} else if existing, ok := s.campaigns[spec.ID]; ok {
+		state, _ := existing.snapshotState()
+		s.mu.Unlock()
+		if state == "running" {
+			httpError(w, http.StatusConflict, "campaign %s already running", spec.ID)
+			return
+		}
+		httpError(w, http.StatusConflict, "campaign %s already registered (state %s)", spec.ID, state)
+		return
+	}
+	s.mu.Unlock()
+
+	c, err := s.startCampaign(spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	json.NewEncoder(w).Encode(c.status())
+}
+
+// startCampaign opens (or resumes) the store, registers the campaign, and
+// launches its run goroutine.
+func (s *Server) startCampaign(spec CampaignSpec) (*campaign, error) {
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	st, err := store.Open(filepath.Join(s.cfg.DataDir, spec.ID), store.Meta{
+		CampaignID:  spec.ID,
+		Benchmarks:  spec.Benchmarks,
+		Injections:  spec.InjectionsPerBenchmark,
+		Activations: spec.Activations,
+		Seed:        spec.Seed,
+		Extra:       specJSON,
+	}, store.Options{})
+	if err != nil {
+		return nil, err
+	}
+	c := &campaign{
+		id:     spec.ID,
+		spec:   spec,
+		total:  len(spec.Benchmarks) * spec.InjectionsPerBenchmark,
+		store:  st,
+		events: newBroadcaster(),
+		state:  "running",
+	}
+	c.started = time.Now()
+	workers := spec.PoolWorkers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	shardSize := spec.ShardSize
+	if shardSize <= 0 {
+		shardSize = s.cfg.ShardSize
+	}
+	c.engine = &Engine{
+		Store:        st,
+		Workers:      workers,
+		ShardSize:    shardSize,
+		MaxAttempts:  s.cfg.MaxAttempts,
+		Backoff:      s.cfg.Backoff,
+		ShardTimeout: s.cfg.ShardTimeout,
+		OnEvent: func(ev Event) {
+			switch ev.Type {
+			case EventOutcome:
+				s.outcomesRecorded.Add(1)
+			case EventShardRequeued:
+				s.shardRetries.Add(1)
+			case EventWorkerDead:
+				s.workerDeaths.Add(1)
+			}
+			c.events.publish(ev)
+		},
+	}
+	s.mu.Lock()
+	s.campaigns[spec.ID] = c
+	s.order = append(s.order, spec.ID)
+	s.mu.Unlock()
+	go s.runCampaign(c)
+	return c, nil
+}
+
+// runCampaign trains (optionally), drives the engine to completion, and
+// settles the campaign's terminal state.
+func (s *Server) runCampaign(c *campaign) {
+	res, err := func() (*inject.CampaignResult, error) {
+		cfg := c.spec.campaignConfig()
+		if c.spec.TrainInjections > 0 {
+			sc := experiments.DefaultScale()
+			sc.Seed = c.spec.Seed
+			sc.Activations = c.spec.Activations
+			sc.TrainInjections = c.spec.TrainInjections
+			sc.TestInjections = c.spec.TrainInjections / 2
+			train, err := experiments.Train(sc)
+			if err != nil {
+				return nil, fmt.Errorf("server: training: %w", err)
+			}
+			cfg.Model = train.Best()
+		}
+		return c.engine.Run(s.ctx, cfg)
+	}()
+	c.mu.Lock()
+	c.finished = time.Now()
+	if err != nil {
+		c.state, c.errMsg = "failed", err.Error()
+		s.campaignsFailed.Add(1)
+	} else {
+		c.state = "done"
+		c.report = experiments.NewCampaignReport(res, c.spec.Benchmarks)
+		s.campaignsDone.Add(1)
+	}
+	c.mu.Unlock()
+	c.store.Close()
+	c.events.close()
+}
+
+func (c *campaign) snapshotState() (state, errMsg string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state, c.errMsg
+}
+
+// status assembles the live status from the store and the campaign state.
+func (c *campaign) status() CampaignStatus {
+	c.mu.Lock()
+	state, errMsg := c.state, c.errMsg
+	started, finished := c.started, c.finished
+	c.mu.Unlock()
+	st := CampaignStatus{
+		ID:           c.id,
+		State:        state,
+		Error:        errMsg,
+		Done:         c.store.TotalCount(),
+		Total:        c.total,
+		PerBenchmark: map[string]int{},
+		Dropped:      c.store.Dropped(),
+		StartedAt:    started,
+	}
+	for _, bench := range c.spec.Benchmarks {
+		st.PerBenchmark[bench] = c.store.Count(bench)
+	}
+	end := finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	st.ElapsedSeconds = end.Sub(started).Seconds()
+	if st.ElapsedSeconds > 0 {
+		st.RatePerSecond = float64(st.Done) / st.ElapsedSeconds
+	}
+	return st
+}
+
+func (s *Server) campaign(id string) *campaign {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.campaigns[id]
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	statuses := make([]CampaignStatus, 0, len(s.order))
+	for _, id := range s.order {
+		statuses = append(statuses, s.campaigns[id].status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, statuses)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(r.PathValue("id"))
+	if c == nil {
+		httpError(w, http.StatusNotFound, "no such campaign")
+		return
+	}
+	writeJSON(w, c.status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(r.PathValue("id"))
+	if c == nil {
+		httpError(w, http.StatusNotFound, "no such campaign")
+		return
+	}
+	c.mu.Lock()
+	state, report, errMsg := c.state, c.report, c.errMsg
+	c.mu.Unlock()
+	switch state {
+	case "done":
+		writeJSON(w, report)
+	case "failed":
+		httpError(w, http.StatusConflict, "campaign failed: %s", errMsg)
+	default:
+		httpError(w, http.StatusConflict, "campaign still running")
+	}
+}
+
+// handleEvents streams campaign progress as server-sent events: one
+// `data: <Event JSON>` line per engine event, starting with a synthetic
+// status event, ending with campaign_done/campaign_failed.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(r.PathValue("id"))
+	if c == nil {
+		httpError(w, http.StatusNotFound, "no such campaign")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(ev Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	ch, cancel := c.events.subscribe()
+	defer cancel()
+	// Synthetic opening event with current progress; for a finished
+	// campaign (closed broadcaster) it doubles as the terminal event.
+	st := c.status()
+	first := Event{Type: "status", Campaign: c.id, Done: st.Done, Total: st.Total}
+	switch st.State {
+	case "done":
+		first.Type = EventCampaignDone
+	case "failed":
+		first.Type = EventCampaignFailed
+		first.Err = st.Error
+	}
+	if !send(first) {
+		return
+	}
+	if first.Type == EventCampaignDone || first.Type == EventCampaignFailed {
+		return
+	}
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				// Broadcaster closed: campaign settled while we streamed.
+				// Emit the terminal event if the subscription missed it.
+				state, errMsg := c.snapshotState()
+				st := c.status()
+				if state == "failed" {
+					send(Event{Type: EventCampaignFailed, Campaign: c.id, Done: st.Done, Total: st.Total, Err: errMsg})
+				} else {
+					send(Event{Type: EventCampaignDone, Campaign: c.id, Done: st.Done, Total: st.Total})
+				}
+				return
+			}
+			if !send(ev) {
+				return
+			}
+			if ev.Type == EventCampaignDone || ev.Type == EventCampaignFailed {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	total := len(s.campaigns)
+	running := 0
+	dropped := 0
+	for _, c := range s.campaigns {
+		if state, _ := c.snapshotState(); state == "running" {
+			running++
+		}
+		dropped += c.store.Dropped()
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "xentry_campaigns_total %d\n", total)
+	fmt.Fprintf(w, "xentry_campaigns_running %d\n", running)
+	fmt.Fprintf(w, "xentry_campaigns_done_total %d\n", s.campaignsDone.Load())
+	fmt.Fprintf(w, "xentry_campaigns_failed_total %d\n", s.campaignsFailed.Load())
+	fmt.Fprintf(w, "xentry_outcomes_recorded_total %d\n", s.outcomesRecorded.Load())
+	fmt.Fprintf(w, "xentry_shard_retries_total %d\n", s.shardRetries.Load())
+	fmt.Fprintf(w, "xentry_worker_deaths_total %d\n", s.workerDeaths.Load())
+	fmt.Fprintf(w, "xentry_wal_records_dropped_total %d\n", dropped)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// broadcaster fans engine events out to any number of SSE subscribers.
+// Slow subscribers drop events rather than stalling workers; the terminal
+// event is re-synthesized by the handler from campaign state, so a drop
+// never wedges a client.
+type broadcaster struct {
+	mu     sync.Mutex
+	subs   map[chan Event]struct{}
+	closed bool
+}
+
+func newBroadcaster() *broadcaster {
+	return &broadcaster{subs: map[chan Event]struct{}{}}
+}
+
+func (b *broadcaster) subscribe() (<-chan Event, func()) {
+	ch := make(chan Event, 256)
+	b.mu.Lock()
+	if b.closed {
+		close(ch)
+		b.mu.Unlock()
+		return ch, func() {}
+	}
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	return ch, func() {
+		b.mu.Lock()
+		if _, ok := b.subs[ch]; ok {
+			delete(b.subs, ch)
+			close(ch)
+		}
+		b.mu.Unlock()
+	}
+}
+
+func (b *broadcaster) publish(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for ch := range b.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop
+		}
+	}
+}
+
+func (b *broadcaster) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for ch := range b.subs {
+		close(ch)
+		delete(b.subs, ch)
+	}
+}

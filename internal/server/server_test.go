@@ -1,0 +1,136 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"xentry/internal/inject"
+)
+
+func testServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	s, err := NewServer(Config{
+		DataDir:   t.TempDir(),
+		Workers:   2,
+		ShardSize: 6,
+		Backoff:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, &Client{Base: ts.URL}
+}
+
+// TestServerRoundTrip drives the full HTTP path: submit a campaign, follow
+// its event stream to completion, fetch the report, and check the folded
+// aggregates are bit-identical to a local single-process RunCampaign.
+func TestServerRoundTrip(t *testing.T) {
+	cfg := testCampaignConfig()
+	want, err := inject.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, client := testServer(t)
+	spec := CampaignSpec{
+		ID:                     "round-trip",
+		Benchmarks:             cfg.Benchmarks,
+		InjectionsPerBenchmark: cfg.InjectionsPerBenchmark,
+		Activations:            cfg.Activations,
+		Seed:                   cfg.Seed,
+	}
+	// The campaign may finish before the event stream connects (it is a
+	// few dozen simulated injections), so the stream is only guaranteed a
+	// terminal event; outcome delivery is asserted via the server counter.
+	var sawDone bool
+	rep, err := client.RunToCompletion(context.Background(), spec, func(ev Event) {
+		if ev.Type == EventCampaignDone {
+			sawDone = true
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawDone {
+		t.Error("event stream ended without a campaign_done event")
+	}
+	if !reflect.DeepEqual(rep.Result, want) {
+		t.Errorf("server aggregates differ from local run:\ngot:  %+v\nwant: %+v",
+			rep.Result.Total, want.Total)
+	}
+	if rep.Injections != want.Total.Injections || rep.Coverage != want.Total.Coverage() {
+		t.Errorf("report header (%d, %v) != local (%d, %v)",
+			rep.Injections, rep.Coverage, want.Total.Injections, want.Total.Coverage())
+	}
+
+	// Status and list agree on the finished campaign.
+	st, err := client.Status("round-trip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" || st.Done != st.Total || st.Done != len(cfg.Benchmarks)*cfg.InjectionsPerBenchmark {
+		t.Errorf("status = %+v, want done %d/%d", st, st.Total, st.Total)
+	}
+	list, err := client.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != "round-trip" {
+		t.Errorf("list = %+v, want the one campaign", list)
+	}
+
+	// An event stream opened after completion still terminates cleanly.
+	if err := client.StreamEvents(context.Background(), "round-trip", nil); err != nil {
+		t.Errorf("post-completion event stream: %v", err)
+	}
+
+	// Every outcome flowed through the engine's event hook.
+	if got := s.outcomesRecorded.Load(); got != int64(st.Total) {
+		t.Errorf("outcomesRecorded = %d, want %d", got, st.Total)
+	}
+
+	// Resubmitting a registered ID conflicts rather than double-running.
+	if _, err := client.Submit(spec); err == nil || !strings.Contains(err.Error(), "already") {
+		t.Errorf("resubmit err = %v, want conflict", err)
+	}
+}
+
+// TestServerValidationAndNotFound covers the API's error paths.
+func TestServerValidationAndNotFound(t *testing.T) {
+	s, client := testServer(t)
+
+	if _, err := client.Submit(CampaignSpec{InjectionsPerBenchmark: 0}); err == nil {
+		t.Error("zero-injection spec accepted")
+	}
+	if _, err := client.Submit(CampaignSpec{InjectionsPerBenchmark: 4, Benchmarks: []string{"nope"}}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := client.Submit(CampaignSpec{InjectionsPerBenchmark: 4, ID: "bad/../id"}); err == nil {
+		t.Error("path-traversal id accepted")
+	}
+	if _, err := client.Status("missing"); err == nil {
+		t.Error("status for unknown campaign succeeded")
+	}
+	if _, err := client.Report("missing"); err == nil {
+		t.Error("result for unknown campaign succeeded")
+	}
+
+	// Metrics endpoint serves the counter page.
+	resp, err := http.Get(strings.TrimRight(client.Base, "/") + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("metrics status = %v", resp.Status)
+	}
+	_ = s
+}

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Tier-1 verification: build, vet, full test suite, and a race-detector pass
 # over the packages with real concurrency (the campaign engine's workers
-# share the read-only checkpoint pool; the simulator is what they restore).
+# share the read-only checkpoint pool; the coordinator's worker pool and
+# the result store take concurrent records; the simulator is what they
+# restore).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -9,4 +11,4 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/inject/ ./internal/sim/
+go test -race ./internal/inject/ ./internal/sim/ ./internal/store/ ./internal/server/ ./internal/progress/
