@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"xentry/internal/experiments"
 	"xentry/internal/inject"
@@ -46,6 +48,8 @@ func main() {
 	storeDir := flag.String("store", "", "durable result-store directory (resumes an interrupted campaign)")
 	serverURL := flag.String("server", "", "dispatch the campaign to a running xentry-serve coordinator")
 	campaignID := flag.String("campaign", "", "campaign ID for -server mode (empty = server assigns one)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	sc := experiments.DefaultScale()
@@ -53,21 +57,52 @@ func main() {
 	sc.Activations = *activations
 	sc.Seed = *seed
 
-	if *serverURL != "" {
-		if *recover {
-			log.Fatal("-recover is local-only; run it without -server")
-		}
-		if *storeDir != "" {
-			log.Fatal("-store is local-only; the server keeps its own store per campaign")
-		}
-		if err := runRemote(*serverURL, *campaignID, sc, *checkpointEvery, *jsonOut); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
 			log.Fatal(err)
 		}
-		return
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
 	}
-	if err := runLocal(sc, *checkpointEvery, *storeDir, *jsonOut, *recover); err != nil {
-		log.Fatal(err)
+	// Profiles must land even when the run fails, so the dispatch below
+	// funnels through one exit point instead of log.Fatal-ing mid-flight.
+	runErr := dispatch(serverURL, campaignID, storeDir, sc,
+		*checkpointEvery, *jsonOut, *recover)
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
 	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // settle live heap before the snapshot
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+	if runErr != nil {
+		log.Fatal(runErr)
+	}
+}
+
+// dispatch routes the campaign to the coordinator or the local engine.
+func dispatch(serverURL, campaignID, storeDir *string, sc experiments.Scale,
+	checkpointEvery int, jsonOut, recoverStudy bool) error {
+
+	if *serverURL != "" {
+		if recoverStudy {
+			return fmt.Errorf("-recover is local-only; run it without -server")
+		}
+		if *storeDir != "" {
+			return fmt.Errorf("-store is local-only; the server keeps its own store per campaign")
+		}
+		return runRemote(*serverURL, *campaignID, sc, checkpointEvery, jsonOut)
+	}
+	return runLocal(sc, checkpointEvery, *storeDir, jsonOut, recoverStudy)
 }
 
 // runLocal trains and runs the campaign in-process, optionally recording

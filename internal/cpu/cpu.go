@@ -158,8 +158,25 @@ type CPU struct {
 	OutHook func(port int64, val uint64)
 	// PreStep, when set, runs before each dynamic instruction with the
 	// zero-based step index and current PC. The fault injector uses it to
-	// flip a register bit at an exact dynamic point.
+	// flip a register bit at an exact dynamic point. A hook may set
+	// PreStep to nil from inside itself to disarm: Run notices at the next
+	// instruction boundary and drops to the untraced fast loop for the
+	// rest of the execution.
 	PreStep func(step uint64, pc uint64)
+
+	// ForceSlow forces the seed-equivalent slow path: instruction fetch
+	// through the Text interface on every step, the hook check inside the
+	// loop, and a per-instruction PMU flush. The fast/slow differential
+	// tests run whole campaigns under it to prove the fast path changes
+	// no architectural outcome.
+	ForceSlow bool
+
+	// pend accumulates performance-counter retirement between flushes.
+	// The run loops retire into these plain counters and flush them to
+	// the PMU once per Run (the PMU is only ever read at VM entry, after
+	// Run has returned), so the hot path carries no armed checks and no
+	// per-event method calls. Invariant: zero outside Run.
+	pend perf.Sample
 }
 
 // New returns a CPU bound to the given memory, text map and PMU.
@@ -203,7 +220,137 @@ var (
 
 // Run executes from the current RIP until VM entry, halt, exception, failed
 // assertion, or budget exhaustion.
+//
+// The loop is split three ways. runFast is the steady state: no hook check,
+// instruction fetch through a concrete *Segment when Text is one (the
+// hypervisor always loads into a Segment), retirement into pending locals.
+// runTraced runs only while PreStep is armed and hands the remaining budget
+// to runFast the moment the hook disarms itself — which the injector does as
+// soon as the flip's fate is decided, so a traced injection run still spends
+// almost all of its instructions on the fast loop. runSlow is the
+// seed-equivalent path behind ForceSlow, kept so differential tests can
+// prove the fast path bit-identical. All paths flush pending PMU counts
+// exactly once, at stop, before any caller can observe the counter bank.
 func (c *CPU) Run(budget uint64) RunResult {
+	if c.ForceSlow {
+		rr := c.runSlow(budget)
+		c.flushPMU()
+		return rr
+	}
+	seg, _ := c.Text.(*Segment)
+	var prefix uint64
+	if c.PreStep != nil {
+		rr, done := c.runTraced(budget, seg)
+		if done {
+			c.flushPMU()
+			return rr
+		}
+		prefix = rr.Steps
+	}
+	rr := c.runFast(budget-prefix, seg)
+	rr.Steps += prefix
+	c.flushPMU()
+	return rr
+}
+
+// fetchStop builds the RunResult for a failed instruction fetch.
+func fetchStop(fr FetchResult, pc, steps uint64) RunResult {
+	if fr == FetchUnmapped {
+		return RunResult{Reason: StopException, Steps: steps,
+			Exc: &Exception{Vector: VecPF, PC: pc, Addr: pc, Cause: "instruction fetch from unmapped address"}}
+	}
+	return RunResult{Reason: StopException, Steps: steps,
+		Exc: &Exception{Vector: VecUD, PC: pc, Addr: pc, Cause: "fetch off instruction boundary"}}
+}
+
+// stepStop classifies a non-nil step error into the final RunResult.
+func stepStop(err error, steps, pc uint64) RunResult {
+	switch {
+	case errors.Is(err, errVMEntry):
+		return RunResult{Reason: StopVMEntry, Steps: steps}
+	case errors.Is(err, errHalt):
+		return RunResult{Reason: StopHalt, Steps: steps}
+	case errors.Is(err, errAssert):
+		return RunResult{Reason: StopAssert, Steps: steps, AssertPC: pc}
+	default:
+		var exc *Exception
+		if errors.As(err, &exc) {
+			return RunResult{Reason: StopException, Steps: steps, Exc: exc}
+		}
+		// Unreachable: step only returns the above error kinds.
+		panic(fmt.Sprintf("cpu: unexpected step error %v", err))
+	}
+}
+
+// runFast is the untraced hot loop: no PreStep check per iteration, and a
+// direct (devirtualized, inlinable) fetch when the text map is a *Segment.
+func (c *CPU) runFast(budget uint64, seg *Segment) RunResult {
+	var steps uint64
+	for steps < budget {
+		pc := c.Regs[isa.RIP]
+		var in *isa.Instr
+		var fr FetchResult
+		if seg != nil {
+			in, fr = seg.FetchPtr(pc)
+		} else {
+			var v isa.Instr
+			v, fr = c.Text.FetchInstr(pc)
+			in = &v
+		}
+		if fr != FetchOK {
+			return fetchStop(fr, pc, steps)
+		}
+		retired, err := c.step(pc, in, budget-steps)
+		steps += retired
+		if err != nil {
+			return stepStop(err, steps, pc)
+		}
+	}
+	return RunResult{Reason: StopBudget, Steps: steps}
+}
+
+// runTraced runs while PreStep is armed. It re-reads the hook every
+// iteration: when the hook disarms itself (sets PreStep to nil), runTraced
+// returns done=false with the steps consumed so far and Run continues the
+// remaining budget on runFast. The disarm check happens only while
+// steps < budget, so the fast loop always receives a budget of at least one.
+func (c *CPU) runTraced(budget uint64, seg *Segment) (RunResult, bool) {
+	var steps uint64
+	for steps < budget {
+		hook := c.PreStep
+		if hook == nil {
+			return RunResult{Steps: steps}, false
+		}
+		pc := c.Regs[isa.RIP]
+		hook(steps, pc)
+		pc = c.Regs[isa.RIP] // injection may have flipped RIP
+		var in *isa.Instr
+		var fr FetchResult
+		if seg != nil {
+			in, fr = seg.FetchPtr(pc)
+		} else {
+			var v isa.Instr
+			v, fr = c.Text.FetchInstr(pc)
+			in = &v
+		}
+		if fr != FetchOK {
+			return fetchStop(fr, pc, steps), true
+		}
+		retired, err := c.step(pc, in, budget-steps)
+		steps += retired
+		if err != nil {
+			return stepStop(err, steps, pc), true
+		}
+	}
+	return RunResult{Reason: StopBudget, Steps: steps}, true
+}
+
+// runSlow is the seed interpreter loop, preserved verbatim behind ForceSlow:
+// hook check inside the loop, fetch through the Text interface, and a PMU
+// flush after every instruction so counters advance exactly as the original
+// per-retire Count calls did. Differential tests run entire campaigns here
+// and assert outcomes identical to the fast path.
+func (c *CPU) runSlow(budget uint64) RunResult {
 	var steps uint64
 	for steps < budget {
 		pc := c.Regs[isa.RIP]
@@ -212,52 +359,45 @@ func (c *CPU) Run(budget uint64) RunResult {
 			pc = c.Regs[isa.RIP] // injection may have flipped RIP
 		}
 		in, fr := c.Text.FetchInstr(pc)
-		switch fr {
-		case FetchUnmapped:
-			return RunResult{Reason: StopException, Steps: steps,
-				Exc: &Exception{Vector: VecPF, PC: pc, Addr: pc, Cause: "instruction fetch from unmapped address"}}
-		case FetchMisaligned:
-			return RunResult{Reason: StopException, Steps: steps,
-				Exc: &Exception{Vector: VecUD, PC: pc, Addr: pc, Cause: "fetch off instruction boundary"}}
+		if fr != FetchOK {
+			return fetchStop(fr, pc, steps)
 		}
-		retired, err := c.step(pc, in, budget-steps)
+		retired, err := c.step(pc, &in, budget-steps)
+		c.flushPMU()
 		steps += retired
-		if err == nil {
-			continue
-		}
-		switch {
-		case errors.Is(err, errVMEntry):
-			return RunResult{Reason: StopVMEntry, Steps: steps}
-		case errors.Is(err, errHalt):
-			return RunResult{Reason: StopHalt, Steps: steps}
-		case errors.Is(err, errAssert):
-			return RunResult{Reason: StopAssert, Steps: steps, AssertPC: pc}
-		default:
-			var exc *Exception
-			if errors.As(err, &exc) {
-				return RunResult{Reason: StopException, Steps: steps, Exc: exc}
-			}
-			// Unreachable: step only returns the above error kinds.
-			panic(fmt.Sprintf("cpu: unexpected step error %v", err))
+		if err != nil {
+			return stepStop(err, steps, pc)
 		}
 	}
 	return RunResult{Reason: StopBudget, Steps: steps}
 }
 
-// retire charges one retired instruction with the given event profile.
+// retire charges one retired instruction with the given event profile. The
+// TSC and cycle counters advance inline (rdtsc reads the TSC mid-run); the
+// four PMU events accumulate in pending locals and flush at Run stop.
 func (c *CPU) retire(branch, load, store bool) {
 	c.Cycles++
 	c.TSC++
-	if c.PMU != nil {
-		c.PMU.Count(perf.InstRetired, 1)
-		if branch {
-			c.PMU.Count(perf.BranchRetired, 1)
+	c.pend[perf.InstRetired]++
+	if branch {
+		c.pend[perf.BranchRetired]++
+	}
+	if load {
+		c.pend[perf.LoadsRetired]++
+	}
+	if store {
+		c.pend[perf.StoresRetired]++
+	}
+}
+
+// flushPMU folds pending retirement counts into the counter bank. Every Run
+// return path flushes, so pend is always zero outside Run and never needs
+// capturing in State.
+func (c *CPU) flushPMU() {
+	if c.pend != (perf.Sample{}) {
+		if c.PMU != nil {
+			c.PMU.Add(c.pend)
 		}
-		if load {
-			c.PMU.Count(perf.LoadsRetired, 1)
-		}
-		if store {
-			c.PMU.Count(perf.StoresRetired, 1)
-		}
+		c.pend = perf.Sample{}
 	}
 }

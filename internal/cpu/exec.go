@@ -107,10 +107,32 @@ func memException(err error, pc uint64, stack bool) *Exception {
 	return &Exception{Vector: vec, PC: pc, Addr: f.Addr, Cause: f.Error()}
 }
 
+// loadFault rebuilds the architectural exception for a read the
+// allocation-free fast path reported as faulting, by rerunning the access
+// through the allocating slow path so the exception is bit-identical to the
+// seed interpreter's. It executes only when a fault is about to stop the
+// run, never on the per-access hot path.
+func (c *CPU) loadFault(addr, pc uint64, stack bool) error {
+	if _, err := c.Mem.Read64(addr); err != nil {
+		return memException(err, pc, stack)
+	}
+	// Unreachable: Load just faulted on addr and nothing changed since.
+	return &Exception{Vector: VecGP, PC: pc, Addr: addr, Cause: "transient memory fault"}
+}
+
+// storeFault is loadFault for writes. Rerunning Write64 is safe: the fast
+// path already established that the access faults, so no write lands.
+func (c *CPU) storeFault(addr, val, pc uint64, stack bool) error {
+	if err := c.Mem.Write64(addr, val); err != nil {
+		return memException(err, pc, stack)
+	}
+	return &Exception{Vector: VecGP, PC: pc, Addr: addr, Cause: "transient memory fault"}
+}
+
 // step executes one instruction at pc. It returns the number of dynamic
 // instructions retired (usually 1; rep-movs retires one per word; disabled
 // assertions retire 0) and a sentinel or *Exception error on stop.
-func (c *CPU) step(pc uint64, in isa.Instr, budget uint64) (uint64, error) {
+func (c *CPU) step(pc uint64, in *isa.Instr, budget uint64) (uint64, error) {
 	next := pc + isa.InstrBytes
 	r := &c.Regs
 
@@ -249,18 +271,18 @@ func (c *CPU) step(pc uint64, in isa.Instr, budget uint64) (uint64, error) {
 
 	case isa.OpCall:
 		r[isa.RSP] -= 8
-		if err := c.Mem.Write64(r[isa.RSP], next); err != nil {
+		if fk := c.Mem.Store(r[isa.RSP], next); fk != mem.FaultNone {
 			c.retire(true, false, true)
-			return 1, memException(err, pc, true)
+			return 1, c.storeFault(r[isa.RSP], next, pc, true)
 		}
 		next = uint64(in.Imm)
 		c.retire(true, false, true)
 
 	case isa.OpRet:
-		ret, err := c.Mem.Read64(r[isa.RSP])
-		if err != nil {
+		ret, fk := c.Mem.Load(r[isa.RSP])
+		if fk != mem.FaultNone {
 			c.retire(true, true, false)
-			return 1, memException(err, pc, true)
+			return 1, c.loadFault(r[isa.RSP], pc, true)
 		}
 		r[isa.RSP] += 8
 		next = ret
@@ -268,35 +290,35 @@ func (c *CPU) step(pc uint64, in isa.Instr, budget uint64) (uint64, error) {
 
 	case isa.OpPush:
 		r[isa.RSP] -= 8
-		if err := c.Mem.Write64(r[isa.RSP], r[in.Src]); err != nil {
+		if fk := c.Mem.Store(r[isa.RSP], r[in.Src]); fk != mem.FaultNone {
 			c.retire(false, false, true)
-			return 1, memException(err, pc, true)
+			return 1, c.storeFault(r[isa.RSP], r[in.Src], pc, true)
 		}
 		c.retire(false, false, true)
 
 	case isa.OpPop:
-		v, err := c.Mem.Read64(r[isa.RSP])
-		if err != nil {
+		v, fk := c.Mem.Load(r[isa.RSP])
+		if fk != mem.FaultNone {
 			c.retire(false, true, false)
-			return 1, memException(err, pc, true)
+			return 1, c.loadFault(r[isa.RSP], pc, true)
 		}
 		r[in.Dst] = v
 		r[isa.RSP] += 8
 		c.retire(false, true, false)
 
 	case isa.OpLoad:
-		v, err := c.Mem.Read64(r[in.Base] + uint64(in.Imm))
-		if err != nil {
+		v, fk := c.Mem.Load(r[in.Base] + uint64(in.Imm))
+		if fk != mem.FaultNone {
 			c.retire(false, true, false)
-			return 1, memException(err, pc, false)
+			return 1, c.loadFault(r[in.Base]+uint64(in.Imm), pc, false)
 		}
 		r[in.Dst] = v
 		c.retire(false, true, false)
 
 	case isa.OpStore:
-		if err := c.Mem.Write64(r[in.Base]+uint64(in.Imm), r[in.Src]); err != nil {
+		if fk := c.Mem.Store(r[in.Base]+uint64(in.Imm), r[in.Src]); fk != mem.FaultNone {
 			c.retire(false, false, true)
-			return 1, memException(err, pc, false)
+			return 1, c.storeFault(r[in.Base]+uint64(in.Imm), r[in.Src], pc, false)
 		}
 		c.retire(false, false, true)
 
@@ -311,14 +333,14 @@ func (c *CPU) step(pc uint64, in isa.Instr, budget uint64) (uint64, error) {
 				r[isa.RIP] = pc
 				return retired, nil
 			}
-			v, err := c.Mem.Read64(r[isa.RSI])
-			if err != nil {
+			v, fk := c.Mem.Load(r[isa.RSI])
+			if fk != mem.FaultNone {
 				c.retire(false, true, false)
-				return retired + 1, memException(err, pc, false)
+				return retired + 1, c.loadFault(r[isa.RSI], pc, false)
 			}
-			if err := c.Mem.Write64(r[isa.RDI], v); err != nil {
+			if fk := c.Mem.Store(r[isa.RDI], v); fk != mem.FaultNone {
 				c.retire(false, true, true)
-				return retired + 1, memException(err, pc, false)
+				return retired + 1, c.storeFault(r[isa.RDI], v, pc, false)
 			}
 			r[isa.RSI] += 8
 			r[isa.RDI] += 8

@@ -37,6 +37,21 @@ func (s *Segment) FetchInstr(addr uint64) (isa.Instr, FetchResult) {
 	return s.instrs[off/isa.InstrBytes], FetchOK
 }
 
+// FetchPtr is FetchInstr without the instruction copy: it returns a pointer
+// into the segment's instruction slice. Instructions are immutable after
+// linking, so the pointee must be treated as read-only. The run loops use
+// it so each fetch costs a bounds check and a pointer, not a struct copy.
+func (s *Segment) FetchPtr(addr uint64) (*isa.Instr, FetchResult) {
+	if addr < s.Base || addr >= s.End() {
+		return nil, FetchUnmapped
+	}
+	off := addr - s.Base
+	if off%isa.InstrBytes != 0 {
+		return nil, FetchMisaligned
+	}
+	return &s.instrs[off/isa.InstrBytes], FetchOK
+}
+
 // InstrAt returns the instruction at addr for inspection (no fetch checks).
 func (s *Segment) InstrAt(addr uint64) (isa.Instr, bool) {
 	in, fr := s.FetchInstr(addr)

@@ -64,9 +64,10 @@ func PrepareGuestInput(h *Hypervisor, dom int, reason ExitReason, rnd uint64) ([
 
 	case HCSetTrapTable:
 		count := 1 + mix(1)%MaxTraps
-		vals := make([]uint64, 0, 2*count)
+		vals := h.scratch(2 * count)
 		for i := uint64(0); i < count; i++ {
-			vals = append(vals, mix(3+i)%(MaxTraps+1), TextBase+mix(40+i)%0x1000)
+			vals[2*i] = mix(3+i) % (MaxTraps + 1)
+			vals[2*i+1] = TextBase + mix(40+i)%0x1000
 		}
 		if err := h.WriteGuestWords(dom, trapTableOff, vals); err != nil {
 			return args, err
@@ -76,7 +77,7 @@ func PrepareGuestInput(h *Hypervisor, dom int, reason ExitReason, rnd uint64) ([
 
 	case HCMemoryOp:
 		count := 1 + mix(1)%32
-		vals := make([]uint64, count)
+		vals := h.scratch(count)
 		for i := range vals {
 			vals[i] = mix(5+uint64(i)) % 60000 // below DomMaxPages
 		}
@@ -89,10 +90,10 @@ func PrepareGuestInput(h *Hypervisor, dom int, reason ExitReason, rnd uint64) ([
 
 	case HCMulticall:
 		count := 1 + mix(1)%7
-		vals := make([]uint64, 0, 2*count)
+		vals := h.scratch(2 * count)
 		for i := uint64(0); i < count; i++ {
-			op := 1 + mix(7+i)%3
-			vals = append(vals, op, mix(70+i)%MaxEvtchnPorts)
+			vals[2*i] = 1 + mix(7+i)%3
+			vals[2*i+1] = mix(70+i) % MaxEvtchnPorts
 		}
 		if err := h.WriteGuestWords(dom, multicallOff, vals); err != nil {
 			return args, err
@@ -101,13 +102,12 @@ func PrepareGuestInput(h *Hypervisor, dom int, reason ExitReason, rnd uint64) ([
 		args[1] = count
 
 	case HCIret:
-		frame := []uint64{
-			0x400000 + mix(1)%0x10000, // rip
-			0x200 | (mix(2) % 0x100),  // rflags with IF set
-			0x7FF000 - mix(3)%0x1000,  // rsp
-			0x10,                      // cs
-			0x18,                      // ss
-		}
+		frame := h.scratch(5)
+		frame[0] = 0x400000 + mix(1)%0x10000 // rip
+		frame[1] = 0x200 | (mix(2) % 0x100)  // rflags with IF set
+		frame[2] = 0x7FF000 - mix(3)%0x1000  // rsp
+		frame[3] = 0x10                      // cs
+		frame[4] = 0x18                      // ss
 		if err := h.WriteGuestWords(dom, iretFrameOff, frame); err != nil {
 			return args, err
 		}
@@ -115,9 +115,10 @@ func PrepareGuestInput(h *Hypervisor, dom int, reason ExitReason, rnd uint64) ([
 
 	case HCMMUUpdate:
 		count := 1 + mix(1)%16
-		vals := make([]uint64, 0, 2*count)
+		vals := h.scratch(2 * count)
 		for i := uint64(0); i < count; i++ {
-			vals = append(vals, mix(9+i)%0x10000, mix(90+i))
+			vals[2*i] = mix(9+i) % 0x10000
+			vals[2*i+1] = mix(90 + i)
 		}
 		if err := h.WriteGuestWords(dom, mmuListOff, vals); err != nil {
 			return args, err
@@ -127,7 +128,7 @@ func PrepareGuestInput(h *Hypervisor, dom int, reason ExitReason, rnd uint64) ([
 
 	case HCConsoleIO:
 		count := 1 + mix(1)%16
-		vals := make([]uint64, count)
+		vals := h.scratch(count)
 		for i := range vals {
 			vals[i] = mix(11 + uint64(i))
 		}
@@ -158,7 +159,7 @@ func PrepareGuestInput(h *Hypervisor, dom int, reason ExitReason, rnd uint64) ([
 		args[2] = 1 + mix(2)%64 // words
 		seed := mix(3)
 		src := grantSrcOff + (args[1] << 6)
-		vals := make([]uint64, args[2])
+		vals := h.scratch(args[2])
 		for i := range vals {
 			vals[i] = seed + uint64(i)
 		}
@@ -188,7 +189,7 @@ func PrepareGuestInput(h *Hypervisor, dom int, reason ExitReason, rnd uint64) ([
 		args[0] = mix(1) % 2
 		args[1] = mix(2)
 		args[2] = genericOff + (mix(3)%64)*8
-		vals := make([]uint64, 33)
+		vals := h.scratch(33)
 		for i := range vals {
 			vals[i] = mix(13 + uint64(i))
 		}

@@ -3,6 +3,7 @@ package hv
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"xentry/internal/cpu"
 	"xentry/internal/isa"
@@ -68,6 +69,20 @@ type Hypervisor struct {
 	textDigest   uint64
 
 	tscSnap uint64
+
+	// argScratch is the reusable word buffer PrepareGuestInput stages
+	// hypercall arguments in; staging runs once per simulated VM exit, so
+	// a per-call allocation here dominates a campaign's allocation profile.
+	argScratch []uint64
+}
+
+// scratch returns a length-n word buffer reused across PrepareGuestInput
+// calls. Callers must not retain it past the staging write.
+func (h *Hypervisor) scratch(n uint64) []uint64 {
+	if uint64(cap(h.argScratch)) < n {
+		h.argScratch = make([]uint64, n)
+	}
+	return h.argScratch[:n]
 }
 
 // progExtent records one linked program's address range.
@@ -76,19 +91,56 @@ type progExtent struct {
 	start, end uint64
 }
 
+// linkCache holds the one-time link of the hypervisor handler programs.
+// The text segment, symbol table, fixup table, program extents and digest
+// are all immutable after linking, so every hypervisor — and every campaign
+// worker goroutine — shares them: the CPU fetch fast path reads the same
+// dense instruction slice from all workers, and New() no longer reassembles
+// and relinks the whole handler set per machine.
+var linkCache struct {
+	once    sync.Once
+	seg     *cpu.Segment
+	symtab  map[string]uint64
+	fixups  map[uint64]uint64
+	extents []progExtent
+	digest  uint64
+	err     error
+}
+
+// linkedText returns the shared linked handler text. Callers must treat
+// every returned value as read-only.
+func linkedText() (*cpu.Segment, map[string]uint64, map[uint64]uint64, []progExtent, uint64, error) {
+	lc := &linkCache
+	lc.once.Do(func() {
+		progs, err := AllHandlerPrograms()
+		if err != nil {
+			lc.err = err
+			return
+		}
+		ld := cpu.NewLoader(TextBase)
+		for _, p := range progs {
+			ld.Add(p)
+		}
+		lc.seg, lc.symtab, lc.fixups, lc.err = ld.Link()
+		if lc.err != nil {
+			return
+		}
+		for _, p := range progs {
+			start := lc.symtab[p.Name]
+			lc.extents = append(lc.extents, progExtent{p.Name, start, start + p.Size()})
+			lc.digest = lc.digest*1099511628211 ^ p.Digest()
+		}
+		sort.Slice(lc.extents, func(i, j int) bool { return lc.extents[i].start < lc.extents[j].start })
+	})
+	return lc.seg, lc.symtab, lc.fixups, lc.extents, lc.digest, lc.err
+}
+
 // New builds a hypervisor with the given number of domains (domain 0 is
-// privileged). All handler programs are assembled, linked at TextBase, and
-// the domain/VCPU/shared-info structures are initialised.
+// privileged). All handler programs are assembled, linked at TextBase (once
+// per process — the linked text is immutable and shared), and the
+// domain/VCPU/shared-info structures are initialised.
 func New(numDomains int) (*Hypervisor, error) {
-	progs, err := AllHandlerPrograms()
-	if err != nil {
-		return nil, err
-	}
-	ld := cpu.NewLoader(TextBase)
-	for _, p := range progs {
-		ld.Add(p)
-	}
-	seg, symtab, fixups, err := ld.Link()
+	seg, symtab, fixups, extents, digest, err := linkedText()
 	if err != nil {
 		return nil, err
 	}
@@ -105,13 +157,9 @@ func New(numDomains int) (*Hypervisor, error) {
 		Fixups:       fixups,
 		retToGuest:   symtab["ret_to_guest"],
 		retToGuestHC: symtab["ret_to_guest_hypercall"],
+		extents:      extents,
+		textDigest:   digest,
 	}
-	for _, p := range progs {
-		start := symtab[p.Name]
-		h.extents = append(h.extents, progExtent{p.Name, start, start + p.Size()})
-		h.textDigest = h.textDigest*1099511628211 ^ p.Digest()
-	}
-	sort.Slice(h.extents, func(i, j int) bool { return h.extents[i].start < h.extents[j].start })
 
 	h.CPU = cpu.New(m, seg, perf.New())
 	h.CPU.CpuidTable = map[uint64][4]uint64{
@@ -288,11 +336,23 @@ func (h *Hypervisor) Dispatch(ev *ExitEvent, budget uint64) (Result, error) {
 	return res, nil
 }
 
+// Snap is a live-recovery snapshot: machine memory plus the TSC to rewind
+// to. Unlike Checkpoint it deliberately leaves the register file reset and
+// the accumulated cycle count alone — re-execution after a recovery is real
+// work whose cost must stay charged. Memory is captured through the same
+// copy-on-write page machinery as Checkpoint (one pointer per page instead
+// of the legacy word-copy maps), which is what makes per-step snapshotting
+// in recovery mode affordable.
+type Snap struct {
+	mem *mem.Checkpoint
+	tsc uint64
+}
+
 // Snapshot captures machine memory and the TSC so repeated injection runs
 // can restart from an identical state.
-func (h *Hypervisor) Snapshot() map[string][]uint64 {
+func (h *Hypervisor) Snapshot() *Snap {
 	h.tscSnap = h.CPU.TSC
-	return h.Mem.Snapshot()
+	return &Snap{mem: h.Mem.Checkpoint(), tsc: h.tscSnap}
 }
 
 // Checkpoint is a complete hypervisor-level machine image: the CPU's
@@ -336,12 +396,12 @@ func (h *Hypervisor) RestoreFrom(cp *Checkpoint) error {
 // Restore reinstates a Snapshot and resets the CPU's architectural state.
 // Accumulated cycles are preserved: restoration is used both for repeatable
 // injection runs and for live recovery re-execution, whose cost is real.
-func (h *Hypervisor) Restore(snap map[string][]uint64) error {
-	if err := h.Mem.Restore(snap); err != nil {
+func (h *Hypervisor) Restore(snap *Snap) error {
+	if err := h.Mem.RestoreCheckpoint(snap.mem); err != nil {
 		return err
 	}
 	h.CPU.Reset()
-	h.CPU.TSC = h.tscSnap
+	h.CPU.TSC = snap.tsc
 	return nil
 }
 
@@ -367,6 +427,12 @@ func (h *Hypervisor) SharedWord(dom int, off uint64) uint64 {
 // word offset (the guest preparing hypercall arguments).
 func (h *Hypervisor) WriteGuestWords(dom int, byteOff uint64, vals []uint64) error {
 	base := GuestBufAddr(dom) + byteOff
+	if err := h.Mem.PokeRange(base, vals); err == nil {
+		return nil
+	}
+	// Range crossed a region boundary: fall back to word-at-a-time pokes,
+	// which land the in-range prefix before reporting the fault (the
+	// behavior staging code observed before PokeRange existed).
 	for i, v := range vals {
 		if err := h.Mem.Poke(base+uint64(i)*8, v); err != nil {
 			return err
@@ -393,6 +459,30 @@ func (h *Hypervisor) SetSavedReg(vcpu, idx int, val uint64) error {
 // SavedReg reads a guest saved register.
 func (h *Hypervisor) SavedReg(vcpu, idx int) uint64 {
 	return h.VCPUWord(vcpu, VCPUSavedRegs+uint64(idx)*8)
+}
+
+// SavedRegs reads a VCPU's whole saved-register file in one ranged read
+// (one region lookup instead of sixteen). Missing words read as zero,
+// matching per-word SavedReg calls.
+func (h *Hypervisor) SavedRegs(vcpu int) [16]uint64 {
+	var regs [16]uint64
+	if err := h.Mem.PeekRange(VCPUAddr(vcpu)+VCPUSavedRegs, regs[:]); err != nil {
+		for i := range regs {
+			regs[i] = h.SavedReg(vcpu, i)
+		}
+	}
+	return regs
+}
+
+// ReadGuestWords reads consecutive words from a domain's guest buffer in
+// one ranged read, falling back to per-word reads (zero on fault) when the
+// range crosses out of the mapped buffer.
+func (h *Hypervisor) ReadGuestWords(dom int, byteOff uint64, out []uint64) {
+	if err := h.Mem.PeekRange(GuestBufAddr(dom)+byteOff, out); err != nil {
+		for i := range out {
+			out[i] = h.ReadGuestWord(dom, byteOff+uint64(i)*8)
+		}
+	}
 }
 
 // ClearEventPending clears a domain's delivered event state (the guest

@@ -41,6 +41,11 @@ type CampaignConfig struct {
 	// benchmarks), e.g. for a live throughput display. It is called
 	// concurrently from worker goroutines and must be safe for that.
 	Progress func(done, total int)
+	// SlowPath forces the seed-equivalent interpreter slow path on every
+	// simulated machine. Outcomes are bit-identical either way (the
+	// differential tests prove it); the switch exists for them and for
+	// perf triage.
+	SlowPath bool
 }
 
 // DefaultCampaign returns a campaign sized down from the paper's 30,000

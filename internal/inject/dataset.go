@@ -35,6 +35,9 @@ type DatasetConfig struct {
 	Seed int64
 	// Workers bounds parallelism (0 = GOMAXPROCS).
 	Workers int
+	// SlowPath forces the seed-equivalent interpreter slow path; dataset
+	// bytes are bit-identical either way (the differential tests prove it).
+	SlowPath bool
 }
 
 // DefaultDatasetConfig sizes collection for a quick but representative
@@ -78,6 +81,7 @@ func CollectDataset(cfg DatasetConfig) (ml.Dataset, error) {
 				Domains:   3,
 				Seed:      cfg.Seed + int64(bi)*1543 + int64(run)*389,
 				Detection: core.FullDetection(),
+				SlowPath:  cfg.SlowPath,
 			}
 			acts, err := sim.GoldenRun(simCfg, cfg.Activations)
 			if err != nil {
@@ -98,6 +102,7 @@ func CollectDataset(cfg DatasetConfig) (ml.Dataset, error) {
 			Domains:   3,
 			Seed:      cfg.Seed + int64(bi)*1543,
 			Detection: core.FullDetection(),
+			SlowPath:  cfg.SlowPath,
 		}
 		runner, err := NewRunner(simCfg, cfg.Activations, nil)
 		if err != nil {

@@ -221,6 +221,10 @@ func (r *Runner) buildCheckpoints() error {
 type Worker struct {
 	r *Runner
 	m *sim.Machine
+	// recBuf is the reusable guest-record buffer for suffix classification;
+	// it never leaves RunOne, so one allocation serves the worker's whole
+	// campaign share.
+	recBuf []guest.Record
 }
 
 // NewWorker returns a worker bound to the runner.
@@ -343,6 +347,10 @@ func (w *Worker) RunOne(plan Plan) (Outcome, error) {
 		haveConsumer  bool
 		overwritten   bool
 	)
+	// The hook disarms itself (PreStep = nil) the moment the flip's fate is
+	// decided — activated or overwritten — so the CPU drops from the traced
+	// loop to the untraced fast loop for the remainder of the run instead of
+	// paying the hook on every post-injection instruction.
 	c.PreStep = func(step, pc uint64) {
 		if !injected {
 			if step >= plan.Step {
@@ -354,11 +362,13 @@ func (w *Worker) RunOne(plan Plan) (Outcome, error) {
 					// A flipped instruction pointer is consumed by the very
 					// next fetch.
 					o.Activated = true
+					c.PreStep = nil
 				}
 			}
 			return
 		}
 		if o.Activated || overwritten {
+			c.PreStep = nil
 			return
 		}
 		in, ok := m.HV.Seg.InstrAt(pc)
@@ -366,6 +376,7 @@ func (w *Worker) RunOne(plan Plan) (Outcome, error) {
 			// Fetch about to fault; control flow already diverged.
 			o.Activated = true
 			activatedStep = step
+			c.PreStep = nil
 			return
 		}
 		if in.ReadsReg(plan.Reg) {
@@ -373,10 +384,12 @@ func (w *Worker) RunOne(plan Plan) (Outcome, error) {
 			activatedStep = step
 			consumerOp = in.Op
 			haveConsumer = true
+			c.PreStep = nil
 			return
 		}
 		if in.WritesReg(plan.Reg) {
 			overwritten = true
+			c.PreStep = nil
 		}
 	}
 	act, err := m.Step()
@@ -424,7 +437,7 @@ func (w *Worker) RunOne(plan Plan) (Outcome, error) {
 	// Run the rest of the workload, comparing guest-visible state against
 	// the golden stream and watching for late detections from corrupted
 	// hypervisor state.
-	records := []guest.Record{act.Record}
+	records := append(w.recBuf[:0], act.Record)
 	truncated := false
 	runningLatency := latencyBase
 	for i := plan.Activation + 1; i < r.Activations; i++ {
@@ -454,12 +467,13 @@ func (w *Worker) RunOne(plan Plan) (Outcome, error) {
 		runningLatency += act2.Outcome.Result.Steps
 		records = append(records, act2.Record)
 	}
+	w.recBuf = records[:0]
 
 	// Golden-differential consequence classification.
 	worst := guest.Benign
 	worstKind := guest.DiffNone
 	for i, rec := range records {
-		g := r.Golden[plan.Activation+i]
+		g := &r.Golden[plan.Activation+i]
 		cons, kind := guest.ClassifyRecord(g.Record, rec, g.Ev.Dom == 0)
 		if cons > worst {
 			worst = cons

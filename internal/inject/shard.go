@@ -43,6 +43,7 @@ func (cfg CampaignConfig) BenchmarkSim(bi int) sim.Config {
 		Domains:   3,
 		Seed:      cfg.Seed + int64(bi)*7919,
 		Detection: cfg.Detection,
+		SlowPath:  cfg.SlowPath,
 	}
 }
 

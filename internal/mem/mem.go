@@ -47,10 +47,13 @@ func (k AccessKind) String() string {
 // FaultKind classifies a memory fault.
 type FaultKind uint8
 
-// Fault kinds.
+// Fault kinds. FaultNone is the zero value so the allocation-free fast
+// accessors (Load/Store) can report "no fault" without boxing an error.
 const (
+	// FaultNone: the access succeeded (fast-path accessors only).
+	FaultNone FaultKind = iota
 	// FaultUnmapped: the address belongs to no region (fatal page fault).
-	FaultUnmapped FaultKind = iota
+	FaultUnmapped
 	// FaultProtection: the region exists but forbids the access (#GP-like).
 	FaultProtection
 	// FaultUnaligned: address not 8-byte aligned for a 64-bit access.
@@ -60,6 +63,8 @@ const (
 // String names the fault kind.
 func (k FaultKind) String() string {
 	switch k {
+	case FaultNone:
+		return "none"
 	case FaultUnmapped:
 		return "unmapped"
 	case FaultProtection:
@@ -105,6 +110,14 @@ type Region struct {
 	// least one Checkpoint and must be copied before it is written.
 	pages  [][]uint64
 	shared []bool
+	// freePages recycles full-size pages discarded by RestoreCheckpoint
+	// (pages private to this region, displaced by the restored image) for
+	// later copy-on-write copies. A private page is referenced by nothing
+	// but this region — Checkpoint marks every captured page shared — so
+	// recycling is invisible; it exists because a campaign worker restoring
+	// before every injection would otherwise reallocate each touched page
+	// per run. Bounded by the region's page count.
+	freePages [][]uint64
 }
 
 // End returns the first address past the region.
@@ -133,25 +146,105 @@ func (r *Region) word(i uint64) uint64 {
 }
 
 // setWord writes word index i, copying the page first if it is shared with
-// a checkpoint (copy-on-write).
+// a checkpoint (copy-on-write). Copies reuse recycled pages when possible.
 func (r *Region) setWord(i, v uint64) {
 	p := i >> pageShift
 	if r.shared[p] {
-		np := make([]uint64, len(r.pages[p]))
-		copy(np, r.pages[p])
-		r.pages[p] = np
-		r.shared[p] = false
+		r.cowPage(p)
 	}
 	r.pages[p][i&pageMask] = v
 }
 
+// writablePage returns page p ready for mutation, privatizing it first if
+// it is still shared with a checkpoint.
+func (r *Region) writablePage(p uint64) []uint64 {
+	if r.shared[p] {
+		r.cowPage(p)
+	}
+	return r.pages[p]
+}
+
+// cowPage privatizes a checkpoint-shared page before its first write,
+// popping a recycled page when one is available and allocating otherwise.
+// Outlined from setWord so the no-copy store path inlines into Store.
+func (r *Region) cowPage(p uint64) {
+	old := r.pages[p]
+	var np []uint64
+	if n := len(r.freePages); n > 0 && len(old) == pageWords {
+		np = r.freePages[n-1]
+		r.freePages = r.freePages[:n-1]
+	} else {
+		np = make([]uint64, len(old))
+	}
+	copy(np, old)
+	r.pages[p] = np
+	r.shared[p] = false
+}
+
+// D-TLB geometry: the cache is direct-mapped and indexed by the access
+// address's page number (512-byte pages, matching the checkpoint page
+// size). Entries are *Region pointers verified with a containment check on
+// every hit, so an entry can never satisfy an access the binary search
+// would not — at worst a stale or conflicting entry costs one extra miss.
+const (
+	tlbByteShift = pageShift + 3 // 512-byte pages
+	tlbSize      = 64
+	tlbMask      = tlbSize - 1
+)
+
 // Memory is the machine's physical memory map.
 type Memory struct {
 	regions []*Region // sorted by Start
+
+	// tlb is the software D-TLB: a direct-mapped region cache that lets
+	// straight-line handler code (stack traffic in one slot, data traffic
+	// in others) skip the per-access binary search in locate. It is pure
+	// cache: hits are containment-verified, regions are never unmapped or
+	// moved, so a stale entry is a miss, never a wrong answer. It is
+	// nevertheless invalidated at every structural change point (Map,
+	// Restore, RestoreCheckpoint) to keep the invariant auditable.
+	tlb [tlbSize]*Region
+
+	// DisableTLB forces every access through the binary search — the
+	// pre-TLB slow path. The fast/slow differential tests flip it to prove
+	// the cache is observationally invisible. Call InvalidateTLB when
+	// setting it after accesses have already warmed the cache: the hot
+	// probe in Load/Store does not re-check the flag on a hit.
+	DisableTLB bool
 }
 
 // New returns an empty memory map.
 func New() *Memory { return &Memory{} }
+
+// InvalidateTLB drops every cached translation. Map and checkpoint
+// restore invalidate internally; callers only need this when flipping
+// DisableTLB on a memory that has already served accesses.
+func (m *Memory) InvalidateTLB() {
+	m.tlb = [tlbSize]*Region{}
+}
+
+// lookup resolves addr to its region through the D-TLB, falling back to
+// (and refilling from) the binary search.
+func (m *Memory) lookup(addr uint64) *Region {
+	slot := (addr >> tlbByteShift) & tlbMask
+	if r := m.tlb[slot]; r != nil && !m.DisableTLB &&
+		addr-r.Start < r.Size {
+		return r
+	}
+	return m.lookupSlow(addr, slot)
+}
+
+// lookupSlow is the TLB-miss path: binary search, then refill the slot.
+func (m *Memory) lookupSlow(addr, slot uint64) *Region {
+	if m.DisableTLB {
+		return m.Find(addr)
+	}
+	r := m.Find(addr)
+	if r != nil {
+		m.tlb[slot] = r
+	}
+	return r
+}
 
 // Map adds a region. Regions may not overlap; size is rounded up to a
 // multiple of 8 bytes.
@@ -174,6 +267,7 @@ func (m *Memory) Map(name string, start, size uint64, perm Perm) (*Region, error
 	}
 	m.regions = append(m.regions, r)
 	sort.Slice(m.regions, func(i, j int) bool { return m.regions[i].Start < m.regions[j].Start })
+	m.InvalidateTLB()
 	return r, nil
 }
 
@@ -222,7 +316,7 @@ func (m *Memory) locate(addr uint64, access AccessKind, need Perm) (*Region, err
 	if addr%8 != 0 {
 		return nil, &Fault{Kind: FaultUnaligned, Access: access, Addr: addr}
 	}
-	r := m.Find(addr)
+	r := m.lookup(addr)
 	if r == nil {
 		return nil, &Fault{Kind: FaultUnmapped, Access: access, Addr: addr}
 	}
@@ -230,6 +324,53 @@ func (m *Memory) locate(addr uint64, access AccessKind, need Perm) (*Region, err
 		return nil, &Fault{Kind: FaultProtection, Access: access, Addr: addr, Region: r.Name}
 	}
 	return r, nil
+}
+
+// Load is the CPU core's allocation-free read: it returns the word and
+// FaultNone on success, or the fault kind with no heap traffic. The cold
+// path rebuilds the full *Fault through Read64, which reproduces the same
+// classification bit for bit.
+func (m *Memory) Load(addr uint64) (uint64, FaultKind) {
+	if addr%8 != 0 {
+		return 0, FaultUnaligned
+	}
+	// The D-TLB probe is written out here (rather than calling lookup) so
+	// the per-instruction hit path costs one call, not three.
+	slot := (addr >> tlbByteShift) & tlbMask
+	r := m.tlb[slot]
+	if r == nil || addr-r.Start >= r.Size {
+		if r = m.lookupSlow(addr, slot); r == nil {
+			return 0, FaultUnmapped
+		}
+	}
+	if r.Perm&PermRead == 0 {
+		return 0, FaultProtection
+	}
+	return r.word((addr - r.Start) / 8), FaultNone
+}
+
+// Store is the CPU core's allocation-free write, mirroring Load.
+func (m *Memory) Store(addr, val uint64) FaultKind {
+	if addr%8 != 0 {
+		return FaultUnaligned
+	}
+	slot := (addr >> tlbByteShift) & tlbMask
+	r := m.tlb[slot]
+	if r == nil || addr-r.Start >= r.Size {
+		if r = m.lookupSlow(addr, slot); r == nil {
+			return FaultUnmapped
+		}
+	}
+	if r.Perm&PermWrite == 0 {
+		return FaultProtection
+	}
+	i := (addr - r.Start) / 8
+	p := i >> pageShift
+	if r.shared[p] {
+		r.cowPage(p)
+	}
+	r.pages[p][i&pageMask] = val
+	return FaultNone
 }
 
 // Read64 loads the 64-bit word at addr.
@@ -256,7 +397,7 @@ func (m *Memory) Poke(addr, val uint64) error {
 	if addr%8 != 0 {
 		return &Fault{Kind: FaultUnaligned, Access: AccessWrite, Addr: addr}
 	}
-	r := m.Find(addr)
+	r := m.lookup(addr)
 	if r == nil {
 		return &Fault{Kind: FaultUnmapped, Access: AccessWrite, Addr: addr}
 	}
@@ -269,14 +410,60 @@ func (m *Memory) Peek(addr uint64) (uint64, error) {
 	if addr%8 != 0 {
 		return 0, &Fault{Kind: FaultUnaligned, Access: AccessRead, Addr: addr}
 	}
-	r := m.Find(addr)
+	r := m.lookup(addr)
 	if r == nil {
 		return 0, &Fault{Kind: FaultUnmapped, Access: AccessRead, Addr: addr}
 	}
 	return r.word((addr - r.Start) / 8), nil
 }
 
+// PeekRange reads len(out) consecutive words starting at addr with a
+// single region lookup (monitoring backdoor, the batched Peek the guest
+// capture path uses). The range must lie inside one region.
+func (m *Memory) PeekRange(addr uint64, out []uint64) error {
+	if addr%8 != 0 {
+		return &Fault{Kind: FaultUnaligned, Access: AccessRead, Addr: addr}
+	}
+	r := m.lookup(addr)
+	if r == nil || addr+uint64(len(out))*8 > r.End() {
+		return &Fault{Kind: FaultUnmapped, Access: AccessRead, Addr: addr}
+	}
+	i := (addr - r.Start) / 8
+	for n := 0; n < len(out); {
+		p := r.pages[i>>pageShift]
+		n += copy(out[n:], p[i&pageMask:])
+		i = (i &^ pageMask) + pageWords
+	}
+	return nil
+}
+
+// PokeRange writes len(vals) consecutive words starting at addr with a
+// single region lookup (the batched Poke guest-input staging uses). The
+// range must lie inside one region; on error nothing is written.
+func (m *Memory) PokeRange(addr uint64, vals []uint64) error {
+	if addr%8 != 0 {
+		return &Fault{Kind: FaultUnaligned, Access: AccessWrite, Addr: addr}
+	}
+	r := m.lookup(addr)
+	if r == nil || addr+uint64(len(vals))*8 > r.End() {
+		return &Fault{Kind: FaultUnmapped, Access: AccessWrite, Addr: addr}
+	}
+	i := (addr - r.Start) / 8
+	for n := 0; n < len(vals); {
+		p := r.writablePage(i >> pageShift)
+		n += copy(p[i&pageMask:], vals[n:])
+		i = (i &^ pageMask) + pageWords
+	}
+	return nil
+}
+
 // Snapshot copies the full contents of every region, keyed by region name.
+//
+// Deprecated: Snapshot/Restore predate the copy-on-write Checkpoint API
+// and cost a full word copy of every region. All production paths
+// (campaign checkpoint pool, live recovery) now use Checkpoint/
+// RestoreCheckpoint; the flat pair remains only as an independently
+// implemented oracle for the checkpoint equivalence tests.
 func (m *Memory) Snapshot() map[string][]uint64 {
 	snap := make(map[string][]uint64, len(m.regions))
 	for _, r := range m.regions {
@@ -292,7 +479,10 @@ func (m *Memory) Snapshot() map[string][]uint64 {
 // Restore reinstates a snapshot taken from the same layout. Pages are
 // rebuilt fresh so checkpointed pages shared with other machines are never
 // written in place.
+//
+// Deprecated: see Snapshot.
 func (m *Memory) Restore(snap map[string][]uint64) error {
+	m.InvalidateTLB()
 	for _, r := range m.regions {
 		words, ok := snap[r.Name]
 		if !ok {
@@ -338,6 +528,7 @@ func (m *Memory) Checkpoint() *Checkpoint {
 // RestoreCheckpoint reinstates a Checkpoint taken from the same layout.
 // The restored pages are shared: the first write to each copies it.
 func (m *Memory) RestoreCheckpoint(cp *Checkpoint) error {
+	m.InvalidateTLB()
 	for _, r := range m.regions {
 		pages, ok := cp.pages[r.Name]
 		if !ok {
@@ -345,6 +536,14 @@ func (m *Memory) RestoreCheckpoint(cp *Checkpoint) error {
 		}
 		if len(pages) != len(r.pages) {
 			return fmt.Errorf("mem: checkpoint size mismatch for region %q", r.Name)
+		}
+		// Pages private to this region are displaced by the restored image
+		// and referenced by nothing else — recycle them for future COW
+		// copies instead of letting every restore regenerate garbage.
+		for i, old := range r.pages {
+			if !r.shared[i] && len(old) == pageWords {
+				r.freePages = append(r.freePages, old)
+			}
 		}
 		copy(r.pages, pages)
 		for i := range r.shared {

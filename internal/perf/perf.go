@@ -101,6 +101,19 @@ func (c *Counters) Count(e Event, n uint64) {
 	}
 }
 
+// Add folds a whole batch of event counts into the bank when armed. The
+// CPU core retires into plain uint64 locals on its hot path and flushes
+// them here once per Run; because the armed switch only moves outside Run
+// (the sentry arms at VM exit and reads at VM entry), one batched Add at
+// stop is observationally identical to per-instruction Count calls.
+func (c *Counters) Add(s Sample) {
+	if c.armed {
+		for e, n := range s {
+			c.counts[e] += n
+		}
+	}
+}
+
 // State is the complete PMU state for a machine checkpoint.
 type State struct {
 	Armed  bool

@@ -30,6 +30,11 @@ type Config struct {
 	Seed int64
 	// Detection selects the Xentry configuration.
 	Detection core.Options
+	// SlowPath forces the seed-equivalent interpreter slow path (interface
+	// fetch, per-step hook check and PMU flush, no memory TLB). Campaign
+	// outcomes must be bit-identical either way; the differential tests
+	// enforce that by running whole campaigns with SlowPath set.
+	SlowPath bool
 }
 
 // DefaultConfig mirrors the paper's injection setup.
@@ -96,6 +101,13 @@ func NewMachine(cfg Config) (*Machine, error) {
 	h, err := hv.New(cfg.Domains)
 	if err != nil {
 		return nil, err
+	}
+	h.CPU.ForceSlow = cfg.SlowPath
+	h.Mem.DisableTLB = cfg.SlowPath
+	if cfg.SlowPath {
+		// Construction-time pokes warmed the TLB; purge so the forced
+		// slow path really takes the binary search on every access.
+		h.Mem.InvalidateTLB()
 	}
 	return &Machine{
 		Cfg:     cfg,
@@ -193,7 +205,7 @@ func (m *Machine) Step() (Activation, error) {
 	// The TSC runs at wall-clock rate: it advances across the guest's
 	// compute interval, not just during hypervisor execution.
 	m.HV.CPU.TSC += uint64(interval)
-	var snap map[string][]uint64
+	var snap *hv.Snap
 	if m.RecoverOnDetection {
 		// Preserve the critical data and the VM exit reason at every VM
 		// exit (paper Section VI).

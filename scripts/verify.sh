@@ -1,14 +1,23 @@
 #!/bin/sh
-# Tier-1 verification: build, vet, full test suite, and a race-detector pass
-# over the packages with real concurrency (the campaign engine's workers
-# share the read-only checkpoint pool; the coordinator's worker pool and
-# the result store take concurrent records; the simulator is what they
-# restore).
+# Tier-1 verification: formatting, build, vet, full test suite, a
+# single-iteration pass over every benchmark (so the perf harness itself
+# cannot rot), and race-detector passes over the packages with real
+# concurrency (the campaign engine's workers share the read-only
+# checkpoint pool and the linked text segment; the coordinator's worker
+# pool and the result store take concurrent records; the CPU core is what
+# every worker runs).
 set -eux
 
 cd "$(dirname "$0")/.."
 
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" "$fmt" >&2
+    exit 1
+fi
+
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/inject/ ./internal/sim/ ./internal/store/ ./internal/server/ ./internal/progress/
+go test -run '^$' -bench . -benchtime 1x ./...
+go test -race ./internal/cpu/ ./internal/inject/ ./internal/sim/ ./internal/store/ ./internal/server/ ./internal/progress/
