@@ -8,7 +8,7 @@
 // Usage:
 //
 //	xentry-campaign [-injections N] [-activations N] [-seed S] [-checkpoint-every K]
-//	                [-json] [-store DIR] [-server URL [-campaign ID]]
+//	                [-detectors a,b] [-json] [-store DIR] [-server URL [-campaign ID]]
 //
 // -json emits the machine-readable campaign report (the same encoding the
 // campaign server returns) instead of the rendered figures. -store makes
@@ -26,7 +26,9 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
+	"xentry/internal/detect"
 	"xentry/internal/experiments"
 	"xentry/internal/inject"
 	"xentry/internal/progress"
@@ -48,6 +50,9 @@ func main() {
 	storeDir := flag.String("store", "", "durable result-store directory (resumes an interrupted campaign)")
 	serverURL := flag.String("server", "", "dispatch the campaign to a running xentry-serve coordinator")
 	campaignID := flag.String("campaign", "", "campaign ID for -server mode (empty = server assigns one)")
+	detectors := flag.String("detectors", "",
+		"comma-separated plugin detectors to run behind the built-in pipeline "+
+			"(registered names: "+strings.Join(detect.FactoryNames(), ", ")+")")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -56,6 +61,19 @@ func main() {
 	sc.CampaignInjections = *injections
 	sc.Activations = *activations
 	sc.Seed = *seed
+	if *detectors != "" {
+		for _, name := range strings.Split(*detectors, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !detect.HasFactory(name) {
+				log.Fatalf("unknown detector %q (registered: %s)", name,
+					strings.Join(detect.FactoryNames(), ", "))
+			}
+			sc.Detectors = append(sc.Detectors, name)
+		}
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -121,7 +139,10 @@ func runLocal(sc experiments.Scale, checkpointEvery int, storeDir string, jsonOu
 	printer := progress.New(os.Stderr, "campaign", "injections")
 	var sink *store.Store
 	if storeDir != "" {
-		cfg := experiments.CampaignConfigFor(sc, train.Best(), checkpointEvery)
+		cfg, err := experiments.CampaignConfigFor(sc, train.Best(), checkpointEvery)
+		if err != nil {
+			return err
+		}
 		sink, err = store.Open(storeDir, store.Meta{
 			CampaignID:  "local",
 			Benchmarks:  cfg.Benchmarks,
@@ -182,6 +203,7 @@ func runRemote(base, id string, sc experiments.Scale, checkpointEvery int, jsonO
 		Seed:                   sc.Seed,
 		CheckpointEvery:        checkpointEvery,
 		TrainInjections:        sc.TrainInjections,
+		Detectors:              sc.Detectors,
 	}
 	st, err := client.Submit(spec)
 	if err != nil {

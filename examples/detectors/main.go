@@ -1,0 +1,107 @@
+// Detectors: write a custom detection technique as a plugin — no changes
+// to the core pipeline, the campaign engine, or the reporting code. The
+// plugin here is a Checkbochs-flavoured golden-signature set: it memorises
+// every per-handler performance-counter signature the fault-free run
+// produces and flags any execution whose signature falls outside that set.
+// Registered under its own Technique, its detections flow through campaign
+// tallies, latency CDFs, and reports exactly like the built-in techniques.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"xentry/internal/core"
+	"xentry/internal/detect"
+	"xentry/internal/hv"
+	"xentry/internal/inject"
+	"xentry/internal/ml"
+	"xentry/internal/workload"
+)
+
+// TechGoldenSet is the plugin's registered technique: an open registry ID
+// every aggregation layer (tallies, reports, stores, /metrics) keys on by
+// name, so nothing downstream needs to know it exists.
+var TechGoldenSet = detect.RegisterTechnique("golden-set")
+
+// goldenSetDetector is the plugin. It embeds detect.Base so only the hooks
+// it cares about need implementing, asks the pipeline for per-handler
+// signatures via NeedsSignature, and calibrates itself from the golden run
+// via ObserveGolden.
+type goldenSetDetector struct {
+	detect.Base
+	seen map[[ml.NumFeatures]uint64]bool
+}
+
+func (d *goldenSetDetector) Name() string         { return "golden-set" }
+func (d *goldenSetDetector) NeedsSignature() bool { return true }
+
+// ObserveGolden is called once per fault-free activation before any
+// injected run starts; the signatures it sees define "normal".
+func (d *goldenSetDetector) ObserveGolden(_ hv.ExitReason, sig [ml.NumFeatures]uint64) {
+	d.seen[sig] = true
+}
+
+// OnVMEntry judges each completed handler execution. An uncalibrated
+// instance (the golden run itself) must stay silent, or the campaign's
+// golden run would flag its own activations and abort.
+func (d *goldenSetDetector) OnVMEntry(ev *detect.Event) detect.Verdict {
+	if len(d.seen) == 0 || !ev.HasSignature || d.seen[ev.Signature] {
+		return detect.Verdict{}
+	}
+	return detect.Verdict{Technique: TechGoldenSet, Detail: "signature outside golden set"}
+}
+
+func newGoldenSetDetector() detect.Detector {
+	return &goldenSetDetector{seen: map[[ml.NumFeatures]uint64]bool{}}
+}
+
+func main() {
+	log.SetFlags(0)
+
+	// Registering the factory by name is optional for library use, but it
+	// makes the plugin addressable from the CLI (-detectors golden-set)
+	// and from server campaign specs ("detectors": ["golden-set"]).
+	detect.RegisterFactory("golden-set", newGoldenSetDetector)
+
+	// Run a small campaign with the plugin installed behind the built-in
+	// pipeline. No transition model is trained here, so every signature
+	// divergence the built-ins miss is the plugin's to catch.
+	cfg := inject.CampaignConfig{
+		Benchmarks:             []string{"postmark", "mcf"},
+		Mode:                   workload.PV,
+		InjectionsPerBenchmark: 300,
+		Activations:            120,
+		Seed:                   17,
+		Detection:              core.FullDetection(),
+		Detectors:              []detect.Factory{newGoldenSetDetector},
+	}
+	res, err := inject.RunCampaign(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The tally maps are keyed by Technique; iterating them picks the
+	// plugin up with no per-technique code. This is exactly how the
+	// report/render layers stay oblivious to new detectors.
+	t := res.Total
+	fmt.Printf("injections: %d   manifested: %d   coverage: %.1f%%\n\n",
+		t.Injections, t.Manifested, 100*t.Coverage())
+	techs := make([]core.Technique, 0, len(t.DetectedBy))
+	for tech := range t.DetectedBy {
+		techs = append(techs, tech)
+	}
+	sort.Slice(techs, func(i, j int) bool { return techs[i] < techs[j] })
+	for _, tech := range techs {
+		fmt.Printf("  detected by %-14v %4d (%.1f%%)\n",
+			tech, t.DetectedBy[tech], 100*t.TechniqueShare(tech))
+	}
+	fmt.Printf("  undetected              %4d\n", t.Undetected)
+
+	if t.DetectedBy[TechGoldenSet] == 0 {
+		log.Fatal("plugin caught nothing — expected golden-set detections")
+	}
+	fmt.Printf("\nthe %q technique above came from this file; nothing in\n"+
+		"internal/ names it.\n", TechGoldenSet)
+}

@@ -1,0 +1,242 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"xentry/internal/hv"
+	"xentry/internal/ml"
+)
+
+// Verdict is one detector's positive finding: the technique that fired,
+// where, and how fast. The zero Verdict means "nothing detected".
+type Verdict struct {
+	// Technique identifies the detector class that flagged the
+	// execution (TechNone for no detection).
+	Technique Technique
+	// DetectedAt is the sentry activation sequence number of the
+	// detection (stamped by the pipeline from the event).
+	DetectedAt int
+	// Latency is the instruction count from the start of the handler
+	// execution to the detection point.
+	Latency uint64
+	// Detail is an optional human-readable explanation.
+	Detail string
+}
+
+// Detected reports whether the verdict is a positive finding.
+func (v Verdict) Detected() bool { return v.Technique != TechNone }
+
+// Detector observes the event spine and may return a Verdict at any
+// terminal observation point. Implementations should embed Base and
+// override only the hooks they care about. Callbacks run on the
+// simulation's goroutine with a borrowed *Event; they must not retain it
+// and must not mutate hypervisor state through it.
+type Detector interface {
+	// Name identifies the detector (for factories and diagnostics).
+	Name() string
+	// OnExit observes an intercepted VM exit before the handler runs.
+	OnExit(ev *Event)
+	// OnException judges a surfacing hardware exception or halt.
+	OnException(ev *Event) Verdict
+	// OnAssertion judges a fired software assertion.
+	OnAssertion(ev *Event) Verdict
+	// OnVMEntry judges a completed execution at VM entry (the
+	// signature is present when the detector asked for it).
+	OnVMEntry(ev *Event) Verdict
+	// OnWatchdog judges a budget-exhausted (hung) execution.
+	OnWatchdog(ev *Event) Verdict
+}
+
+// SignatureConsumer is implemented by detectors that need the
+// performance-counter signature at VM entry. The sentry arms the PMU
+// (and charges the shim's exit/entry costs) only when some detector in
+// the pipeline asks for it.
+type SignatureConsumer interface {
+	NeedsSignature() bool
+}
+
+// GoldenObserver is implemented by detectors that calibrate on the
+// fault-free golden run before a campaign: the injection runner feeds
+// every golden activation's exit reason and signature through it once.
+type GoldenObserver interface {
+	ObserveGolden(reason hv.ExitReason, signature [ml.NumFeatures]uint64)
+}
+
+// Checkpointable is implemented by stateful detectors that must travel
+// with machine checkpoints. Detectors without mutable per-run state
+// (everything built in here) need not implement it — but any detector
+// that accumulates state during a run must, or checkpoint restore would
+// replay activations against stale detector state and break the
+// simulator's determinism guarantee.
+type Checkpointable interface {
+	// DetectorCheckpoint captures the detector's state. The returned
+	// value must be immutable (deep-copied).
+	DetectorCheckpoint() any
+	// DetectorRestore reinstates state captured by DetectorCheckpoint.
+	DetectorRestore(state any) error
+}
+
+// Base is a no-op Detector to embed; override the hooks you need.
+type Base struct{}
+
+// OnExit implements Detector.
+func (Base) OnExit(*Event) {}
+
+// OnException implements Detector.
+func (Base) OnException(*Event) Verdict { return Verdict{} }
+
+// OnAssertion implements Detector.
+func (Base) OnAssertion(*Event) Verdict { return Verdict{} }
+
+// OnVMEntry implements Detector.
+func (Base) OnVMEntry(*Event) Verdict { return Verdict{} }
+
+// OnWatchdog implements Detector.
+func (Base) OnWatchdog(*Event) Verdict { return Verdict{} }
+
+// Pipeline dispatches events to an ordered detector list; the first
+// positive verdict wins (detectors earlier in the list shadow later
+// ones at the same observation point). The zero Pipeline is empty and
+// never detects.
+type Pipeline struct {
+	detectors []Detector
+	needSig   bool
+}
+
+// NewPipeline builds a pipeline over the detectors in order.
+func NewPipeline(ds ...Detector) Pipeline {
+	p := Pipeline{detectors: ds}
+	for _, d := range ds {
+		if sc, ok := d.(SignatureConsumer); ok && sc.NeedsSignature() {
+			p.needSig = true
+		}
+	}
+	return p
+}
+
+// Detectors returns the pipeline's detector list (do not mutate).
+func (p *Pipeline) Detectors() []Detector { return p.detectors }
+
+// Empty reports whether the pipeline has no detectors.
+func (p *Pipeline) Empty() bool { return len(p.detectors) == 0 }
+
+// NeedsSignature reports whether any detector wants the VM-entry
+// counter signature; the sentry arms the PMU exactly when this is true.
+func (p *Pipeline) NeedsSignature() bool { return p.needSig }
+
+// fold runs one judging hook across the pipeline and stamps the winning
+// verdict's position from the event. Latency defaults to the handler's
+// retired-instruction count unless the detector set it.
+func (p *Pipeline) fold(ev *Event, hook func(Detector, *Event) Verdict) Verdict {
+	for _, d := range p.detectors {
+		if v := hook(d, ev); v.Detected() {
+			v.DetectedAt = ev.Activation
+			if v.Latency == 0 {
+				v.Latency = ev.Steps
+			}
+			return v
+		}
+	}
+	return Verdict{}
+}
+
+// Exit notifies every detector of an intercepted VM exit.
+func (p *Pipeline) Exit(ev *Event) {
+	for _, d := range p.detectors {
+		d.OnExit(ev)
+	}
+}
+
+// Exception judges a surfacing exception or halt.
+func (p *Pipeline) Exception(ev *Event) Verdict { return p.fold(ev, Detector.OnException) }
+
+// Assertion judges a fired software assertion.
+func (p *Pipeline) Assertion(ev *Event) Verdict { return p.fold(ev, Detector.OnAssertion) }
+
+// VMEntry judges a completed execution at VM entry.
+func (p *Pipeline) VMEntry(ev *Event) Verdict { return p.fold(ev, Detector.OnVMEntry) }
+
+// Watchdog judges a budget-exhausted execution.
+func (p *Pipeline) Watchdog(ev *Event) Verdict { return p.fold(ev, Detector.OnWatchdog) }
+
+// Factory builds a fresh detector instance. Campaigns construct one
+// detector set per simulated machine from a factory list, so detectors
+// may keep per-machine state without cross-machine races.
+type Factory func() Detector
+
+var factoryRegistry = struct {
+	sync.RWMutex
+	byName map[string]Factory
+}{byName: map[string]Factory{}}
+
+// RegisterFactory publishes a detector constructor under a name, making
+// the detector reachable from configuration surfaces that cannot carry
+// code — the campaign server's JSON spec and the CLI's -detectors flag.
+// It panics on a duplicate or invalid name (a programming error at the
+// plugin's init site).
+func RegisterFactory(name string, f Factory) {
+	if err := validTechniqueName(name); err != nil {
+		panic(fmt.Errorf("detect: invalid factory name %q: %v", name, err))
+	}
+	if f == nil {
+		panic(fmt.Errorf("detect: nil factory for %q", name))
+	}
+	factoryRegistry.Lock()
+	defer factoryRegistry.Unlock()
+	if _, dup := factoryRegistry.byName[name]; dup {
+		panic(fmt.Errorf("detect: factory %q already registered", name))
+	}
+	factoryRegistry.byName[name] = f
+}
+
+// NewByName builds a detector from a registered factory.
+func NewByName(name string) (Detector, error) {
+	factoryRegistry.RLock()
+	f := factoryRegistry.byName[name]
+	factoryRegistry.RUnlock()
+	if f == nil {
+		return nil, fmt.Errorf("detect: no detector factory %q (have %v)", name, FactoryNames())
+	}
+	return f(), nil
+}
+
+// HasFactory reports whether a factory name is registered.
+func HasFactory(name string) bool {
+	factoryRegistry.RLock()
+	defer factoryRegistry.RUnlock()
+	_, ok := factoryRegistry.byName[name]
+	return ok
+}
+
+// FactoryNames lists the registered factory names, sorted.
+func FactoryNames() []string {
+	factoryRegistry.RLock()
+	defer factoryRegistry.RUnlock()
+	names := make([]string, 0, len(factoryRegistry.byName))
+	for name := range factoryRegistry.byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Factories resolves a name list into a factory list, failing on the
+// first unknown name.
+func Factories(names []string) ([]Factory, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	out := make([]Factory, len(names))
+	for i, name := range names {
+		factoryRegistry.RLock()
+		f := factoryRegistry.byName[name]
+		factoryRegistry.RUnlock()
+		if f == nil {
+			return nil, fmt.Errorf("detect: no detector factory %q (have %v)", name, FactoryNames())
+		}
+		out[i] = f
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package detect
+
+import (
+	"fmt"
+
+	"xentry/internal/hv"
+	"xentry/internal/ml"
+)
+
+// TechFingerprint is the technique reported by the Fingerprint
+// detector.
+var TechFingerprint = RegisterTechnique("handler-fingerprint")
+
+// fpRange is the observed retired-instruction band for one exit reason.
+type fpRange struct {
+	min, max uint64
+}
+
+// Fingerprint is a per-handler retired-instruction fingerprint check:
+// during the golden run it records, per VM-exit reason, the band of
+// instruction counts the handler legitimately retires; during monitored
+// runs an execution whose count falls outside its handler's band is
+// flagged. It is a cheap complement to the tree model — two comparisons
+// against a table instead of a tree walk — and catches control-flow
+// corruptions that repeat or skip handler work even when the branch and
+// memory counters stay plausible.
+//
+// The detector is read-only after calibration (ObserveGolden is only
+// called by the runner before injections start), so it composes with
+// machine checkpoint/restore without implementing Checkpointable.
+// Uncalibrated it never fires, keeping golden runs clean.
+type Fingerprint struct {
+	Base
+	// Slack widens each band by this many instructions on both ends,
+	// trading detection strength for robustness to benign jitter.
+	Slack uint64
+
+	ranges map[hv.ExitReason]fpRange
+}
+
+// NewFingerprint returns an uncalibrated fingerprint detector.
+func NewFingerprint() *Fingerprint {
+	return &Fingerprint{ranges: map[hv.ExitReason]fpRange{}}
+}
+
+// Name implements Detector.
+func (*Fingerprint) Name() string { return "fingerprint" }
+
+// NeedsSignature arms signature collection (the retired-instruction
+// count is feature FeatRT of the signature).
+func (*Fingerprint) NeedsSignature() bool { return true }
+
+// ObserveGolden widens the handler's band to cover a fault-free
+// activation (implements GoldenObserver).
+func (f *Fingerprint) ObserveGolden(reason hv.ExitReason, sig [ml.NumFeatures]uint64) {
+	rt := sig[ml.FeatRT]
+	r, ok := f.ranges[reason]
+	if !ok {
+		f.ranges[reason] = fpRange{min: rt, max: rt}
+		return
+	}
+	if rt < r.min {
+		r.min = rt
+	}
+	if rt > r.max {
+		r.max = rt
+	}
+	f.ranges[reason] = r
+}
+
+// OnVMEntry checks the execution's retired-instruction count against
+// its handler's calibrated band.
+func (f *Fingerprint) OnVMEntry(ev *Event) Verdict {
+	if !ev.HasSignature {
+		return Verdict{}
+	}
+	r, ok := f.ranges[ev.Reason]
+	if !ok {
+		return Verdict{}
+	}
+	ev.AddCost(2 * CompareCost)
+	rt := ev.Signature[ml.FeatRT]
+	lo := r.min - min(r.min, f.Slack)
+	hi := r.max + f.Slack
+	if rt < lo || rt > hi {
+		return Verdict{
+			Technique: TechFingerprint,
+			Detail: fmt.Sprintf("%v retired %d instructions, golden band [%d,%d]",
+				ev.Reason, rt, lo, hi),
+		}
+	}
+	return Verdict{}
+}
+
+func init() {
+	RegisterFactory("fingerprint", func() Detector { return NewFingerprint() })
+}

@@ -1,0 +1,146 @@
+package detect
+
+import (
+	"fmt"
+
+	"xentry/internal/hv"
+)
+
+// TechInvariant is the technique reported by the Invariants detector.
+var TechInvariant = RegisterTechnique("invariant")
+
+// Invariant is one named structural check over hypervisor state. Check
+// returns nil while the invariant holds and a describing error when it
+// is violated; it must only read through the hypervisor.
+type Invariant struct {
+	Name  string
+	Check func(h *hv.Hypervisor) error
+}
+
+// Invariants is a Checkbochs-style plugin checker: a set of structural
+// invariants over hypervisor data memory evaluated at every VM entry.
+// Where the signature detectors judge how an execution behaved, this
+// judges what it left behind — a wild store that corrupts a domain
+// descriptor is caught at the next entry even if the control flow that
+// produced it looked perfectly ordinary.
+type Invariants struct {
+	Base
+	checks []Invariant
+}
+
+// NewInvariants builds the detector over the given checks;
+// with no arguments it uses DefaultInvariants.
+func NewInvariants(checks ...Invariant) *Invariants {
+	if len(checks) == 0 {
+		checks = DefaultInvariants()
+	}
+	return &Invariants{checks: checks}
+}
+
+// Name implements Detector.
+func (*Invariants) Name() string { return "invariants" }
+
+// OnVMEntry evaluates every invariant; the first violation is the
+// verdict. Each probe is priced like a classifier comparison.
+func (d *Invariants) OnVMEntry(ev *Event) Verdict {
+	if ev.HV == nil {
+		return Verdict{}
+	}
+	for _, inv := range d.checks {
+		ev.AddCost(CompareCost)
+		if err := inv.Check(ev.HV); err != nil {
+			return Verdict{
+				Technique: TechInvariant,
+				Detail:    fmt.Sprintf("%s: %v", inv.Name, err),
+			}
+		}
+	}
+	return Verdict{}
+}
+
+// peek reads one hypervisor data word, mapping a fault to an error.
+func peek(h *hv.Hypervisor, addr uint64) (uint64, error) {
+	v, err := h.Mem.Read64(addr)
+	if err != nil {
+		return 0, fmt.Errorf("read %#x: %v", addr, err)
+	}
+	return v, nil
+}
+
+// DefaultInvariants checks the descriptor fields the hypervisor writes
+// once at boot and only ever reads afterwards, so any fault-free
+// execution preserves them exactly (no false positives) and any
+// deviation is a real corruption.
+func DefaultInvariants() []Invariant {
+	expectWord := func(what string, addr, want uint64) func(h *hv.Hypervisor) error {
+		return func(h *hv.Hypervisor) error {
+			got, err := peek(h, addr)
+			if err != nil {
+				return err
+			}
+			if got != want {
+				return fmt.Errorf("%s = %#x, want %#x", what, got, want)
+			}
+			return nil
+		}
+	}
+	return []Invariant{
+		{
+			Name: "domain-descriptors",
+			Check: func(h *hv.Hypervisor) error {
+				for _, d := range h.Domains {
+					base := hv.DomAddr(d.ID)
+					priv := uint64(0)
+					if d.Privileged {
+						priv = 1
+					}
+					checks := []func(h *hv.Hypervisor) error{
+						expectWord("dom id", base+hv.DomIDField, uint64(d.ID)),
+						expectWord("dom shared-info ptr", base+hv.DomSharedInfo, hv.SharedInfoAddr(d.ID)),
+						expectWord("dom evtchn ptr", base+hv.DomEvtchnWord, hv.EvtchnAddr(d.ID)),
+						expectWord("dom privileged", base+hv.DomPrivileged, priv),
+					}
+					for _, c := range checks {
+						if err := c(h); err != nil {
+							return fmt.Errorf("dom%d %v", d.ID, err)
+						}
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "vcpu-binding",
+			Check: func(h *hv.Hypervisor) error {
+				for _, d := range h.Domains {
+					vb := hv.VCPUAddr(d.VCPU)
+					if err := expectWord("vcpu dom id", vb+hv.VCPUDomID, uint64(d.ID))(h); err != nil {
+						return fmt.Errorf("vcpu%d %v", d.VCPU, err)
+					}
+					if err := expectWord("vcpu id", vb+hv.VCPUID, uint64(d.VCPU))(h); err != nil {
+						return fmt.Errorf("vcpu%d %v", d.VCPU, err)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "idle-vcpu",
+			Check: func(h *hv.Hypervisor) error {
+				vb := hv.IdleVCPUAddr()
+				got, err := peek(h, vb+hv.VCPUIsIdle)
+				if err != nil {
+					return err
+				}
+				if got != 1 {
+					return fmt.Errorf("idle flag cleared (%#x)", got)
+				}
+				return nil
+			},
+		},
+	}
+}
+
+func init() {
+	RegisterFactory("invariants", func() Detector { return NewInvariants() })
+}

@@ -1,0 +1,203 @@
+// Package detect is Xentry's pluggable detection layer: a typed event
+// spine emitted by the sentry around every monitored hypervisor
+// execution, a Detector interface observing it, and an open registry of
+// detection techniques. The paper's three techniques (fatal hardware
+// exception, software assertion, VM-transition signature) are the
+// built-in detectors; Checkbochs-style invariant checkers and other
+// plugins register additional techniques at runtime, and every consumer
+// (campaign tallies, reports, the result store, the coordinator) handles
+// them through the registry without enumerating techniques in code.
+package detect
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Technique identifies which detector flagged an execution. It is an
+// open, registered ID: the built-in constants cover the paper's
+// techniques, and RegisterTechnique mints new IDs for plugin detectors.
+type Technique int
+
+// Built-in detection techniques (paper Fig. 8's bands, plus the
+// watchdog as a first-class technique instead of a side channel).
+const (
+	// TechNone: nothing detected.
+	TechNone Technique = iota
+	// TechHWException: runtime detection via a fatal hardware exception.
+	TechHWException
+	// TechAssertion: runtime detection via a software assertion.
+	TechAssertion
+	// TechVMTransition: VM transition detection at VM entry.
+	TechVMTransition
+	// TechWatchdog: the NMI watchdog expired and a standalone watchdog
+	// detector (not the runtime exception parser) claimed the hang.
+	TechWatchdog
+
+	numBuiltin
+)
+
+// maxTechniques bounds the registry so hostile inputs (e.g. fuzzed WAL
+// records whose technique names auto-register on decode) cannot grow it
+// without limit.
+const maxTechniques = 4096
+
+// maxTechniqueName bounds a registered name's length.
+const maxTechniqueName = 64
+
+var techRegistry = struct {
+	sync.RWMutex
+	names  []string
+	byName map[string]Technique
+}{
+	names: []string{
+		TechNone:         "undetected",
+		TechHWException:  "hw-exception",
+		TechAssertion:    "sw-assertion",
+		TechVMTransition: "vm-transition",
+		TechWatchdog:     "watchdog-hang",
+	},
+	byName: map[string]Technique{
+		"undetected":    TechNone,
+		"hw-exception":  TechHWException,
+		"sw-assertion":  TechAssertion,
+		"vm-transition": TechVMTransition,
+		"watchdog-hang": TechWatchdog,
+	},
+}
+
+// validTechniqueName rejects names the registry and its serialized forms
+// cannot represent faithfully.
+func validTechniqueName(name string) error {
+	if name == "" {
+		return fmt.Errorf("detect: empty technique name")
+	}
+	if len(name) > maxTechniqueName {
+		return fmt.Errorf("detect: technique name longer than %d bytes", maxTechniqueName)
+	}
+	for _, r := range name {
+		if r < 0x20 || r == 0x7f {
+			return fmt.Errorf("detect: technique name contains control character %q", r)
+		}
+	}
+	return nil
+}
+
+// registerTechnique is the fallible core of RegisterTechnique, shared
+// with UnmarshalText's auto-registration path.
+func registerTechnique(name string) (Technique, error) {
+	if err := validTechniqueName(name); err != nil {
+		return TechNone, err
+	}
+	techRegistry.Lock()
+	defer techRegistry.Unlock()
+	if id, ok := techRegistry.byName[name]; ok {
+		return id, nil
+	}
+	if len(techRegistry.names) >= maxTechniques {
+		return TechNone, fmt.Errorf("detect: technique registry full (%d entries)", maxTechniques)
+	}
+	id := Technique(len(techRegistry.names))
+	techRegistry.names = append(techRegistry.names, name)
+	techRegistry.byName[name] = id
+	return id, nil
+}
+
+// RegisterTechnique mints (or returns the existing) technique ID for a
+// name. Registration is idempotent by name, so package-level
+//
+//	var TechMine = detect.RegisterTechnique("my-technique")
+//
+// is safe in any import order. It panics on an invalid name or a full
+// registry — both programming errors at plugin-definition sites.
+func RegisterTechnique(name string) Technique {
+	id, err := registerTechnique(name)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// TechniqueName returns the registered name for an ID.
+func TechniqueName(t Technique) (string, bool) {
+	techRegistry.RLock()
+	defer techRegistry.RUnlock()
+	if t < 0 || int(t) >= len(techRegistry.names) {
+		return "", false
+	}
+	return techRegistry.names[t], true
+}
+
+// TechniqueByName resolves a registered name to its ID.
+func TechniqueByName(name string) (Technique, bool) {
+	techRegistry.RLock()
+	defer techRegistry.RUnlock()
+	id, ok := techRegistry.byName[name]
+	return id, ok
+}
+
+// Techniques returns every registered technique ID in ascending order,
+// including TechNone.
+func Techniques() []Technique {
+	techRegistry.RLock()
+	defer techRegistry.RUnlock()
+	out := make([]Technique, len(techRegistry.names))
+	for i := range out {
+		out[i] = Technique(i)
+	}
+	return out
+}
+
+// Detected reports whether the technique is a positive detection.
+func (t Technique) Detected() bool { return t != TechNone }
+
+// String names the technique from the registry. An unregistered ID
+// renders as technique(N); the exhaustiveness test asserts no registered
+// technique ever takes that branch.
+func (t Technique) String() string {
+	if name, ok := TechniqueName(t); ok {
+		return name
+	}
+	return fmt.Sprintf("technique(%d)", int(t))
+}
+
+// MarshalText serializes the technique by registered name, so stored
+// campaign records and reports stay meaningful across processes whose
+// plugin registration order (and therefore numeric IDs) differ.
+// encoding/json uses this for both struct fields and map keys.
+func (t Technique) MarshalText() ([]byte, error) {
+	return []byte(t.String()), nil
+}
+
+// UnmarshalText resolves a registered name, parses the legacy numeric
+// and technique(N) renderings, and auto-registers unknown names — the
+// property that lets a report or WAL produced by a process with extra
+// plugin detectors decode, aggregate, and re-render here without any
+// code changes.
+func (t *Technique) UnmarshalText(b []byte) error {
+	s := string(b)
+	if id, ok := TechniqueByName(s); ok {
+		*t = id
+		return nil
+	}
+	if n, err := strconv.Atoi(s); err == nil && n >= 0 {
+		*t = Technique(n)
+		return nil
+	}
+	if inner, ok := strings.CutPrefix(s, "technique("); ok {
+		if num, ok := strings.CutSuffix(inner, ")"); ok {
+			if n, err := strconv.Atoi(num); err == nil && n >= 0 {
+				*t = Technique(n)
+				return nil
+			}
+		}
+	}
+	id, err := registerTechnique(s)
+	if err != nil {
+		return fmt.Errorf("detect: unmarshal technique %q: %w", s, err)
+	}
+	*t = id
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"xentry/internal/core"
+	"xentry/internal/detect"
 	"xentry/internal/guest"
 	"xentry/internal/inject"
 	"xentry/internal/ml"
@@ -56,6 +57,11 @@ type Scale struct {
 	// RecoveryActivations / RecoveryReps size the Fig. 11 estimate.
 	RecoveryActivations int
 	RecoveryReps        int
+
+	// Detectors names plugin detector factories (detect.RegisterFactory)
+	// to run behind the built-in pipeline on every campaign machine. Names
+	// with no registered factory fail CampaignConfigFor.
+	Detectors []string
 }
 
 // DefaultScale is a faithful reduction of the paper's sizes that completes
@@ -374,7 +380,13 @@ func CampaignWith(sc Scale, model *ml.Tree, checkpointEvery int, progress func(d
 
 // CampaignConfigFor is the campaign configuration CampaignWith runs —
 // exposed so durable (store-backed) runs describe the identical campaign.
-func CampaignConfigFor(sc Scale, model *ml.Tree, checkpointEvery int) inject.CampaignConfig {
+// It fails when sc.Detectors names a factory the detect registry does not
+// hold.
+func CampaignConfigFor(sc Scale, model *ml.Tree, checkpointEvery int) (inject.CampaignConfig, error) {
+	detectors, err := detect.Factories(sc.Detectors)
+	if err != nil {
+		return inject.CampaignConfig{}, fmt.Errorf("experiments: %w", err)
+	}
 	return inject.CampaignConfig{
 		Benchmarks:             workload.Names(),
 		Mode:                   workload.PV,
@@ -385,7 +397,8 @@ func CampaignConfigFor(sc Scale, model *ml.Tree, checkpointEvery int) inject.Cam
 		Detection:              core.FullDetection(),
 		Model:                  model,
 		CheckpointEvery:        checkpointEvery,
-	}
+		Detectors:              detectors,
+	}, nil
 }
 
 // CampaignSink is CampaignWith with every outcome recorded through sink
@@ -395,35 +408,44 @@ func CampaignConfigFor(sc Scale, model *ml.Tree, checkpointEvery int) inject.Cam
 // off and still ends bit-identical to an uninterrupted run. A nil sink
 // folds in memory.
 func CampaignSink(sc Scale, model *ml.Tree, checkpointEvery int, progress func(done, total int), sink inject.ResultSink) (*inject.CampaignResult, error) {
-	cfg := CampaignConfigFor(sc, model, checkpointEvery)
+	cfg, err := CampaignConfigFor(sc, model, checkpointEvery)
+	if err != nil {
+		return nil, err
+	}
 	cfg.Progress = progress
 	return inject.ResumeCampaign(cfg, sink)
 }
 
 // RenderFig8 formats the overall-coverage figure: per benchmark, the share
 // of manifested faults caught by each technique and the undetected rest.
+// The technique columns come from campaignTechniques, so plugin verdicts
+// grow columns without touching this function.
 func RenderFig8(res *inject.CampaignResult) string {
-	t := stats.NewTable("benchmark", "manifested", "hw-exception", "sw-assertion", "vm-transition", "undetected", "coverage")
-	order := append([]string{}, workload.Names()...)
-	for _, bench := range order {
+	techs := campaignTechniques(res)
+	hdr := []string{"benchmark", "manifested"}
+	for _, tech := range techs {
+		hdr = append(hdr, tech.String())
+	}
+	hdr = append(hdr, "undetected", "coverage")
+	t := stats.NewTable(hdr...)
+	addRow := func(name string, tl *inject.Tally) {
+		row := []string{name, fmt.Sprintf("%d", tl.Manifested)}
+		for _, tech := range techs {
+			row = append(row, stats.Pct(tl.TechniqueShare(tech)))
+		}
+		row = append(row,
+			stats.Pct(safeDiv(tl.Undetected, tl.Manifested)),
+			stats.Pct(tl.Coverage()))
+		t.AddRow(row...)
+	}
+	for _, bench := range workload.Names() {
 		tl := res.PerBenchmark[bench]
 		if tl == nil {
 			continue
 		}
-		t.AddRow(bench, fmt.Sprintf("%d", tl.Manifested),
-			stats.Pct(tl.TechniqueShare(core.TechHWException)),
-			stats.Pct(tl.TechniqueShare(core.TechAssertion)),
-			stats.Pct(tl.TechniqueShare(core.TechVMTransition)),
-			stats.Pct(safeDiv(tl.Undetected, tl.Manifested)),
-			stats.Pct(tl.Coverage()))
+		addRow(bench, tl)
 	}
-	tot := res.Total
-	t.AddRow("AVG", fmt.Sprintf("%d", tot.Manifested),
-		stats.Pct(tot.TechniqueShare(core.TechHWException)),
-		stats.Pct(tot.TechniqueShare(core.TechAssertion)),
-		stats.Pct(tot.TechniqueShare(core.TechVMTransition)),
-		stats.Pct(safeDiv(tot.Undetected, tot.Manifested)),
-		stats.Pct(tot.Coverage()))
+	addRow("AVG", res.Total)
 	return "Fig. 8 — overall detection results (shares of manifested faults)\n" + t.String()
 }
 
@@ -459,7 +481,7 @@ func RenderFig10(res *inject.CampaignResult) string {
 		}
 		return hdr
 	}()...)...)
-	for _, tech := range []core.Technique{core.TechHWException, core.TechAssertion, core.TechVMTransition} {
+	for _, tech := range campaignTechniques(res) {
 		lats := res.Total.Latencies[tech]
 		xs := make([]float64, len(lats))
 		for i, l := range lats {
@@ -479,10 +501,10 @@ func RenderFig10(res *inject.CampaignResult) string {
 func RenderTableII(res *inject.CampaignResult) string {
 	t := stats.NewTable("cause", "count", "share")
 	total := res.Total.Undetected
-	for _, cause := range []inject.Cause{
-		inject.CauseMisclassified, inject.CauseStackValue,
-		inject.CauseTimeValue, inject.CauseOtherValue,
-	} {
+	for _, cause := range inject.Causes() {
+		if cause == inject.CauseNone {
+			continue
+		}
 		n := res.Total.ByCause[cause]
 		t.AddRow(cause.String(), fmt.Sprintf("%d", n), stats.Pct(safeDiv(n, total)))
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 
 	"xentry/internal/core"
@@ -11,10 +12,52 @@ import (
 	"xentry/internal/store"
 )
 
-// reportTechniques are the detection techniques the report breaks shares
-// and latency CDFs down by, in figure order.
-var reportTechniques = []core.Technique{
+// builtinTechniques are the paper's three techniques in figure order; they
+// always render, even with zero detections, so default campaigns keep the
+// seed's exact columns.
+var builtinTechniques = []core.Technique{
 	core.TechHWException, core.TechAssertion, core.TechVMTransition,
+}
+
+// campaignTechniques returns the techniques the report and figures break
+// down by: the built-in trio followed by any extra techniques present in
+// the aggregates (verdicts from detectors registered outside
+// internal/core), sorted by registered ID. Plugin campaigns grow report
+// columns with no code changes here.
+func campaignTechniques(res *inject.CampaignResult) []core.Technique {
+	builtin := map[core.Technique]bool{core.TechNone: true}
+	for _, tech := range builtinTechniques {
+		builtin[tech] = true
+	}
+	extra := map[core.Technique]bool{}
+	scan := func(tl *inject.Tally) {
+		if tl == nil {
+			return
+		}
+		for tech := range tl.DetectedBy {
+			if !builtin[tech] {
+				extra[tech] = true
+			}
+		}
+		for tech := range tl.Latencies {
+			if !builtin[tech] {
+				extra[tech] = true
+			}
+		}
+	}
+	scan(res.Total)
+	for _, tl := range res.PerBenchmark {
+		scan(tl)
+	}
+	techs := append([]core.Technique{}, builtinTechniques...)
+	for tech := range extra {
+		techs = append(techs, tech)
+	}
+	sort.Slice(techs[len(builtinTechniques):], func(i, j int) bool {
+		rest := techs[len(builtinTechniques):]
+		return rest[i] < rest[j]
+	})
+	return techs
 }
 
 // CampaignReport is the machine-readable encoding of the campaign's
@@ -74,7 +117,8 @@ func NewCampaignReport(res *inject.CampaignResult, benchmarks []string) *Campaig
 		LatencyCDF:      map[string][]CDFPoint{},
 		Result:          res,
 	}
-	for _, tech := range reportTechniques {
+	techs := campaignTechniques(res)
+	for _, tech := range techs {
 		rep.TechniqueShares[tech.String()] = tot.TechniqueShare(tech)
 		lats := tot.Latencies[tech]
 		xs := make([]float64, len(lats))
@@ -101,15 +145,15 @@ func NewCampaignReport(res *inject.CampaignResult, benchmarks []string) *Campaig
 			Coverage:        tl.Coverage(),
 			TechniqueShares: map[string]float64{},
 		}
-		for _, tech := range reportTechniques {
+		for _, tech := range techs {
 			br.TechniqueShares[tech.String()] = tl.TechniqueShare(tech)
 		}
 		rep.PerBenchmark = append(rep.PerBenchmark, br)
 	}
-	for _, cause := range []inject.Cause{
-		inject.CauseMisclassified, inject.CauseStackValue,
-		inject.CauseTimeValue, inject.CauseOtherValue,
-	} {
+	for _, cause := range inject.Causes() {
+		if cause == inject.CauseNone {
+			continue
+		}
 		n := tot.ByCause[cause]
 		rep.TableII = append(rep.TableII, CauseRow{
 			Cause: cause.String(), Count: n, Share: safeDiv(n, tot.Undetected),

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"xentry/internal/core"
+	"xentry/internal/detect"
 	"xentry/internal/guest"
 	"xentry/internal/ml"
 	"xentry/internal/workload"
@@ -46,6 +47,17 @@ type CampaignConfig struct {
 	// differential tests prove it); the switch exists for them and for
 	// perf triage.
 	SlowPath bool
+	// Detectors builds plugin detectors on every campaign machine,
+	// appended behind the built-in pipeline (see sim.Config.Detectors).
+	// Their verdicts tally under their registered techniques with no
+	// changes to the aggregation or rendering layers.
+	Detectors []detect.Factory
+	// LegacyDetection routes every machine through the seed's
+	// hard-coded detection switch instead of the pipeline; for the
+	// built-in configuration outcomes are bit-identical either way (the
+	// differential tests prove it). Plugin detectors are ignored on the
+	// legacy path.
+	LegacyDetection bool
 }
 
 // DefaultCampaign returns a campaign sized down from the paper's 30,000

@@ -38,6 +38,10 @@ type DatasetConfig struct {
 	// SlowPath forces the seed-equivalent interpreter slow path; dataset
 	// bytes are bit-identical either way (the differential tests prove it).
 	SlowPath bool
+	// LegacyDetection routes every machine through the seed's hard-coded
+	// detection switch; dataset bytes are bit-identical either way (the
+	// differential tests prove it).
+	LegacyDetection bool
 }
 
 // DefaultDatasetConfig sizes collection for a quick but representative
@@ -76,12 +80,13 @@ func CollectDataset(cfg DatasetConfig) (ml.Dataset, error) {
 		// Correct samples from fault-free runs.
 		for run := 0; run < cfg.FaultFreeRuns; run++ {
 			simCfg := sim.Config{
-				Benchmark: bench,
-				Mode:      cfg.Mode,
-				Domains:   3,
-				Seed:      cfg.Seed + int64(bi)*1543 + int64(run)*389,
-				Detection: core.FullDetection(),
-				SlowPath:  cfg.SlowPath,
+				Benchmark:       bench,
+				Mode:            cfg.Mode,
+				Domains:         3,
+				Seed:            cfg.Seed + int64(bi)*1543 + int64(run)*389,
+				Detection:       core.FullDetection(),
+				SlowPath:        cfg.SlowPath,
+				LegacyDetection: cfg.LegacyDetection,
 			}
 			acts, err := sim.GoldenRun(simCfg, cfg.Activations)
 			if err != nil {
@@ -97,12 +102,13 @@ func CollectDataset(cfg DatasetConfig) (ml.Dataset, error) {
 		// Incorrect samples from injections (no model installed — this is
 		// the data the model will be trained on).
 		simCfg := sim.Config{
-			Benchmark: bench,
-			Mode:      cfg.Mode,
-			Domains:   3,
-			Seed:      cfg.Seed + int64(bi)*1543,
-			Detection: core.FullDetection(),
-			SlowPath:  cfg.SlowPath,
+			Benchmark:       bench,
+			Mode:            cfg.Mode,
+			Domains:         3,
+			Seed:            cfg.Seed + int64(bi)*1543,
+			Detection:       core.FullDetection(),
+			SlowPath:        cfg.SlowPath,
+			LegacyDetection: cfg.LegacyDetection,
 		}
 		runner, err := NewRunner(simCfg, cfg.Activations, nil)
 		if err != nil {

@@ -14,6 +14,7 @@ import (
 
 	"xentry/internal/core"
 	"xentry/internal/cpu"
+	"xentry/internal/detect"
 	"xentry/internal/guest"
 	"xentry/internal/isa"
 	"xentry/internal/ml"
@@ -61,19 +62,29 @@ const (
 	CauseOtherValue
 )
 
-// String names the cause.
+// causeNames names every cause; the exhaustiveness test asserts the
+// table covers the enum so no cause ever renders as cause(N).
+var causeNames = [...]string{
+	CauseNone:          "none",
+	CauseMisclassified: "misclassified",
+	CauseStackValue:    "stack-values",
+	CauseTimeValue:     "time-values",
+	CauseOtherValue:    "other-values",
+}
+
+// Causes returns every cause in render order (CauseNone first).
+func Causes() []Cause {
+	out := make([]Cause, len(causeNames))
+	for i := range out {
+		out[i] = Cause(i)
+	}
+	return out
+}
+
+// String names the cause from the table.
 func (c Cause) String() string {
-	switch c {
-	case CauseNone:
-		return "none"
-	case CauseMisclassified:
-		return "misclassified"
-	case CauseStackValue:
-		return "stack-values"
-	case CauseTimeValue:
-		return "time-values"
-	case CauseOtherValue:
-		return "other-values"
+	if c >= 0 && int(c) < len(causeNames) {
+		return causeNames[c]
 	}
 	return fmt.Sprintf("cause(%d)", int(c))
 }
@@ -169,6 +180,9 @@ func NewRunner(cfg sim.Config, activations int, model *ml.Tree) (*Runner, error)
 }
 
 // newMachine builds a machine configured like every injection run's.
+// Plugin detectors that calibrate on fault-free behaviour are fed the
+// golden run here, so every injection machine judges against the same
+// baseline.
 func (r *Runner) newMachine() (*sim.Machine, error) {
 	m, err := sim.NewMachine(r.Cfg)
 	if err != nil {
@@ -176,6 +190,18 @@ func (r *Runner) newMachine() (*sim.Machine, error) {
 	}
 	m.SetModel(r.Model)
 	m.RecoverOnDetection = r.Recover
+	for _, d := range m.Sentry.Detectors() {
+		obs, ok := d.(detect.GoldenObserver)
+		if !ok {
+			continue
+		}
+		for i := range r.Golden {
+			g := &r.Golden[i]
+			if g.Outcome.HasFeatures {
+				obs.ObserveGolden(g.Ev.Reason, g.Outcome.Features)
+			}
+		}
+	}
 	return m, nil
 }
 
@@ -402,11 +428,7 @@ func (w *Worker) RunOne(plan Plan) (Outcome, error) {
 	// Host-mode failure before VM entry: a short-latency error.
 	if res.Stop != cpu.StopVMEntry {
 		o.Hang = act.Outcome.Hang
-		o.Detected = act.Outcome.Technique
-		if o.Detected != core.TechNone {
-			o.DetectedAt = plan.Activation
-			o.Latency = sub(res.Steps, activatedStep)
-		}
+		o.foldVerdict(plan.Activation, &act, sub(res.Steps, activatedStep))
 		o.Consequence = guest.AllVMFailure
 		o.DiffKind = guest.DiffNone
 		o.Manifested = true
@@ -421,18 +443,7 @@ func (w *Worker) RunOne(plan Plan) (Outcome, error) {
 	o.FeaturesDiffer = act.Outcome.HasFeatures &&
 		act.Outcome.Features != r.Golden[plan.Activation].Outcome.Features
 	latencyBase := sub(res.Steps, activatedStep)
-	if act.Recovered {
-		// The detection fired and the activation was re-executed from the
-		// snapshot; the rest of the run shows whether recovery worked.
-		o.Detected = act.FirstDetection
-		o.DetectedAt = plan.Activation
-		o.Recovered = true
-	}
-	if o.Detected == core.TechNone && act.Outcome.Technique == core.TechVMTransition {
-		o.Detected = core.TechVMTransition
-		o.DetectedAt = plan.Activation
-		o.Latency = latencyBase
-	}
+	o.foldVerdict(plan.Activation, &act, latencyBase)
 
 	// Run the rest of the workload, comparing guest-visible state against
 	// the golden stream and watching for late detections from corrupted
@@ -445,24 +456,10 @@ func (w *Worker) RunOne(plan Plan) (Outcome, error) {
 		if err != nil {
 			return Outcome{}, fmt.Errorf("inject: suffix replay: %w", err)
 		}
+		o.foldVerdict(i, &act2, runningLatency+act2.Outcome.Result.Steps)
 		if act2.Outcome.Result.Stop != cpu.StopVMEntry {
-			if o.Detected == core.TechNone && act2.Outcome.Technique != core.TechNone {
-				o.Detected = act2.Outcome.Technique
-				o.DetectedAt = i
-				o.Latency = runningLatency + act2.Outcome.Result.Steps
-			}
 			truncated = true
 			break
-		}
-		if o.Detected == core.TechNone && act2.Recovered {
-			o.Detected = act2.FirstDetection
-			o.DetectedAt = i
-			o.Recovered = true
-		}
-		if o.Detected == core.TechNone && act2.Outcome.Technique == core.TechVMTransition {
-			o.Detected = core.TechVMTransition
-			o.DetectedAt = i
-			o.Latency = runningLatency + act2.Outcome.Result.Steps
 		}
 		runningLatency += act2.Outcome.Result.Steps
 		records = append(records, act2.Record)
@@ -489,6 +486,34 @@ func (w *Worker) RunOne(plan Plan) (Outcome, error) {
 	o.LongLatency = o.Manifested
 	o.Cause = r.undetectedCause(&o, haveConsumer, consumerOp)
 	return o, nil
+}
+
+// foldVerdict folds one activation of the injection run into the
+// outcome's detection fields — the single attribution point for the
+// injected activation, the suffix activations, and both recovery modes.
+// The first positive verdict wins. latency is the instruction distance
+// from the fault's first consumption to this activation's stop point;
+// it is recorded for every detection, including recovered ones (whose
+// detection happened during the rolled-back first execution at or
+// before that distance).
+func (o *Outcome) foldVerdict(index int, act *sim.Activation, latency uint64) {
+	if o.Detected != core.TechNone {
+		return
+	}
+	switch {
+	case act.Outcome.Result.Stop == cpu.StopVMEntry && act.Recovered:
+		// The detection fired, live recovery re-executed the activation
+		// from the snapshot, and the re-execution completed; the rest of
+		// the run shows whether recovery worked.
+		o.Detected = act.FirstDetection
+		o.DetectedAt = index
+		o.Recovered = true
+		o.Latency = latency
+	case act.Outcome.Technique != core.TechNone:
+		o.Detected = act.Outcome.Technique
+		o.DetectedAt = index
+		o.Latency = latency
+	}
 }
 
 // undetectedCause attributes an undetected manifested fault to a Table II

@@ -1,7 +1,9 @@
 package inject
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"xentry/internal/core"
@@ -233,10 +235,24 @@ func TestCollectDatasetLabels(t *testing.T) {
 }
 
 func TestCauseStrings(t *testing.T) {
-	for _, c := range []Cause{CauseNone, CauseMisclassified, CauseStackValue, CauseTimeValue, CauseOtherValue} {
-		if c.String() == "" {
-			t.Errorf("cause %d unnamed", c)
+	// Exhaustive over the table: every cause Causes() enumerates must
+	// render with a unique real name, never the cause(N) fallback.
+	seen := map[string]Cause{}
+	for _, c := range Causes() {
+		s := c.String()
+		if s == "" || strings.HasPrefix(s, "cause(") {
+			t.Errorf("cause %d unnamed: %q", c, s)
 		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("causes %d and %d share the name %q", prev, c, s)
+		}
+		seen[s] = c
+	}
+	if got := Causes()[0]; got != CauseNone {
+		t.Errorf("Causes() must lead with CauseNone, got %v", got)
+	}
+	if got := Cause(len(Causes())).String(); got != fmt.Sprintf("cause(%d)", len(Causes())) {
+		t.Errorf("out-of-range cause renders %q", got)
 	}
 }
 

@@ -1,0 +1,265 @@
+package inject
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"xentry/internal/core"
+	"xentry/internal/detect"
+	"xentry/internal/hv"
+	"xentry/internal/ml"
+	"xentry/internal/workload"
+)
+
+// diffModel trains a small transition model once per test binary so the
+// pipeline/legacy differentials exercise the vm-transition classify path
+// (the one detector whose cost accounting and signature plumbing moved)
+// on both sides.
+var diffModel = sync.OnceValues(func() (*ml.Tree, error) {
+	ds, err := CollectDataset(DatasetConfig{
+		Benchmarks:             []string{"postmark"},
+		Mode:                   workload.PV,
+		FaultFreeRuns:          2,
+		Activations:            60,
+		InjectionsPerBenchmark: 120,
+		Seed:                   3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ml.Train(ds, ml.DefaultDecisionTree())
+})
+
+func testModel(t *testing.T) *ml.Tree {
+	t.Helper()
+	tree, err := diffModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// TestPipelineCampaignBitIdentical is the tentpole's proof obligation: the
+// detector pipeline produces the same campaign aggregates, bit for bit, as
+// the seed's hard-coded detection switch. The same campaign — full
+// detection, trained model installed — runs through the pipeline and
+// through the preserved legacy path; every tally must match exactly.
+func TestPipelineCampaignBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign differential")
+	}
+	model := testModel(t)
+	run := func(mutate func(*CampaignConfig)) *CampaignResult {
+		cfg := diffCampaign()
+		cfg.Model = model
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		res, err := RunCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Normalize()
+		return res
+	}
+	pipeline := run(nil)
+	legacy := run(func(c *CampaignConfig) { c.LegacyDetection = true })
+	if !reflect.DeepEqual(pipeline, legacy) {
+		t.Fatalf("pipeline and legacy campaigns diverge\npipeline total: %+v\nlegacy total: %+v",
+			pipeline.Total, legacy.Total)
+	}
+}
+
+// TestPipelineRecoveryBitIdentical repeats the differential with live
+// recovery enabled — recovery is now driven off the pipeline's verdict
+// instead of the outcome's technique field, and the legacy path must
+// synthesize an equivalent verdict.
+func TestPipelineRecoveryBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign differential")
+	}
+	cfg := diffCampaign()
+	cfg.Model = testModel(t)
+	cfg.Recover = true
+	cfg.InjectionsPerBenchmark = 25
+	pipeline, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.LegacyDetection = true
+	legacy, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline.Normalize()
+	legacy.Normalize()
+	if !reflect.DeepEqual(pipeline, legacy) {
+		t.Fatalf("recovery campaigns diverge\npipeline total: %+v\nlegacy total: %+v",
+			pipeline.Total, legacy.Total)
+	}
+}
+
+// TestPipelineDatasetBitIdentical proves training-data collection — whose
+// machines run the pipeline with no model installed — emits byte-identical
+// samples on both detection paths.
+func TestPipelineDatasetBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full dataset differential")
+	}
+	cfg := DatasetConfig{
+		Benchmarks:             workload.Names(),
+		Mode:                   workload.PV,
+		FaultFreeRuns:          2,
+		Activations:            80,
+		InjectionsPerBenchmark: 30,
+		Seed:                   7,
+		Workers:                2,
+	}
+	pipeline, err := CollectDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.LegacyDetection = true
+	legacy, err := CollectDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pipeline, legacy) {
+		if len(pipeline) != len(legacy) {
+			t.Fatalf("dataset sizes diverge: pipeline %d, legacy %d", len(pipeline), len(legacy))
+		}
+		for i := range pipeline {
+			if !reflect.DeepEqual(pipeline[i], legacy[i]) {
+				t.Fatalf("sample %d diverges:\npipeline %+v\nlegacy %+v", i, pipeline[i], legacy[i])
+			}
+		}
+	}
+}
+
+// TestRecoveredDetectionLatencyRecorded is the regression test for the
+// seed bug where recovered detections never set Outcome.Latency: the
+// recovered branches of the fold left the field zero, so Tally.Latencies
+// collected a spike of zeros whenever recovery was on. Recovered
+// detections must now carry the same latency accounting as unrecovered
+// ones.
+func TestRecoveredDetectionLatencyRecorded(t *testing.T) {
+	r := testRunner(t, "postmark", testModel(t))
+	r.Recover = true
+	rng := rand.New(rand.NewSource(41))
+	recovered, withLatency := 0, 0
+	for i := 0; i < 200; i++ {
+		o, err := r.RunOne(r.RandomPlan(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o.Recovered || o.Detected == core.TechNone {
+			continue
+		}
+		recovered++
+		if o.DetectedAt < 0 {
+			t.Errorf("recovered detection without DetectedAt: %+v", o)
+		}
+		if o.Latency > 0 {
+			withLatency++
+		}
+	}
+	if recovered == 0 {
+		t.Fatal("no recovered detections exercised — enlarge the plan sample")
+	}
+	if withLatency == 0 {
+		t.Errorf("all %d recovered detections carry zero latency — the recovered "+
+			"branches are not recording it", recovered)
+	}
+}
+
+// testSigTech and the golden-signature detector are a plugin registered
+// entirely outside internal/core and internal/detect's builtins: an exact
+// golden-signature membership check (Checkbochs-flavoured, stricter than
+// the trained tree). The campaign below proves its verdicts flow into the
+// tallies with no changes to the aggregation layers.
+var testSigTech = detect.RegisterTechnique("test-golden-sig")
+
+type sigSetDetector struct {
+	detect.Base
+	seen map[[ml.NumFeatures]uint64]bool
+}
+
+func (d *sigSetDetector) Name() string         { return "test-golden-sig" }
+func (d *sigSetDetector) NeedsSignature() bool { return true }
+
+func (d *sigSetDetector) ObserveGolden(_ hv.ExitReason, sig [ml.NumFeatures]uint64) {
+	d.seen[sig] = true
+}
+
+func (d *sigSetDetector) OnVMEntry(ev *detect.Event) detect.Verdict {
+	// Uncalibrated (the golden run itself) or no signature: stay silent.
+	if len(d.seen) == 0 || !ev.HasSignature || d.seen[ev.Signature] {
+		return detect.Verdict{}
+	}
+	return detect.Verdict{Technique: testSigTech, Detail: "signature outside golden set"}
+}
+
+func newSigSetDetector() detect.Detector {
+	return &sigSetDetector{seen: map[[ml.NumFeatures]uint64]bool{}}
+}
+
+// TestPluginDetectorTalliesUnderItsTechnique runs a campaign with the
+// plugin installed and no transition model: every signature-diverging
+// manifested fault the builtins miss should land under the plugin's
+// registered technique in DetectedBy and Latencies — map keys the tally
+// code never heard of.
+func TestPluginDetectorTalliesUnderItsTechnique(t *testing.T) {
+	cfg := CampaignConfig{
+		Benchmarks:             []string{"postmark", "mcf"},
+		Mode:                   workload.PV,
+		InjectionsPerBenchmark: 60,
+		Activations:            60,
+		Seed:                   11,
+		Workers:                2,
+		Detection:              core.FullDetection(),
+		Detectors:              []detect.Factory{newSigSetDetector},
+	}
+	res, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := res.Total.DetectedBy[testSigTech]
+	if n == 0 {
+		t.Fatalf("plugin technique absent from tallies: %v", res.Total.DetectedBy)
+	}
+	if got := len(res.Total.Latencies[testSigTech]); got != n {
+		t.Errorf("plugin latencies %d != detections %d", got, n)
+	}
+
+	// Detectors only change attribution, never execution (recovery is
+	// off): rerunning without the plugin must reproduce the exact same
+	// fault population — the plugin's detections come out of the
+	// undetected pool and out of slower techniques' first-wins claims,
+	// not out of thin air.
+	cfg.Detectors = nil
+	base, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Total.Injections != res.Total.Injections ||
+		base.Total.Manifested != res.Total.Manifested ||
+		base.Total.Benign != res.Total.Benign ||
+		base.Total.NonActivated != res.Total.NonActivated {
+		t.Errorf("plugin changed the fault population:\nwith:    %+v\nwithout: %+v",
+			res.Total, base.Total)
+	}
+	if res.Total.Undetected > base.Total.Undetected {
+		t.Errorf("undetected grew with the plugin installed: %d > %d",
+			res.Total.Undetected, base.Total.Undetected)
+	}
+	detected := 0
+	for _, c := range res.Total.DetectedBy {
+		detected += c
+	}
+	if detected+res.Total.Undetected != res.Total.Manifested {
+		t.Errorf("accounting broke with plugin: detected %d + undetected %d != manifested %d",
+			detected, res.Total.Undetected, res.Total.Manifested)
+	}
+}

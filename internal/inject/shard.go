@@ -38,12 +38,14 @@ type BenchmarkRun struct {
 func (cfg CampaignConfig) BenchmarkSim(bi int) sim.Config {
 	cfg = cfg.Normalized()
 	return sim.Config{
-		Benchmark: cfg.Benchmarks[bi],
-		Mode:      cfg.Mode,
-		Domains:   3,
-		Seed:      cfg.Seed + int64(bi)*7919,
-		Detection: cfg.Detection,
-		SlowPath:  cfg.SlowPath,
+		Benchmark:       cfg.Benchmarks[bi],
+		Mode:            cfg.Mode,
+		Domains:         3,
+		Seed:            cfg.Seed + int64(bi)*7919,
+		Detection:       cfg.Detection,
+		Detectors:       cfg.Detectors,
+		SlowPath:        cfg.SlowPath,
+		LegacyDetection: cfg.LegacyDetection,
 	}
 }
 

@@ -53,6 +53,11 @@ type Event struct {
 	Done     int       `json:"done"`
 	Total    int       `json:"total"`
 	Err      string    `json:"err,omitempty"`
+	// Technique is the registered name of the detecting technique on
+	// outcome events whose injection was detected (empty otherwise).
+	// Plugin techniques flow through by name: the server's per-technique
+	// /metrics counters key on this string, not on any enum.
+	Technique string `json:"technique,omitempty"`
 }
 
 // Engine executes one campaign through a durable store with a sharded
@@ -191,8 +196,12 @@ func (e *Engine) Run(ctx context.Context, cfg inject.CampaignConfig) (*inject.Ca
 							return
 						}
 						done, total := progress()
-						e.emit(Event{Type: EventOutcome, Campaign: id, Bench: job.bench,
-							Shard: job.shard, Worker: w.id, Done: done, Total: total})
+						ev := Event{Type: EventOutcome, Campaign: id, Bench: job.bench,
+							Shard: job.shard, Worker: w.id, Done: done, Total: total}
+						if o.Detected.Detected() {
+							ev.Technique = o.Detected.String()
+						}
+						e.emit(ev)
 					})
 				if recordErr != nil {
 					return recordErr

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"xentry/internal/detect"
+	"xentry/internal/hv"
+	"xentry/internal/ml"
+)
+
+// The plugin below is the acceptance-criteria detector: registered in this
+// test file — outside internal/core, internal/detect's builtins, and every
+// consumer — and driven end to end through the HTTP API. Its verdicts must
+// surface in the campaign report, in the WAL-backed store the report folds
+// from, and in /metrics, with no switch statement anywhere naming it.
+var serverSigTech = detect.RegisterTechnique("server-golden-sig")
+
+type serverSigDetector struct {
+	detect.Base
+	seen map[[ml.NumFeatures]uint64]bool
+}
+
+func (d *serverSigDetector) Name() string         { return "server-golden-sig" }
+func (d *serverSigDetector) NeedsSignature() bool { return true }
+
+func (d *serverSigDetector) ObserveGolden(_ hv.ExitReason, sig [ml.NumFeatures]uint64) {
+	d.seen[sig] = true
+}
+
+func (d *serverSigDetector) OnVMEntry(ev *detect.Event) detect.Verdict {
+	if len(d.seen) == 0 || !ev.HasSignature || d.seen[ev.Signature] {
+		return detect.Verdict{}
+	}
+	return detect.Verdict{Technique: serverSigTech, Detail: "signature outside golden set"}
+}
+
+func init() {
+	detect.RegisterFactory("server-golden-sig", func() detect.Detector {
+		return &serverSigDetector{seen: map[[ml.NumFeatures]uint64]bool{}}
+	})
+}
+
+// TestPluginDetectorEndToEnd submits a campaign that names the plugin
+// detector and checks its technique shows up everywhere a built-in one
+// would: event stream, report shares and latency CDF, the store-folded
+// result, and the per-technique /metrics counters.
+func TestPluginDetectorEndToEnd(t *testing.T) {
+	_, client := testServer(t)
+	cfg := testCampaignConfig()
+	spec := CampaignSpec{
+		ID:                     "plugin-e2e",
+		Benchmarks:             cfg.Benchmarks,
+		InjectionsPerBenchmark: cfg.InjectionsPerBenchmark,
+		Activations:            cfg.Activations,
+		Seed:                   cfg.Seed,
+		Detectors:              []string{"server-golden-sig"},
+	}
+	sawTechnique := false
+	rep, err := client.RunToCompletion(context.Background(), spec, func(ev Event) {
+		if ev.Technique == "server-golden-sig" {
+			sawTechnique = true
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The report's aggregates come from the WAL-backed store, so a plugin
+	// count here proves the technique survived a serialize/replay round
+	// trip by name.
+	name := serverSigTech.String()
+	if n := rep.Result.Total.DetectedBy[serverSigTech]; n == 0 {
+		t.Fatalf("plugin technique absent from store-folded result: %v", rep.Result.Total.DetectedBy)
+	}
+	if _, ok := rep.TechniqueShares[name]; !ok {
+		t.Errorf("technique_shares missing %q: %v", name, rep.TechniqueShares)
+	}
+	if _, ok := rep.LatencyCDF[name]; !ok {
+		t.Errorf("latency_cdf missing %q", name)
+	}
+
+	resp, err := http.Get(strings.TrimRight(client.Base, "/") + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `xentry_detections_total{technique="server-golden-sig"}`) {
+		t.Errorf("/metrics missing plugin technique counter:\n%s", body)
+	}
+	if !sawTechnique {
+		// The stream may connect after completion; the metrics counter above
+		// already proves outcome events carried the technique. Only flag
+		// when both signals are absent.
+		t.Log("event stream saw no plugin technique (campaign finished before subscribe)")
+	}
+
+	// A spec naming an unregistered detector is rejected up front.
+	if _, err := client.Submit(CampaignSpec{
+		InjectionsPerBenchmark: 4,
+		Detectors:              []string{"no-such-detector"},
+	}); err == nil || !strings.Contains(err.Error(), "unknown detector") {
+		t.Errorf("unknown detector err = %v, want rejection", err)
+	}
+}

@@ -9,11 +9,13 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"xentry/internal/core"
+	"xentry/internal/detect"
 	"xentry/internal/experiments"
 	"xentry/internal/inject"
 	"xentry/internal/store"
@@ -45,6 +47,11 @@ type CampaignSpec struct {
 	// campaign.
 	ShardSize   int `json:"shard_size,omitempty"`
 	PoolWorkers int `json:"pool_workers,omitempty"`
+	// Detectors names plugin detector factories (detect.RegisterFactory)
+	// to run behind the built-in pipeline on every campaign machine. Their
+	// verdicts land in the report, the WAL, and /metrics under their
+	// registered technique names.
+	Detectors []string `json:"detectors,omitempty"`
 }
 
 // withDefaults fills the deterministic defaults a local xentry-campaign
@@ -63,7 +70,13 @@ func (sp CampaignSpec) withDefaults() CampaignSpec {
 }
 
 // campaignConfig builds the engine-facing config (model installed later).
-func (sp CampaignSpec) campaignConfig() inject.CampaignConfig {
+// It fails on detector names with no registered factory; handleCreate
+// validates those up front so submissions get a 400, not a failed campaign.
+func (sp CampaignSpec) campaignConfig() (inject.CampaignConfig, error) {
+	detectors, err := detect.Factories(sp.Detectors)
+	if err != nil {
+		return inject.CampaignConfig{}, fmt.Errorf("server: %w", err)
+	}
 	return inject.CampaignConfig{
 		Benchmarks:             sp.Benchmarks,
 		Mode:                   workload.PV,
@@ -73,7 +86,8 @@ func (sp CampaignSpec) campaignConfig() inject.CampaignConfig {
 		Detection:              core.FullDetection(),
 		Recover:                sp.Recover,
 		CheckpointEvery:        sp.CheckpointEvery,
-	}
+		Detectors:              detectors,
+	}, nil
 }
 
 // CampaignStatus is the JSON body of GET /campaigns/{id}.
@@ -124,6 +138,13 @@ type Server struct {
 	workerDeaths     atomic.Int64
 	campaignsDone    atomic.Int64
 	campaignsFailed  atomic.Int64
+
+	// detections counts detected outcomes per technique name (from
+	// Event.Technique, so plugin techniques appear without server
+	// changes); guarded by detectionsMu, exposed as
+	// xentry_detections_total{technique="..."}.
+	detectionsMu sync.Mutex
+	detections   map[string]int64
 }
 
 // campaign is one registered campaign's runtime state.
@@ -198,6 +219,12 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	for _, bench := range spec.Benchmarks {
 		if _, err := workload.ByName(bench); err != nil {
 			httpError(w, http.StatusBadRequest, "unknown benchmark %q", bench)
+			return
+		}
+	}
+	for _, name := range spec.Detectors {
+		if !detect.HasFactory(name) {
+			httpError(w, http.StatusBadRequest, "unknown detector %q", name)
 			return
 		}
 	}
@@ -288,6 +315,9 @@ func (s *Server) startCampaign(spec CampaignSpec) (*campaign, error) {
 			switch ev.Type {
 			case EventOutcome:
 				s.outcomesRecorded.Add(1)
+				if ev.Technique != "" {
+					s.countDetection(ev.Technique)
+				}
 			case EventShardRequeued:
 				s.shardRetries.Add(1)
 			case EventWorkerDead:
@@ -308,7 +338,10 @@ func (s *Server) startCampaign(spec CampaignSpec) (*campaign, error) {
 // settles the campaign's terminal state.
 func (s *Server) runCampaign(c *campaign) {
 	res, err := func() (*inject.CampaignResult, error) {
-		cfg := c.spec.campaignConfig()
+		cfg, err := c.spec.campaignConfig()
+		if err != nil {
+			return nil, err
+		}
 		if c.spec.TrainInjections > 0 {
 			sc := experiments.DefaultScale()
 			sc.Seed = c.spec.Seed
@@ -496,6 +529,18 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// countDetection bumps the per-technique detection counter. Technique
+// names are registry strings, so detectors registered outside
+// internal/core surface here with no server changes.
+func (s *Server) countDetection(technique string) {
+	s.detectionsMu.Lock()
+	if s.detections == nil {
+		s.detections = map[string]int64{}
+	}
+	s.detections[technique]++
+	s.detectionsMu.Unlock()
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	total := len(s.campaigns)
@@ -517,6 +562,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "xentry_shard_retries_total %d\n", s.shardRetries.Load())
 	fmt.Fprintf(w, "xentry_worker_deaths_total %d\n", s.workerDeaths.Load())
 	fmt.Fprintf(w, "xentry_wal_records_dropped_total %d\n", dropped)
+	s.detectionsMu.Lock()
+	techniques := make([]string, 0, len(s.detections))
+	for name := range s.detections {
+		techniques = append(techniques, name)
+	}
+	sort.Strings(techniques)
+	for _, name := range techniques {
+		fmt.Fprintf(w, "xentry_detections_total{technique=%q} %d\n", name, s.detections[name])
+	}
+	s.detectionsMu.Unlock()
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

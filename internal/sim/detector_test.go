@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"xentry/internal/detect"
+)
+
+// countingDetector is a stateful plugin: it counts VM exits and exposes the
+// count through detect.Checkpointable, so machine checkpoints must carry it.
+type countingDetector struct {
+	detect.Base
+	exits int
+}
+
+func (d *countingDetector) Name() string { return "counting" }
+
+func (d *countingDetector) OnExit(*detect.Event) { d.exits++ }
+
+func (d *countingDetector) DetectorCheckpoint() any { return d.exits }
+
+func (d *countingDetector) DetectorRestore(state any) error {
+	n, ok := state.(int)
+	if !ok {
+		return fmt.Errorf("counting: bad state %T", state)
+	}
+	d.exits = n
+	return nil
+}
+
+// newCountingMachine builds a machine with one countingDetector plugin and
+// returns both, using the factory hook to capture the instance.
+func newCountingMachine(t *testing.T, seed int64) (*Machine, *countingDetector) {
+	t.Helper()
+	var inst *countingDetector
+	cfg := DefaultConfig("postmark", seed)
+	cfg.Detectors = []detect.Factory{func() detect.Detector {
+		inst = &countingDetector{}
+		return inst
+	}}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst == nil {
+		t.Fatal("detector factory never invoked")
+	}
+	return m, inst
+}
+
+// TestDetectorStateCheckpointed proves plugin detector state rides along
+// with machine checkpoints: restore rewinds it in place, and restoring into
+// a second identically configured machine reproduces it exactly.
+func TestDetectorStateCheckpointed(t *testing.T) {
+	m, d := newCountingMachine(t, 301)
+	if _, err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	atCheckpoint := d.exits
+	if atCheckpoint == 0 {
+		t.Fatal("detector saw no exits in 10 activations")
+	}
+	cp := m.Checkpoint()
+
+	if _, err := m.Run(7); err != nil {
+		t.Fatal(err)
+	}
+	if d.exits <= atCheckpoint {
+		t.Fatalf("exit count did not advance past checkpoint: %d <= %d", d.exits, atCheckpoint)
+	}
+	if err := m.RestoreFrom(cp); err != nil {
+		t.Fatal(err)
+	}
+	if d.exits != atCheckpoint {
+		t.Errorf("in-place restore: exits = %d, want %d", d.exits, atCheckpoint)
+	}
+
+	// A sibling machine with the same Config restores to the same state.
+	m2, d2 := newCountingMachine(t, 301)
+	if err := m2.RestoreFrom(cp); err != nil {
+		t.Fatal(err)
+	}
+	if d2.exits != atCheckpoint {
+		t.Errorf("cross-machine restore: exits = %d, want %d", d2.exits, atCheckpoint)
+	}
+}
+
+// TestDetectorCheckpointMismatch: a checkpoint carrying detector state must
+// refuse to restore into a machine configured without the plugin.
+func TestDetectorCheckpointMismatch(t *testing.T) {
+	m, _ := newCountingMachine(t, 301)
+	if _, err := m.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	cp := m.Checkpoint()
+
+	bare, err := NewMachine(DefaultConfig("postmark", 301))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = bare.RestoreFrom(cp)
+	if err == nil || !strings.Contains(err.Error(), "detector") {
+		t.Fatalf("restore into plugin-less machine: err = %v, want detector-state mismatch", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"xentry/internal/core"
+	"xentry/internal/detect"
 	"xentry/internal/guest"
 	"xentry/internal/hv"
 	"xentry/internal/ml"
@@ -30,11 +31,20 @@ type Config struct {
 	Seed int64
 	// Detection selects the Xentry configuration.
 	Detection core.Options
+	// Detectors builds plugin detectors appended behind the built-in
+	// pipeline on every machine constructed from this config (one fresh
+	// instance per machine, so detectors may hold per-machine state).
+	Detectors []detect.Factory
 	// SlowPath forces the seed-equivalent interpreter slow path (interface
 	// fetch, per-step hook check and PMU flush, no memory TLB). Campaign
 	// outcomes must be bit-identical either way; the differential tests
 	// enforce that by running whole campaigns with SlowPath set.
 	SlowPath bool
+	// LegacyDetection routes the sentry through the seed's hard-coded
+	// detection switch instead of the pipeline (see core.Sentry.
+	// ForceLegacy). Like SlowPath it exists for the differential tests
+	// that prove the refactor is bit-identical, and for triage.
+	LegacyDetection bool
 }
 
 // DefaultConfig mirrors the paper's injection setup.
@@ -109,10 +119,15 @@ func NewMachine(cfg Config) (*Machine, error) {
 		// slow path really takes the binary search on every access.
 		h.Mem.InvalidateTLB()
 	}
+	sentry := core.New(h, cfg.Detection)
+	sentry.ForceLegacy = cfg.LegacyDetection
+	for _, f := range cfg.Detectors {
+		sentry.AddDetector(f())
+	}
 	return &Machine{
 		Cfg:     cfg,
 		HV:      h,
-		Sentry:  core.New(h, cfg.Detection),
+		Sentry:  sentry,
 		Profile: prof,
 		rng:     rng.New(cfg.Seed),
 	}, nil
@@ -136,12 +151,16 @@ type Checkpoint struct {
 	rngState uint64
 	stats    core.Stats
 	hv       *hv.Checkpoint
+	// detectors holds per-detector state for plugins implementing
+	// detect.Checkpointable, aligned with the machine's plugin list
+	// (nil entries for stateless detectors).
+	detectors []any
 }
 
 // Checkpoint captures the machine's full state before its next activation.
 // Taking one is cheap: all bulk state is shared copy-on-write.
 func (m *Machine) Checkpoint() *Checkpoint {
-	return &Checkpoint{
+	cp := &Checkpoint{
 		Step:       m.step,
 		Clock:      m.Clock,
 		Recoveries: m.Recoveries,
@@ -149,6 +168,15 @@ func (m *Machine) Checkpoint() *Checkpoint {
 		stats:      m.Sentry.Stats(),
 		hv:         m.HV.Checkpoint(),
 	}
+	if plugins := m.Sentry.Detectors(); len(plugins) > 0 {
+		cp.detectors = make([]any, len(plugins))
+		for i, d := range plugins {
+			if c, ok := d.(detect.Checkpointable); ok {
+				cp.detectors[i] = c.DetectorCheckpoint()
+			}
+		}
+	}
+	return cp
 }
 
 // RestoreFrom reinstates a Checkpoint taken from an identically configured
@@ -163,6 +191,25 @@ func (m *Machine) RestoreFrom(cp *Checkpoint) error {
 	m.Recoveries = cp.Recoveries
 	m.rng.SetState(cp.rngState)
 	m.Sentry.RestoreStats(cp.stats)
+	if cp.detectors != nil {
+		plugins := m.Sentry.Detectors()
+		if len(plugins) != len(cp.detectors) {
+			return fmt.Errorf("sim: checkpoint carries %d detector states, machine has %d plugins",
+				len(cp.detectors), len(plugins))
+		}
+		for i, state := range cp.detectors {
+			if state == nil {
+				continue
+			}
+			c, ok := plugins[i].(detect.Checkpointable)
+			if !ok {
+				return fmt.Errorf("sim: detector %q lost its Checkpointable state", plugins[i].Name())
+			}
+			if err := c.DetectorRestore(state); err != nil {
+				return fmt.Errorf("sim: restore detector %q: %w", plugins[i].Name(), err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -217,7 +264,7 @@ func (m *Machine) Step() (Activation, error) {
 	}
 	recovered := false
 	firstDetection := out.Technique
-	if m.RecoverOnDetection && out.Technique != core.TechNone {
+	if m.RecoverOnDetection && out.Verdict.Detected() {
 		// Positive detection: restore the snapshot and re-execute. The
 		// soft error was transient, so the re-execution runs fault-free;
 		// re-execution roughly doubles the activation's hypervisor time.

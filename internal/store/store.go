@@ -313,6 +313,13 @@ func (s *Store) replaySegment(n int) error {
 			s.dropped++
 			continue
 		}
+		if rec.Index < 0 || (s.meta.Injections > 0 && rec.Index >= s.meta.Injections) {
+			// An index outside the campaign's plan range is damage even when
+			// the CRC holds (and folding it would grow the dedup bitmap to
+			// the claimed index).
+			s.dropped++
+			continue
+		}
 		s.fold(rec.Bench, rec.Index, rec.Outcome)
 	}
 	return nil

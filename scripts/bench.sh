@@ -1,8 +1,10 @@
 #!/bin/sh
 # Runs the performance-regression benchmark suite and writes a
-# machine-readable report to BENCH_<tag>.json (default tag: pr3).
+# machine-readable report to BENCH_<tag>.json (default tag: pr3), or to
+# an explicit output path when given — CI uses that to archive the JSON
+# as a build artifact.
 #
-#   scripts/bench.sh [tag]
+#   scripts/bench.sh [tag] [output-path]
 #
 # The report carries two sections:
 #   baseline — campaign throughput measured at commit 3c797a5, the tree
@@ -22,7 +24,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 tag="${1:-pr3}"
-out="BENCH_${tag}.json"
+out="${2:-BENCH_${tag}.json}"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
