@@ -1,0 +1,168 @@
+// Command benchgate compares two bench.sh reports and fails when the
+// new tree has regressed. It is the CI teeth behind the informational
+// benchmark artifact: the workflow runs scripts/bench.sh on the fresh
+// tree, then gates the result against the BENCH_<tag>.json committed by
+// the previous PR.
+//
+// Usage:
+//
+//	benchgate [-max-regress PCT] OLD.json NEW.json
+//
+// For every benchmark present in both reports the gate prints the
+// median inj/s (or ns/op where no throughput is recorded) and the
+// median allocs/op side by side with the percentage change. It exits
+// non-zero when either
+//
+//   - BenchmarkCampaignThroughput/K=1 loses more than -max-regress
+//     percent of its median inj/s (default 20 — wide enough to absorb
+//     shared-runner noise, tight enough to catch a real slide), or
+//   - BenchmarkCPURunHot/fast allocates: the interpreter fast path is
+//     required to stay at 0 allocs/op.
+//
+// Medians, not means: each metric is a three-element array by
+// construction (bench.sh runs -count 3) and the median discards a
+// single noisy run instead of averaging it in.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+)
+
+// report mirrors the parts of the bench.sh JSON the gate reads. The
+// baseline section is deliberately ignored: it pins numbers from one
+// historical machine and is not comparable across runners.
+type report struct {
+	Tag     string                          `json:"tag"`
+	Results map[string]map[string][]float64 `json:"results"`
+}
+
+const (
+	gateBench = "BenchmarkCampaignThroughput/K=1"
+	allocFree = "BenchmarkCPURunHot/fast"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	maxRegress := flag.Float64("max-regress", 20,
+		"maximum tolerated K=1 inj/s regression, in percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		log.Fatalf("usage: benchgate [-max-regress PCT] OLD.json NEW.json")
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchgate: %s (%s) -> %s (%s)\n",
+		flag.Arg(0), old.Tag, flag.Arg(1), cur.Tag)
+	for _, name := range sharedBenches(old, cur) {
+		diffLine(name, old.Results[name], cur.Results[name])
+	}
+
+	failed := false
+	if d, ok := change(old, cur, gateBench, "inj/s"); !ok {
+		log.Printf("FAIL: %s inj/s missing from one of the reports", gateBench)
+		failed = true
+	} else if d < -*maxRegress {
+		log.Printf("FAIL: %s inj/s regressed %.1f%% (limit %.0f%%)",
+			gateBench, -d, *maxRegress)
+		failed = true
+	}
+	if m, ok := metric(cur, allocFree, "allocs/op"); !ok {
+		log.Printf("FAIL: %s allocs/op missing from the new report", allocFree)
+		failed = true
+	} else if m != 0 {
+		log.Printf("FAIL: %s must stay at 0 allocs/op, got %g", allocFree, m)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: PASS")
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Results) == 0 {
+		return nil, fmt.Errorf("%s: no results section", path)
+	}
+	return &r, nil
+}
+
+func sharedBenches(old, cur *report) []string {
+	var names []string
+	for name := range cur.Results {
+		if _, ok := old.Results[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// diffLine prints one benchmark's headline metric and allocation count
+// with their percentage change, e.g.
+//
+//	BenchmarkCampaignThroughput/K=1  inj/s 12074 -> 24000 (+98.8%)  allocs/op 105 -> 60 (-42.9%)
+func diffLine(name string, old, cur map[string][]float64) {
+	fmt.Printf("  %-36s", name)
+	unit := "inj/s"
+	if _, ok := cur[unit]; !ok {
+		unit = "ns/op"
+	}
+	for _, u := range []string{unit, "allocs/op"} {
+		ov, oOK := median(old[u])
+		cv, cOK := median(cur[u])
+		if !oOK || !cOK {
+			continue
+		}
+		pct := 0.0
+		if ov != 0 {
+			pct = (cv - ov) / ov * 100
+		}
+		fmt.Printf("  %s %g -> %g (%+.1f%%)", u, ov, cv, pct)
+	}
+	fmt.Println()
+}
+
+// change returns the percentage change of a metric's median between the
+// two reports; positive means the new value is larger.
+func change(old, cur *report, bench, unit string) (float64, bool) {
+	ov, oOK := metric(old, bench, unit)
+	cv, cOK := metric(cur, bench, unit)
+	if !oOK || !cOK || ov == 0 {
+		return 0, false
+	}
+	return (cv - ov) / ov * 100, true
+}
+
+func metric(r *report, bench, unit string) (float64, bool) {
+	return median(r.Results[bench][unit])
+}
+
+func median(vals []float64) (float64, bool) {
+	if len(vals) == 0 {
+		return 0, false
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	return s[len(s)/2], true
+}

@@ -8,7 +8,8 @@
 // Usage:
 //
 //	xentry-campaign [-injections N] [-activations N] [-seed S] [-checkpoint-every K]
-//	                [-detectors a,b] [-json] [-store DIR] [-server URL [-campaign ID]]
+//	                [-prune on|off] [-detectors a,b] [-json] [-store DIR]
+//	                [-server URL [-campaign ID]]
 //
 // -json emits the machine-readable campaign report (the same encoding the
 // campaign server returns) instead of the rendered figures. -store makes
@@ -46,6 +47,9 @@ func main() {
 	recover := flag.Bool("recover", false, "also run the live-recovery study (Section VI implemented)")
 	checkpointEvery := flag.Int("checkpoint-every", 0,
 		"golden-checkpoint interval K (0 = default, negative disables checkpointing)")
+	prune := flag.String("prune", "on",
+		"convergence pruning: on (default) or off (every run executes its full "+
+			"activation budget — the differential baseline; outcomes are bit-identical either way)")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable campaign report instead of figures")
 	storeDir := flag.String("store", "", "durable result-store directory (resumes an interrupted campaign)")
 	serverURL := flag.String("server", "", "dispatch the campaign to a running xentry-serve coordinator")
@@ -61,6 +65,13 @@ func main() {
 	sc.CampaignInjections = *injections
 	sc.Activations = *activations
 	sc.Seed = *seed
+	switch *prune {
+	case "on":
+	case "off":
+		sc.DisablePrune = true
+	default:
+		log.Fatalf("-prune must be on or off, got %q", *prune)
+	}
 	if *detectors != "" {
 		for _, name := range strings.Split(*detectors, ",") {
 			name = strings.TrimSpace(name)
@@ -204,6 +215,9 @@ func runRemote(base, id string, sc experiments.Scale, checkpointEvery int, jsonO
 		CheckpointEvery:        checkpointEvery,
 		TrainInjections:        sc.TrainInjections,
 		Detectors:              sc.Detectors,
+	}
+	if sc.DisablePrune {
+		spec.Prune = "off"
 	}
 	st, err := client.Submit(spec)
 	if err != nil {

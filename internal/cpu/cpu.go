@@ -204,6 +204,32 @@ func (c *CPU) State() State {
 	return State{Regs: c.Regs, TSC: c.TSC, Cycles: c.Cycles}
 }
 
+// ArchHash hashes the CPU's complete mutable architectural state — the
+// register file, TSC, and retired-cycle count — for convergence
+// fingerprints (FNV-1a over the words, splitmix64 finalizer). Including
+// the counters makes it a cheap first-stage divergence filter: any run
+// that detected, recovered, faulted, or merely retired a different
+// instruction count differs in TSC/Cycles and is rejected without
+// touching memory.
+func (c *CPU) ArchHash() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, r := range c.Regs {
+		h ^= r
+		h *= prime
+	}
+	h ^= c.TSC
+	h *= prime
+	h ^= c.Cycles
+	h *= prime
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
 // RestoreState reinstates a captured State.
 func (c *CPU) RestoreState(s State) {
 	c.Regs = s.Regs

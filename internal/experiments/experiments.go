@@ -62,6 +62,12 @@ type Scale struct {
 	// to run behind the built-in pipeline on every campaign machine. Names
 	// with no registered factory fail CampaignConfigFor.
 	Detectors []string
+
+	// DisablePrune forces every injection run to its full activation
+	// budget instead of convergence pruning (xentry-campaign -prune=off).
+	// Aggregates are bit-identical either way apart from the provenance
+	// counters; only wall-clock changes.
+	DisablePrune bool
 }
 
 // DefaultScale is a faithful reduction of the paper's sizes that completes
@@ -398,6 +404,7 @@ func CampaignConfigFor(sc Scale, model *ml.Tree, checkpointEvery int) (inject.Ca
 		Model:                  model,
 		CheckpointEvery:        checkpointEvery,
 		Detectors:              detectors,
+		DisablePrune:           sc.DisablePrune,
 	}, nil
 }
 

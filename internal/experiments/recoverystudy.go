@@ -34,6 +34,7 @@ func Recovery(sc Scale, model *ml.Tree) (*RecoveryStudy, error) {
 		Workers:                sc.Workers,
 		Detection:              core.FullDetection(),
 		Model:                  model,
+		DisablePrune:           sc.DisablePrune,
 	}
 	baseline, err := inject.RunCampaign(base)
 	if err != nil {

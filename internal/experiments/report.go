@@ -70,6 +70,11 @@ type CampaignReport struct {
 	Injections int     `json:"injections"`
 	Manifested int     `json:"manifested"`
 	Coverage   float64 `json:"coverage"`
+	// Pruned summarizes run provenance: how many injections were
+	// dead-value pre-pruned, convergence early-exited, or executed in
+	// full. Provenance only — every outcome statistic above is
+	// bit-identical with pruning on or off.
+	Pruned inject.PruneStats `json:"pruned"`
 	// TechniqueShares is the campaign-wide share of manifested faults each
 	// technique caught, keyed by technique name.
 	TechniqueShares map[string]float64 `json:"technique_shares"`
@@ -113,6 +118,7 @@ func NewCampaignReport(res *inject.CampaignResult, benchmarks []string) *Campaig
 		Injections:      tot.Injections,
 		Manifested:      tot.Manifested,
 		Coverage:        tot.Coverage(),
+		Pruned:          tot.Prune,
 		TechniqueShares: map[string]float64{},
 		LatencyCDF:      map[string][]CDFPoint{},
 		Result:          res,

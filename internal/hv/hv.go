@@ -370,6 +370,13 @@ type Checkpoint struct {
 	tscSnap uint64
 }
 
+// MemImage exposes the checkpoint's copy-on-write memory image, the
+// incremental-hash base for convergence fingerprints of machines restored
+// from this checkpoint (mem.Memory.FoldFrom).
+func (cp *Checkpoint) MemImage() *mem.Checkpoint {
+	return cp.mem
+}
+
 // Checkpoint captures the hypervisor's complete mutable state. It is cheap:
 // memory is captured copy-on-write (one pointer per page).
 func (h *Hypervisor) Checkpoint() *Checkpoint {

@@ -58,6 +58,13 @@ type CampaignConfig struct {
 	// differential tests prove it). Plugin detectors are ignored on the
 	// legacy path.
 	LegacyDetection bool
+	// DisablePrune forces every injection to execute its full activation
+	// budget instead of dead-value pre-pruning and convergence early exit
+	// (see Runner.DisablePrune). Like CheckpointEvery it is pure
+	// mechanism: aggregates are bit-identical either way apart from the
+	// Tally.Prune provenance counters (the differential tests prove it).
+	// Pruning also disables itself whenever Detectors are configured.
+	DisablePrune bool
 }
 
 // DefaultCampaign returns a campaign sized down from the paper's 30,000
@@ -111,6 +118,10 @@ type Tally struct {
 	// run (recovery succeeded).
 	Recovered      int
 	RecoveredClean int
+	// Prune counts run provenance (full budget / dead-value pre-pruned /
+	// convergence early-exit). Mechanism, not outcome: the only field
+	// allowed to differ between a pruned and an unpruned campaign.
+	Prune PruneStats
 }
 
 // NewTally returns an empty tally.
@@ -142,6 +153,7 @@ func (t *Tally) ensureMaps() {
 func (t *Tally) Add(o Outcome) {
 	t.ensureMaps()
 	t.Injections++
+	t.Prune.count(o.Pruned)
 	if o.Hang {
 		t.Hangs++
 	}
@@ -207,6 +219,7 @@ func (t *Tally) Merge(other *Tally) {
 	t.FalsePositives += other.FalsePositives
 	t.Recovered += other.Recovered
 	t.RecoveredClean += other.RecoveredClean
+	t.Prune.add(other.Prune)
 	for k, v := range other.DetectedBy {
 		t.DetectedBy[k] += v
 	}

@@ -42,6 +42,10 @@ type DatasetConfig struct {
 	// detection switch; dataset bytes are bit-identical either way (the
 	// differential tests prove it).
 	LegacyDetection bool
+	// DisablePrune forces every injection run to its full activation
+	// budget (see Runner.DisablePrune); dataset bytes are bit-identical
+	// either way (the differential tests prove it).
+	DisablePrune bool
 }
 
 // DefaultDatasetConfig sizes collection for a quick but representative
@@ -114,6 +118,7 @@ func CollectDataset(cfg DatasetConfig) (ml.Dataset, error) {
 		if err != nil {
 			return nil, fmt.Errorf("inject: dataset runner: %w", err)
 		}
+		runner.DisablePrune = cfg.DisablePrune
 		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(bi+3)*6151))
 		plans := make([]Plan, cfg.InjectionsPerBenchmark)
 		for i := range plans {

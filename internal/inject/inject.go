@@ -16,7 +16,9 @@ import (
 	"xentry/internal/cpu"
 	"xentry/internal/detect"
 	"xentry/internal/guest"
+	"xentry/internal/hv"
 	"xentry/internal/isa"
+	"xentry/internal/mem"
 	"xentry/internal/ml"
 	"xentry/internal/sim"
 )
@@ -128,6 +130,10 @@ type Outcome struct {
 	// entry (training-data source).
 	Features    [ml.NumFeatures]uint64
 	HasFeatures bool
+	// Pruned records how the engine executed the run (full budget,
+	// dead-value pre-pruned, or convergence early-exit). Provenance only:
+	// every other field is bit-identical with pruning on or off.
+	Pruned PruneKind
 }
 
 // DefaultCheckpointEvery is the default golden-checkpoint interval K: a
@@ -152,10 +158,18 @@ type Runner struct {
 	// nearest preceding checkpoint instead of re-simulating the fault-free
 	// prefix from machine reset (the paper ran inside Simics, whose
 	// checkpointing provides exactly this). 0 means DefaultCheckpointEvery;
-	// a negative value disables checkpointing (every run replays from
-	// reset, the pre-checkpoint behaviour). Set it, along with Model and
-	// Recover, before the first run: the pool is built once, lazily.
+	// a negative value records only the reset-state checkpoint (every run
+	// replays from activation zero, the pre-checkpoint cost model, while
+	// still reusing worker machines). Set it, along with Model, Recover,
+	// and DisablePrune, before the first run: the pool is built once,
+	// lazily.
 	CheckpointEvery int
+	// DisablePrune turns off dead-value pre-pruning and convergence early
+	// exit (see prune.go), forcing every injection to execute its full
+	// activation budget — the differential-test baseline, surfaced as
+	// -prune=off on xentry-campaign. Pruning also disables itself when
+	// plugin Detectors are configured in Cfg.
+	DisablePrune bool
 
 	ckptOnce sync.Once
 	ckptErr  error
@@ -166,6 +180,16 @@ type Runner struct {
 	// ckptOnce; shared across workers.
 	pool  []*sim.Checkpoint
 	poolK int
+	// Pruning data, recorded during the same reference replay that builds
+	// the pool (all read-only after ckptOnce, nil when pruning is off):
+	// fps[i] is the fingerprint of the state entering activation i (i>=1),
+	// traces[i] the instruction trace of activation i, refs[i] its verdict
+	// record, and refHV the reference hypervisor kept for symbol and
+	// instruction lookups (both are read-only binary searches).
+	fps    []sim.Fingerprint
+	traces []regTrace
+	refs   []refVerdict
+	refHV  *hv.Hypervisor
 }
 
 // NewRunner computes the golden run for the configuration. The golden run
@@ -215,27 +239,87 @@ func (r *Runner) EnsureCheckpoints() error {
 }
 
 func (r *Runner) buildCheckpoints() error {
-	k := r.CheckpointEvery
-	if k == 0 {
-		k = DefaultCheckpointEvery
+	poolK := r.CheckpointEvery
+	if poolK == 0 {
+		poolK = DefaultCheckpointEvery
 	}
-	if k < 0 {
-		return nil
+	if poolK < 0 {
+		// Checkpointing "off" still records the reset-state checkpoint:
+		// restoring it and replaying from activation zero is bit-identical
+		// to building a fresh machine, and it lets workers reuse their
+		// machine across runs instead of reconstructing one per injection
+		// (the K=off campaign path was ~8x the allocations of K>=1 for no
+		// simulation benefit).
+		poolK = r.Activations
+		if poolK < 1 {
+			poolK = 1
+		}
 	}
 	m, err := r.newMachine()
 	if err != nil {
 		return err
 	}
-	pool := make([]*sim.Checkpoint, 0, (r.Activations+k-1)/k)
+	prune := r.pruneEnabled()
+	pool := make([]*sim.Checkpoint, 0, (r.Activations+poolK-1)/poolK)
+	fps := make([]sim.Fingerprint, r.Activations)
+	refs := make([]refVerdict, r.Activations)
+	var traces []regTrace
+	var ents []traceEnt
+	c := m.HV.CPU
+	if prune {
+		traces = make([]regTrace, r.Activations)
+	}
+	hook := func(step, pc uint64) {
+		ents = append(ents, traceEnt{pc: pc, step: step})
+	}
+	var prev *mem.Checkpoint
 	for i := 0; i < r.Activations; i++ {
-		if i%k == 0 {
-			pool = append(pool, m.Checkpoint())
+		var cp *sim.Checkpoint
+		if i%poolK == 0 {
+			cp = m.Checkpoint()
+			pool = append(pool, cp)
 		}
-		if _, err := m.Step(); err != nil {
+		if prune && i > 0 {
+			// Fingerprint the state entering activation i, chaining the
+			// memory fold off the previous boundary's image so only pages
+			// dirtied by one activation are rehashed. Pool checkpoints
+			// reuse their own image as the chain link, which doubles as
+			// pre-warming the page-hash cache workers fold against.
+			var mcp *mem.Checkpoint
+			if cp != nil {
+				mcp = cp.MemImage()
+			} else {
+				mcp = m.HV.Mem.Checkpoint()
+			}
+			fps[i] = sim.Fingerprint{Arch: c.ArchHash(), Mem: mcp.FoldFrom(prev)}
+			prev = mcp
+		} else if cp != nil {
+			prev = cp.MemImage()
+		}
+		if prune {
+			ents = ents[:0]
+			c.PreStep = hook
+		}
+		act, err := m.Step()
+		c.PreStep = nil
+		if err != nil {
 			return fmt.Errorf("inject: checkpoint reference run: %w", err)
 		}
+		refs[i] = refVerdict{
+			steps:     act.Outcome.Result.Steps,
+			technique: act.Outcome.Technique,
+			first:     act.FirstDetection,
+			recovered: act.Recovered,
+		}
+		if prune {
+			traces[i] = append(regTrace(nil), ents...)
+		}
 	}
-	r.pool, r.poolK = pool, k
+	r.pool, r.poolK = pool, poolK
+	r.refs = refs
+	if prune {
+		r.fps, r.traces, r.refHV = fps, traces, m.HV
+	}
 	return nil
 }
 
@@ -251,6 +335,10 @@ type Worker struct {
 	// it never leaves RunOne, so one allocation serves the worker's whole
 	// campaign share.
 	recBuf []guest.Record
+	// base is the memory image of the checkpoint the machine was last
+	// restored from: the incremental-hash base for convergence checks
+	// (pages still shared with it reuse its cached page hashes).
+	base *mem.Checkpoint
 }
 
 // NewWorker returns a worker bound to the runner.
@@ -274,14 +362,17 @@ func (w *Worker) machineAt(activation int) (*sim.Machine, error) {
 			}
 			w.m = m
 		}
-		if err := m.RestoreFrom(r.pool[activation/r.poolK]); err != nil {
+		cp := r.pool[activation/r.poolK]
+		if err := m.RestoreFrom(cp); err != nil {
 			return nil, err
 		}
+		w.base = cp.MemImage()
 	} else {
 		var err error
 		if m, err = r.newMachine(); err != nil {
 			return nil, err
 		}
+		w.base = nil
 	}
 	for i := m.StepIndex(); i < activation; i++ {
 		if _, err := m.Step(); err != nil {
@@ -357,6 +448,12 @@ func (w *Worker) RunOne(plan Plan) (Outcome, error) {
 	r := w.r
 	if plan.Activation < 0 || plan.Activation >= r.Activations {
 		return Outcome{}, fmt.Errorf("inject: plan activation %d out of range", plan.Activation)
+	}
+	if err := r.EnsureCheckpoints(); err != nil {
+		return Outcome{}, err
+	}
+	if o, ok := r.prunePlan(plan); ok {
+		return o, nil
 	}
 	m, err := w.machineAt(plan.Activation)
 	if err != nil {
@@ -445,24 +542,66 @@ func (w *Worker) RunOne(plan Plan) (Outcome, error) {
 	latencyBase := sub(res.Steps, activatedStep)
 	o.foldVerdict(plan.Activation, &act, latencyBase)
 
+	// Convergence check (prune.go): after each completed activation,
+	// compare against the golden fingerprint at the next boundary. The
+	// arch hash alone rejects almost every diverged run — TSC and the
+	// cycle counter differ the moment the run retired a different
+	// instruction count, detected, or recovered — so the memory fold runs
+	// only on arch matches, and a deterministic budget of fold mismatches
+	// (possible only through counter re-coincidence) caps the worst case.
+	// The check sits after the activation's own detectors have executed
+	// and its record is captured, so early exit can neither mask a
+	// detection nor skip a record comparison.
+	checkConv := r.fps != nil
+	foldBudget := convFoldBudget
+	converged := func(after int) bool {
+		next := after + 1
+		if !checkConv || next >= r.Activations {
+			return false
+		}
+		fp := r.fps[next]
+		if c.ArchHash() != fp.Arch {
+			return false
+		}
+		if m.HV.Mem.FoldFrom(w.base) != fp.Mem {
+			if foldBudget--; foldBudget <= 0 {
+				checkConv = false
+			}
+			return false
+		}
+		return true
+	}
+
 	// Run the rest of the workload, comparing guest-visible state against
 	// the golden stream and watching for late detections from corrupted
-	// hypervisor state.
+	// hypervisor state. On convergence the unexecuted suffix is folded
+	// from the reference verdicts instead (identical to executing it, by
+	// the fingerprint argument).
 	records := append(w.recBuf[:0], act.Record)
 	truncated := false
 	runningLatency := latencyBase
-	for i := plan.Activation + 1; i < r.Activations; i++ {
-		act2, err := m.Step()
-		if err != nil {
-			return Outcome{}, fmt.Errorf("inject: suffix replay: %w", err)
+	if converged(plan.Activation) {
+		o.Pruned = PruneConverged
+		r.foldRefSuffix(&o, plan.Activation+1, runningLatency)
+	} else {
+		for i := plan.Activation + 1; i < r.Activations; i++ {
+			act2, err := m.Step()
+			if err != nil {
+				return Outcome{}, fmt.Errorf("inject: suffix replay: %w", err)
+			}
+			o.foldVerdict(i, &act2, runningLatency+act2.Outcome.Result.Steps)
+			if act2.Outcome.Result.Stop != cpu.StopVMEntry {
+				truncated = true
+				break
+			}
+			runningLatency += act2.Outcome.Result.Steps
+			records = append(records, act2.Record)
+			if converged(i) {
+				o.Pruned = PruneConverged
+				r.foldRefSuffix(&o, i+1, runningLatency)
+				break
+			}
 		}
-		o.foldVerdict(i, &act2, runningLatency+act2.Outcome.Result.Steps)
-		if act2.Outcome.Result.Stop != cpu.StopVMEntry {
-			truncated = true
-			break
-		}
-		runningLatency += act2.Outcome.Result.Steps
-		records = append(records, act2.Record)
 	}
 	w.recBuf = records[:0]
 

@@ -1,0 +1,284 @@
+package inject
+
+// Convergence pruning (DESIGN.md §10). Two mechanisms cut the work of the
+// dominant masked outcome class without changing a single outcome bit:
+//
+//   - Dead-value pre-pruning: the golden instruction trace proves some
+//     flips are overwritten before anything reads them, so the whole run
+//     is the reference run and its outcome can be synthesized from
+//     recorded reference verdicts without touching a machine.
+//
+//   - Convergence early exit: once an injected machine's architectural
+//     fingerprint matches the golden fingerprint at the same activation
+//     boundary, every remaining activation is bit-identical to the
+//     reference stream; the suffix is folded from recorded verdicts
+//     instead of executed.
+//
+// Both are gated off by Runner.DisablePrune and whenever plugin detectors
+// are configured (a plugin may carry cross-activation state the
+// architectural fingerprint cannot see; the built-in detectors are
+// stateless between activations). The differential tests run every
+// campaign path with pruning on and off and require reflect.DeepEqual
+// tallies, so any synthesis below that diverges from the full engine by
+// one bit is a test failure, not a statistics skew.
+
+import (
+	"xentry/internal/core"
+	"xentry/internal/guest"
+	"xentry/internal/isa"
+)
+
+// convFoldBudget bounds how many memory folds a single run may spend on
+// arch-hash matches that turn out not to be memory matches. TSC/cycle
+// divergence makes such re-coincidences rare; the budget keeps a
+// pathological workload from folding memory at every boundary. It is a
+// fixed constant so the decision to stop checking is deterministic (the
+// differential guarantee needs identical outcomes, not identical effort,
+// but determinism keeps run provenance reproducible too).
+const convFoldBudget = 8
+
+// PruneKind records how the engine executed a run. It is pure provenance:
+// a pruned outcome is bit-identical to the full run in every other field.
+type PruneKind uint8
+
+const (
+	// PruneNone: the run executed its full activation budget.
+	PruneNone PruneKind = iota
+	// PruneDead: the golden trace proved the flip dead; the outcome was
+	// synthesized without simulation.
+	PruneDead
+	// PruneConverged: the run terminated early at a fingerprint match.
+	PruneConverged
+)
+
+var pruneNames = [...]string{
+	PruneNone:      "none",
+	PruneDead:      "dead",
+	PruneConverged: "converged",
+}
+
+// String names the kind ("none", "dead", "converged").
+func (p PruneKind) String() string {
+	if int(p) < len(pruneNames) {
+		return pruneNames[p]
+	}
+	return "none"
+}
+
+// PruneStats counts run provenance in a Tally. The counters are the one
+// place a pruned campaign is allowed to differ from an unpruned one; the
+// differential tests zero this struct before comparing tallies.
+type PruneStats struct {
+	// Dead: tallied from the golden trace without touching a machine.
+	Dead int `json:"dead"`
+	// Converged: early-exited at a matching fingerprint boundary.
+	Converged int `json:"converged"`
+	// Full: executed the full activation budget.
+	Full int `json:"full"`
+}
+
+// add merges two stat blocks.
+func (p *PruneStats) add(q PruneStats) {
+	p.Dead += q.Dead
+	p.Converged += q.Converged
+	p.Full += q.Full
+}
+
+// count tallies one outcome's provenance.
+func (p *PruneStats) count(kind PruneKind) {
+	switch kind {
+	case PruneDead:
+		p.Dead++
+	case PruneConverged:
+		p.Converged++
+	default:
+		p.Full++
+	}
+}
+
+// traceEnt is one PreStep observation from the reference run: the PC about
+// to execute and the hook's step index. Step indices are local to one
+// cpu.Run call — an exception fixup resumes execution in a fresh Run whose
+// indices restart at zero — and the injection hook compares Plan.Step
+// against exactly these local indices, so the pre-pruner replays the
+// hook's decisions against the same numbering it saw.
+type traceEnt struct {
+	pc   uint64
+	step uint64
+}
+
+// regTrace is one activation's reference instruction trace.
+type regTrace []traceEnt
+
+// refVerdict is the compact per-activation verdict record of the reference
+// run — a machine configured exactly like the injection machines (model
+// installed, recovery switch set). The reference's *observable* stream is
+// identical to the golden stream (a model false positive triggers restore
+// plus idempotent re-execution), but its verdict fields are not: false
+// positives detect, and with recovery enabled, recover. Pruned runs fold
+// these verdicts exactly as a full run folds the activations it skipped.
+// The reference stop reason is always VM entry (the golden run asserts the
+// fault-free workload never faults or hangs), so foldVerdict's recovery
+// guard reduces to the recovered bit alone.
+type refVerdict struct {
+	steps     uint64
+	technique core.Technique
+	first     core.Technique
+	recovered bool
+}
+
+// foldRef mirrors foldVerdict for activations a pruned run never executed,
+// using the recorded reference verdict in place of a live activation.
+func (o *Outcome) foldRef(index int, rv refVerdict, latency uint64) {
+	if o.Detected != core.TechNone {
+		return
+	}
+	switch {
+	case rv.recovered:
+		o.Detected = rv.first
+		o.DetectedAt = index
+		o.Recovered = true
+		o.Latency = latency
+	case rv.technique != core.TechNone:
+		o.Detected = rv.technique
+		o.DetectedAt = index
+		o.Latency = latency
+	}
+}
+
+// foldRefSuffix folds the reference verdicts for activations [from,
+// Activations) with the same running-latency accumulation RunOne uses for
+// an executed suffix, starting from the latency already accumulated up to
+// (and excluding) activation from.
+func (r *Runner) foldRefSuffix(o *Outcome, from int, runningLatency uint64) {
+	for i := from; i < r.Activations && o.Detected == core.TechNone; i++ {
+		o.foldRef(i, r.refs[i], runningLatency+r.refs[i].steps)
+		runningLatency += r.refs[i].steps
+	}
+}
+
+// pruneEnabled reports whether both pruning mechanisms are live. Plugin
+// detectors force it off: the soundness argument (fingerprint equality ⇒
+// identical remaining stream) covers architectural state only, and the
+// built-in detectors hold none beyond it, but a plugin may.
+func (r *Runner) pruneEnabled() bool {
+	return !r.DisablePrune && len(r.Cfg.Detectors) == 0
+}
+
+// prunePlan classifies an injection without executing it when the golden
+// trace proves the flip dead: overwritten by a retired register write
+// before any instruction reads it and before the dispatch epilogue (which
+// reads live RAX for the return value). The synthesized outcome reproduces
+// the full engine's bookkeeping bit for bit — the injection hook's
+// activation/overwrite automaton, symbol attribution, feature capture,
+// latency accounting, and verdict folding.
+func (r *Runner) prunePlan(plan Plan) (Outcome, bool) {
+	if r.traces == nil {
+		return Outcome{}, false
+	}
+	if plan.Reg == isa.RIP {
+		// A flipped instruction pointer diverges at the very next fetch.
+		return Outcome{}, false
+	}
+	tr := r.traces[plan.Activation]
+
+	// Firing entry: the hook flips the bit at its first call whose local
+	// step index reaches Plan.Step. No such entry means the flip never
+	// fires at all and the run is the reference run unperturbed.
+	k0 := -1
+	for k := range tr {
+		if tr[k].step >= plan.Step {
+			k0 = k
+			break
+		}
+	}
+
+	var (
+		sym           string
+		activated     bool
+		activatedStep uint64
+		consumerOp    isa.Op
+		haveConsumer  bool
+	)
+	if k0 >= 0 {
+		// Execution truth: scan from the firing entry for the first
+		// instruction touching the register. The instruction *at* the
+		// firing entry executes with the flipped value yet is never
+		// inspected by the hook (which classifies only from the next
+		// call), so its reads matter here even though they would not set
+		// Activated.
+		erased := false
+		for k := k0; k < len(tr); k++ {
+			in, ok := r.refHV.Seg.InstrAt(tr[k].pc)
+			if !ok {
+				return Outcome{}, false
+			}
+			if in.ReadsReg(plan.Reg) {
+				return Outcome{}, false // consumed: execution diverges
+			}
+			if in.WritesReg(plan.Reg) {
+				// The write erases the flip only if the instruction
+				// retired — a faulting load performs none of its register
+				// writes. Retirement is proven by the next entry advancing
+				// the local step index (a fault ends the cpu.Run, so a
+				// fixup-resumed or later run restarts indices at zero).
+				if k+1 < len(tr) && tr[k+1].step > tr[k].step {
+					erased = true
+				}
+				break
+			}
+		}
+		if !erased {
+			// Unproven overwrite, or the flip lives to the end of the
+			// trace where the dispatch epilogue can expose it (RetVal is
+			// read from live RAX). Run it for real.
+			return Outcome{}, false
+		}
+
+		// Hook automaton: reproduce Activated/overwritten, which the hook
+		// decides from the first register-touching instruction *after* the
+		// flip. When the erasing write sat at the firing entry itself, the
+		// hook never saw it and keeps scanning — it can legitimately mark
+		// a later read of the clean value as the activation.
+		sym = r.refHV.SymbolFor(tr[k0].pc)
+		activatedStep = tr[k0].step
+		for k := k0 + 1; k < len(tr); k++ {
+			in, ok := r.refHV.Seg.InstrAt(tr[k].pc)
+			if !ok {
+				return Outcome{}, false
+			}
+			if in.ReadsReg(plan.Reg) {
+				activated = true
+				activatedStep = tr[k].step
+				consumerOp = in.Op
+				haveConsumer = true
+				break
+			}
+			if in.WritesReg(plan.Reg) {
+				break // hook sees the overwrite first and disarms
+			}
+		}
+	}
+
+	// Synthesize the outcome of a run that is observably the reference
+	// run: records identical to golden (Benign, no diff), features equal
+	// to golden, detections folded from the reference verdicts with the
+	// same latency arithmetic as an executed run.
+	a := plan.Activation
+	g := &r.Golden[a]
+	o := Outcome{Plan: plan, DetectedAt: -1, Pruned: PruneDead}
+	o.Symbol = sym
+	o.Activated = activated
+	o.Features = g.Outcome.Features
+	o.HasFeatures = g.Outcome.HasFeatures
+	o.FeaturesDiffer = false
+	latencyBase := sub(r.refs[a].steps, activatedStep)
+	o.foldRef(a, r.refs[a], latencyBase)
+	r.foldRefSuffix(&o, a+1, latencyBase)
+	o.Consequence = guest.Benign
+	o.DiffKind = guest.DiffNone
+	o.Manifested = false
+	o.LongLatency = false
+	o.Cause = r.undetectedCause(&o, haveConsumer, consumerOp)
+	return o, true
+}

@@ -65,6 +65,7 @@ func PrepareBenchmark(cfg CampaignConfig, bi int) (*BenchmarkRun, error) {
 	}
 	runner.Recover = cfg.Recover
 	runner.CheckpointEvery = cfg.CheckpointEvery
+	runner.DisablePrune = cfg.DisablePrune
 	if err := runner.EnsureCheckpoints(); err != nil {
 		return nil, fmt.Errorf("inject: checkpoint pool for %s: %w", bench, err)
 	}

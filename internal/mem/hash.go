@@ -1,0 +1,139 @@
+package mem
+
+// Per-page content hashing for convergence fingerprints (DESIGN.md §10).
+//
+// A checkpoint's hash table maps each region to one 64-bit hash per page;
+// the XOR fold of every page hash summarizes the whole image. Folds are
+// cheap to maintain incrementally because checkpoints share pages
+// copy-on-write: a page object that is marked shared is never mutated in
+// place (stores replace the pointer via cowPage) and never recycled onto
+// the free list (RestoreCheckpoint recycles only unshared pages, and both
+// Checkpoint and RestoreCheckpoint mark every live page shared), so
+// pointer equality between two images implies content equality and the
+// hash can be reused without touching the page.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashMix is the splitmix64 finalizer: a cheap full-avalanche permutation
+// so single-bit input differences flip about half the output bits, which
+// the soundness fuzz target (FuzzFingerprintSoundness) leans on.
+func hashMix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// regionHashSeed derives a region's hash seed from its name rather than
+// its base address, so a checkpoint (which stores no addresses) can be
+// hashed without the owning Memory.
+func regionHashSeed(name string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// pageHashSeed positions a page within the fold: without a per-index
+// seed, swapping the contents of two pages would XOR-cancel.
+func pageHashSeed(regionSeed uint64, page int) uint64 {
+	return hashMix(regionSeed + uint64(page)*0x9e3779b97f4a7c15)
+}
+
+// pageHash hashes one page word-wide (FNV-1a over uint64s, splitmix
+// finalizer). Word-wide keeps it at one multiply per 8 bytes, matching
+// the word-granular store path that dirties pages in the first place.
+func pageHash(seed uint64, words []uint64) uint64 {
+	h := seed
+	for _, w := range words {
+		h ^= w
+		h *= fnvPrime64
+	}
+	return hashMix(h)
+}
+
+// ensureHashes computes the checkpoint's page-hash table and fold exactly
+// once. When prev is an already-hashed earlier image of the same Memory,
+// pages whose pointers are unchanged reuse prev's hash (see the COW
+// argument at the top of this file); only pages dirtied between the two
+// images are rehashed.
+func (cp *Checkpoint) ensureHashes(prev *Checkpoint) {
+	cp.hashOnce.Do(func() {
+		hashes := make(map[string][]uint64, len(cp.pages))
+		var fold uint64
+		for name, pages := range cp.pages {
+			rs := regionHashSeed(name)
+			hs := make([]uint64, len(pages))
+			var prevPages [][]uint64
+			var prevHashes []uint64
+			if prev != nil {
+				prevPages = prev.pages[name]
+				prevHashes = prev.hashes[name]
+			}
+			for i, p := range pages {
+				if i < len(prevPages) && &prevPages[i][0] == &p[0] {
+					hs[i] = prevHashes[i]
+				} else {
+					hs[i] = pageHash(pageHashSeed(rs, i), p)
+				}
+				fold ^= hs[i]
+			}
+			hashes[name] = hs
+		}
+		cp.hashes = hashes
+		cp.fold = fold
+	})
+}
+
+// Fold returns the XOR fold of every page hash in the image, hashing all
+// pages on first use.
+func (cp *Checkpoint) Fold() uint64 {
+	cp.ensureHashes(nil)
+	return cp.fold
+}
+
+// FoldFrom is Fold computed incrementally against an earlier image of the
+// same Memory: pages shared with prev reuse prev's cached hashes.
+func (cp *Checkpoint) FoldFrom(prev *Checkpoint) uint64 {
+	if prev != nil {
+		prev.ensureHashes(nil)
+	}
+	cp.ensureHashes(prev)
+	return cp.fold
+}
+
+// FoldFrom hashes the Memory's live pages without taking a checkpoint,
+// reusing base's cached hashes for pages still shared with it. A nil base
+// hashes every page. The caller must own the Memory (workers hash their
+// private machine against the pool checkpoint they restored from; the
+// shared base itself is only ever read).
+func (m *Memory) FoldFrom(base *Checkpoint) uint64 {
+	var basePages map[string][][]uint64
+	var baseHashes map[string][]uint64
+	if base != nil {
+		base.ensureHashes(nil)
+		basePages = base.pages
+		baseHashes = base.hashes
+	}
+	var fold uint64
+	for _, r := range m.regions {
+		rs := regionHashSeed(r.Name)
+		bp := basePages[r.Name]
+		bh := baseHashes[r.Name]
+		for i, p := range r.pages {
+			if i < len(bp) && &bp[i][0] == &p[0] {
+				fold ^= bh[i]
+			} else {
+				fold ^= pageHash(pageHashSeed(rs, i), p)
+			}
+		}
+	}
+	return fold
+}

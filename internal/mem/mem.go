@@ -15,6 +15,7 @@ package mem
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Perm is a permission bit mask for a region.
@@ -508,6 +509,14 @@ func (m *Memory) Restore(snap map[string][]uint64) error {
 // the shared pages are never written in place.
 type Checkpoint struct {
 	pages map[string][][]uint64
+
+	// hashOnce guards the lazily computed per-page hash table below (see
+	// hash.go). Checkpoints are shared read-only across campaign workers,
+	// so the computation must be safe to race into; everything after the
+	// Once is immutable.
+	hashOnce sync.Once
+	hashes   map[string][]uint64
+	fold     uint64
 }
 
 // Checkpoint captures the current contents. All live pages become shared:

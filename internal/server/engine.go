@@ -58,6 +58,10 @@ type Event struct {
 	// Plugin techniques flow through by name: the server's per-technique
 	// /metrics counters key on this string, not on any enum.
 	Technique string `json:"technique,omitempty"`
+	// Pruned is the run-provenance label on outcome events whose run was
+	// pruned ("dead" or "converged", empty for full runs); it feeds the
+	// server's xentry_pruned_total metric and the SSE stream.
+	Pruned string `json:"pruned,omitempty"`
 }
 
 // Engine executes one campaign through a durable store with a sharded
@@ -200,6 +204,9 @@ func (e *Engine) Run(ctx context.Context, cfg inject.CampaignConfig) (*inject.Ca
 							Shard: job.shard, Worker: w.id, Done: done, Total: total}
 						if o.Detected.Detected() {
 							ev.Technique = o.Detected.String()
+						}
+						if o.Pruned != inject.PruneNone {
+							ev.Pruned = o.Pruned.String()
 						}
 						e.emit(ev)
 					})

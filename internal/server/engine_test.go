@@ -213,3 +213,73 @@ func TestEngineMultiBenchmarkMatchesRunCampaign(t *testing.T) {
 			got.Total, want.Total)
 	}
 }
+
+// TestEngineResumePrunedCampaignMidShard is the pruning interruption
+// acceptance test: a campaign whose runs are dead-pruned and
+// convergence-early-exited is killed mid-shard, resumed from the WAL by a
+// fresh engine, and must end bit-identical to an uninterrupted run —
+// including the Pruned provenance counts, which therefore have to survive
+// the WAL record round-trip and the snapshot/merge path.
+func TestEngineResumePrunedCampaignMidShard(t *testing.T) {
+	cfg := testCampaignConfig()
+	want, err := inject.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The differential is vacuous unless the campaign actually prunes.
+	if p := want.Total.Prune; p.Dead == 0 || p.Converged == 0 {
+		t.Fatalf("campaign too small to exercise both prune mechanisms: %+v", p)
+	}
+
+	dir := t.TempDir()
+	meta := store.Meta{
+		CampaignID:  "c-prune-interrupt",
+		Benchmarks:  cfg.Benchmarks,
+		Injections:  cfg.InjectionsPerBenchmark,
+		Activations: cfg.Activations,
+		Seed:        cfg.Seed,
+	}
+	s1, err := store.Open(dir, meta, store.Options{MaxSegmentBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var outcomes atomic.Int64
+	e1 := &Engine{
+		Store:     s1,
+		Workers:   2,
+		ShardSize: 6,
+		Backoff:   time.Millisecond,
+		OnEvent: func(ev Event) {
+			if ev.Type == EventOutcome && outcomes.Add(1) == 10 {
+				cancel()
+			}
+		},
+	}
+	if _, err := e1.Run(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+	s1.Close()
+
+	s2, err := store.Open(dir, meta, store.Options{MaxSegmentBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if n := s2.TotalCount(); n < 10 || n >= cfg.InjectionsPerBenchmark {
+		t.Fatalf("stored %d outcomes before resume, want a partial campaign", n)
+	}
+	e2 := &Engine{Store: s2, Workers: 2, ShardSize: 6, Backoff: time.Millisecond}
+	got, err := e2.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed pruned campaign differs from uninterrupted run:\ngot:  %+v\nwant: %+v",
+			got.Total, want.Total)
+	}
+	if got.Total.Prune != want.Total.Prune {
+		t.Errorf("prune provenance lost across WAL resume: got %+v want %+v",
+			got.Total.Prune, want.Total.Prune)
+	}
+}

@@ -52,6 +52,10 @@ type CampaignSpec struct {
 	// verdicts land in the report, the WAL, and /metrics under their
 	// registered technique names.
 	Detectors []string `json:"detectors,omitempty"`
+	// Prune is the convergence-pruning switch: "" or "on" (the default)
+	// prunes, "off" forces every run to its full activation budget (the
+	// differential baseline). Anything else is a 400.
+	Prune string `json:"prune,omitempty"`
 }
 
 // withDefaults fills the deterministic defaults a local xentry-campaign
@@ -87,6 +91,7 @@ func (sp CampaignSpec) campaignConfig() (inject.CampaignConfig, error) {
 		Recover:                sp.Recover,
 		CheckpointEvery:        sp.CheckpointEvery,
 		Detectors:              detectors,
+		DisablePrune:           sp.Prune == "off",
 	}, nil
 }
 
@@ -138,6 +143,11 @@ type Server struct {
 	workerDeaths     atomic.Int64
 	campaignsDone    atomic.Int64
 	campaignsFailed  atomic.Int64
+	// prunedDead/prunedConverged count outcome events by run provenance,
+	// exposed as xentry_pruned_total{reason="..."} so operators can see
+	// the convergence-pruning hit rate of a live campaign.
+	prunedDead      atomic.Int64
+	prunedConverged atomic.Int64
 
 	// detections counts detected outcomes per technique name (from
 	// Event.Technique, so plugin techniques appear without server
@@ -228,6 +238,12 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	switch spec.Prune {
+	case "", "on", "off":
+	default:
+		httpError(w, http.StatusBadRequest, "prune must be \"on\" or \"off\", got %q", spec.Prune)
+		return
+	}
 	if spec.ID != "" && !idPattern.MatchString(spec.ID) {
 		httpError(w, http.StatusBadRequest, "invalid campaign id")
 		return
@@ -317,6 +333,12 @@ func (s *Server) startCampaign(spec CampaignSpec) (*campaign, error) {
 				s.outcomesRecorded.Add(1)
 				if ev.Technique != "" {
 					s.countDetection(ev.Technique)
+				}
+				switch ev.Pruned {
+				case "dead":
+					s.prunedDead.Add(1)
+				case "converged":
+					s.prunedConverged.Add(1)
 				}
 			case EventShardRequeued:
 				s.shardRetries.Add(1)
@@ -562,6 +584,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "xentry_shard_retries_total %d\n", s.shardRetries.Load())
 	fmt.Fprintf(w, "xentry_worker_deaths_total %d\n", s.workerDeaths.Load())
 	fmt.Fprintf(w, "xentry_wal_records_dropped_total %d\n", dropped)
+	fmt.Fprintf(w, "xentry_pruned_total{reason=\"dead\"} %d\n", s.prunedDead.Load())
+	fmt.Fprintf(w, "xentry_pruned_total{reason=\"converged\"} %d\n", s.prunedConverged.Load())
 	s.detectionsMu.Lock()
 	techniques := make([]string, 0, len(s.detections))
 	for name := range s.detections {

@@ -12,6 +12,7 @@ import (
 	"xentry/internal/detect"
 	"xentry/internal/guest"
 	"xentry/internal/hv"
+	"xentry/internal/mem"
 	"xentry/internal/ml"
 	"xentry/internal/rng"
 	"xentry/internal/workload"
@@ -155,6 +156,33 @@ type Checkpoint struct {
 	// detect.Checkpointable, aligned with the machine's plugin list
 	// (nil entries for stateless detectors).
 	detectors []any
+}
+
+// MemImage exposes the checkpoint's copy-on-write memory image. The
+// injection runner uses pool images two ways: as the incremental-hash
+// base for fingerprints of machines restored from the checkpoint, and as
+// the previous link when chaining golden fingerprints across activations
+// (mem.Checkpoint.FoldFrom).
+func (cp *Checkpoint) MemImage() *mem.Checkpoint {
+	return cp.hv.MemImage()
+}
+
+// Fingerprint is a compact summary of a machine's complete architectural
+// state at an activation boundary: Arch hashes the register file plus
+// TSC/cycle counters, Mem XOR-folds per-page memory hashes. Equal
+// fingerprints at equal activation indices mean (modulo hash collision,
+// ~2^-128 per comparison) the two executions have re-converged and every
+// subsequent activation is identical.
+type Fingerprint struct {
+	Arch uint64
+	Mem  uint64
+}
+
+// FingerprintFrom fingerprints the machine's current state, reusing
+// base's cached page hashes for memory still shared with it (nil base
+// hashes everything).
+func (m *Machine) FingerprintFrom(base *mem.Checkpoint) Fingerprint {
+	return Fingerprint{Arch: m.HV.CPU.ArchHash(), Mem: m.HV.Mem.FoldFrom(base)}
 }
 
 // Checkpoint captures the machine's full state before its next activation.

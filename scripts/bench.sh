@@ -1,8 +1,9 @@
 #!/bin/sh
 # Runs the performance-regression benchmark suite and writes a
-# machine-readable report to BENCH_<tag>.json (default tag: pr3), or to
+# machine-readable report to BENCH_<tag>.json (default tag: pr5), or to
 # an explicit output path when given — CI uses that to archive the JSON
-# as a build artifact.
+# as a build artifact and feeds it to cmd/benchgate, which diffs the
+# live numbers against the committed previous report.
 #
 #   scripts/bench.sh [tag] [output-path]
 #
@@ -23,7 +24,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-tag="${1:-pr3}"
+tag="${1:-pr5}"
 out="${2:-BENCH_${tag}.json}"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT

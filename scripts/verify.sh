@@ -5,7 +5,8 @@
 # concurrency (the campaign engine's workers share the read-only
 # checkpoint pool and the linked text segment; the coordinator's worker
 # pool and the result store take concurrent records; the CPU core is what
-# every worker runs).
+# every worker runs; the memory package's lazy checkpoint page-hash
+# tables are published under sync.Once to concurrent folders).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -20,4 +21,4 @@ go build ./...
 go vet ./...
 go test ./...
 go test -run '^$' -bench . -benchtime 1x ./...
-go test -race ./internal/cpu/ ./internal/inject/ ./internal/sim/ ./internal/store/ ./internal/server/ ./internal/progress/
+go test -race ./internal/cpu/ ./internal/inject/ ./internal/mem/ ./internal/sim/ ./internal/store/ ./internal/server/ ./internal/progress/
