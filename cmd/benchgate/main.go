@@ -15,9 +15,23 @@
 //
 //   - BenchmarkCampaignThroughput/K=1 loses more than -max-regress
 //     percent of its median inj/s (default 20 — wide enough to absorb
-//     shared-runner noise, tight enough to catch a real slide), or
+//     shared-runner noise, tight enough to catch a real slide),
+//   - BenchmarkCPURunHot/fast gains more than -max-regress percent of
+//     median ns/instr — the direct-threaded dispatch win is gated, not
+//     just the end-to-end throughput it feeds,
+//   - BenchmarkCPURunHot/fast is slower than OLD ns/instr divided by
+//     -min-speedup (default 1, i.e. off; the PR that lands a claimed
+//     NX speedup gates it in CI with -min-speedup N), or
 //   - BenchmarkCPURunHot/fast allocates: the interpreter fast path is
 //     required to stay at 0 allocs/op.
+//
+// A separate mode renders the performance trajectory:
+//
+//	benchgate -history BENCH_pr3.json,BENCH_pr4.json,...
+//
+// prints a Markdown table of median K=1 inj/s, fast-path ns/instr, and
+// fast-path allocs/op for every report, oldest first — CI appends it to
+// the job summary so the per-PR trend stays visible.
 //
 // Medians, not means: each metric is a three-element array by
 // construction (bench.sh runs -count 3) and the median discards a
@@ -31,6 +45,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 )
 
 // report mirrors the parts of the bench.sh JSON the gate reads. The
@@ -50,10 +65,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchgate: ")
 	maxRegress := flag.Float64("max-regress", 20,
-		"maximum tolerated K=1 inj/s regression, in percent")
+		"maximum tolerated K=1 inj/s and fast-path ns/instr regression, in percent")
+	minSpeedup := flag.Float64("min-speedup", 1,
+		"required OLD/NEW ratio on fast-path ns/instr (1 = no requirement)")
+	history := flag.String("history", "",
+		"comma-separated report files: print a Markdown trajectory table and exit")
 	flag.Parse()
+	if *history != "" {
+		if err := printHistory(strings.Split(*history, ",")); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if flag.NArg() != 2 {
-		log.Fatalf("usage: benchgate [-max-regress PCT] OLD.json NEW.json")
+		log.Fatalf("usage: benchgate [-max-regress PCT] [-min-speedup N] OLD.json NEW.json")
 	}
 	old, err := load(flag.Arg(0))
 	if err != nil {
@@ -78,6 +103,22 @@ func main() {
 		log.Printf("FAIL: %s inj/s regressed %.1f%% (limit %.0f%%)",
 			gateBench, -d, *maxRegress)
 		failed = true
+	}
+	if d, ok := change(old, cur, allocFree, "ns/instr"); !ok {
+		log.Printf("FAIL: %s ns/instr missing from one of the reports", allocFree)
+		failed = true
+	} else if d > *maxRegress {
+		log.Printf("FAIL: %s ns/instr regressed %.1f%% (limit %.0f%%)",
+			allocFree, d, *maxRegress)
+		failed = true
+	} else if *minSpeedup > 1 {
+		ov, _ := metric(old, allocFree, "ns/instr")
+		cv, _ := metric(cur, allocFree, "ns/instr")
+		if cv*(*minSpeedup) > ov {
+			log.Printf("FAIL: %s ns/instr %.3f -> %.3f is a %.2fx speedup, need >= %.2fx",
+				allocFree, ov, cv, ov/cv, *minSpeedup)
+			failed = true
+		}
 	}
 	if m, ok := metric(cur, allocFree, "allocs/op"); !ok {
 		log.Printf("FAIL: %s allocs/op missing from the new report", allocFree)
@@ -156,6 +197,36 @@ func change(old, cur *report, bench, unit string) (float64, bool) {
 
 func metric(r *report, bench, unit string) (float64, bool) {
 	return median(r.Results[bench][unit])
+}
+
+// printHistory renders the benchmark trajectory across a list of
+// committed reports as a Markdown table, oldest first.
+func printHistory(paths []string) error {
+	fmt.Println("| tag | K=1 inj/s | fast ns/instr | fast allocs/op |")
+	fmt.Println("|-----|----------:|--------------:|---------------:|")
+	for _, path := range paths {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		r, err := load(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("| %s | %s | %s | %s |\n", r.Tag,
+			cell(r, gateBench, "inj/s"),
+			cell(r, allocFree, "ns/instr"),
+			cell(r, allocFree, "allocs/op"))
+	}
+	return nil
+}
+
+func cell(r *report, bench, unit string) string {
+	v, ok := metric(r, bench, unit)
+	if !ok {
+		return "—"
+	}
+	return fmt.Sprintf("%g", v)
 }
 
 func median(vals []float64) (float64, bool) {

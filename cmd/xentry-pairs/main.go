@@ -1,0 +1,198 @@
+// Command xentry-pairs profiles the dynamic opcode stream of fault-free
+// (golden) runs and tallies statically-adjacent instruction pairs and
+// chains — the PMU-style evidence behind the direct-threaded translator's
+// superinstruction selection (internal/cpu/threaded.go). A pair counts
+// only when the second instruction sits in the next text slot, because
+// that is the only shape peephole fusion can exploit.
+//
+// Usage:
+//
+//	xentry-pairs [-benchmarks a,b,c] [-activations N] [-seed S] [-top N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"xentry/internal/isa"
+	"xentry/internal/sim"
+	"xentry/internal/workload"
+)
+
+// pairKey is an adjacent dynamic opcode pair; chainKey a 4-op chain.
+type pairKey [2]isa.Op
+type chainKey [4]isa.Op
+
+// fusedPair reports whether the translator implements a superinstruction
+// covering the pair (see translate() in internal/cpu/threaded.go).
+func fusedPair(p pairKey) bool {
+	a, b := p[0], p[1]
+	switch {
+	case a == isa.OpCmp || a == isa.OpCmpImm || a == isa.OpTest || a == isa.OpTestImm:
+		return b.IsBranch() && b != isa.OpJmp && b != isa.OpJmpReg && b != isa.OpLoop
+	case a == isa.OpLoad:
+		return b == isa.OpAdd || b == isa.OpSub || b == isa.OpAnd ||
+			b == isa.OpOr || b == isa.OpXor
+	case a == isa.OpAddImm || a == isa.OpSubImm || a == isa.OpAndImm ||
+		a == isa.OpOrImm || a == isa.OpXorImm:
+		return b == isa.OpStore
+	}
+	return false
+}
+
+// fusedChain reports whether the 4-op chain is the dedicated loop-body
+// superinstruction.
+func fusedChain(c chainKey) bool {
+	return c == chainKey{isa.OpAddImm, isa.OpStore, isa.OpLoad, isa.OpAdd}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xentry-pairs: ")
+	benchmarks := flag.String("benchmarks", "", "comma-separated benchmarks (default: all)")
+	activations := flag.Int("activations", 400, "golden activations to profile per benchmark")
+	seed := flag.Int64("seed", 20140901, "deterministic seed")
+	top := flag.Int("top", 12, "rows to print per table")
+	flag.Parse()
+
+	names := workload.Names()
+	if *benchmarks != "" {
+		names = strings.Split(*benchmarks, ",")
+	}
+
+	var total uint64
+	singles := map[isa.Op]uint64{}
+	pairs := map[pairKey]uint64{}
+	chains := map[chainKey]uint64{}
+
+	for _, bench := range names {
+		cfg := sim.DefaultConfig(bench, *seed)
+		m, err := sim.NewMachine(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := m.HV.CPU
+		text := m.HV.Seg
+		// Rolling window of the last four executed slots. A slot enters
+		// the window only when it extends a statically-adjacent run;
+		// any discontinuity (taken branch, activation boundary) resets.
+		var win [4]isa.Op
+		var winPC [4]uint64
+		depth := 0
+		c.PreStep = func(_, pc uint64) {
+			in, res := text.FetchInstr(pc)
+			if res != 0 {
+				depth = 0
+				return
+			}
+			if depth > 0 && pc != winPC[depth-1]+isa.InstrBytes {
+				depth = 0
+			}
+			if depth == len(win) {
+				copy(win[:], win[1:])
+				copy(winPC[:], winPC[1:])
+				depth--
+			}
+			win[depth], winPC[depth] = in.Op, pc
+			depth++
+			total++
+			singles[in.Op]++
+			if depth >= 2 {
+				pairs[pairKey{win[depth-2], win[depth-1]}]++
+			}
+			if depth == 4 {
+				chains[chainKey{win[0], win[1], win[2], win[3]}]++
+			}
+		}
+		if _, err := m.Run(*activations); err != nil {
+			log.Fatalf("%s: %v", bench, err)
+		}
+	}
+
+	fmt.Printf("profiled %d dynamic instructions across %d benchmark(s)\n\n", total, len(names))
+	printOps(singles, total, *top)
+	printPairs(pairs, total, *top)
+	printChains(chains, total, *top)
+	fmt.Println("* = covered by a translator superinstruction (internal/cpu/threaded.go)")
+}
+
+func printOps(m map[isa.Op]uint64, total uint64, top int) {
+	type row struct {
+		op isa.Op
+		n  uint64
+	}
+	rows := make([]row, 0, len(m))
+	for op, n := range m {
+		rows = append(rows, row{op, n})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	fmt.Printf("%-24s %12s %7s\n", "OPCODE", "COUNT", "%DYN")
+	for i, r := range rows {
+		if i == top {
+			break
+		}
+		fmt.Printf("%-24s %12d %6.2f%%\n", r.op, r.n, pct(r.n, total))
+	}
+	fmt.Println()
+}
+
+func printPairs(m map[pairKey]uint64, total uint64, top int) {
+	type row struct {
+		k pairKey
+		n uint64
+	}
+	rows := make([]row, 0, len(m))
+	for k, n := range m {
+		rows = append(rows, row{k, n})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	fmt.Printf("%-24s %12s %7s\n", "ADJACENT PAIR", "COUNT", "%DYN")
+	for i, r := range rows {
+		if i == top {
+			break
+		}
+		mark := " "
+		if fusedPair(r.k) {
+			mark = "*"
+		}
+		fmt.Printf("%-24s %12d %6.2f%% %s\n",
+			fmt.Sprintf("%v;%v", r.k[0], r.k[1]), r.n, pct(r.n, total), mark)
+	}
+	fmt.Println()
+}
+
+func printChains(m map[chainKey]uint64, total uint64, top int) {
+	type row struct {
+		k chainKey
+		n uint64
+	}
+	rows := make([]row, 0, len(m))
+	for k, n := range m {
+		rows = append(rows, row{k, n})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	fmt.Printf("%-32s %12s %7s\n", "ADJACENT 4-CHAIN", "COUNT", "%DYN")
+	for i, r := range rows {
+		if i == top {
+			break
+		}
+		mark := " "
+		if fusedChain(r.k) {
+			mark = "*"
+		}
+		fmt.Printf("%-32s %12d %6.2f%% %s\n",
+			fmt.Sprintf("%v;%v;%v;%v", r.k[0], r.k[1], r.k[2], r.k[3]),
+			r.n, pct(r.n, total), mark)
+	}
+	fmt.Println()
+}
+
+func pct(n, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}

@@ -164,12 +164,27 @@ type CPU struct {
 	// rest of the execution.
 	PreStep func(step uint64, pc uint64)
 
+	// DisableThreaded pins untraced execution to the switch-era fast loop
+	// (runFast over the shared semantics table) instead of the
+	// direct-threaded code. The dual-dispatch differential tests and the
+	// benchmark's /switch variant use it to hold the threaded translator
+	// to the interpreter bit for bit.
+	DisableThreaded bool
+
 	// ForceSlow forces the seed-equivalent slow path: instruction fetch
 	// through the Text interface on every step, the hook check inside the
 	// loop, and a per-instruction PMU flush. The fast/slow differential
 	// tests run whole campaigns under it to prove the fast path changes
 	// no architectural outcome.
 	ForceSlow bool
+
+	// fetchBuf holds the instruction fetched through the TextMap interface
+	// on the slow/traced/non-Segment paths. step passes instructions by
+	// pointer into the semantics table, an indirect call the escape
+	// analyzer cannot see through; fetching into a loop-local would heap-
+	// allocate one Instr per dynamic instruction. The buffer lives on the
+	// (already heap-resident) CPU instead and is dead outside step.
+	fetchBuf isa.Instr
 
 	// pend accumulates performance-counter retirement between flushes.
 	// The run loops retire into these plain counters and flush them to
@@ -247,18 +262,22 @@ var (
 // Run executes from the current RIP until VM entry, halt, exception, failed
 // assertion, or budget exhaustion.
 //
-// The loop is split three ways. runFast is the steady state: no hook check,
-// instruction fetch through a concrete *Segment when Text is one (the
-// hypervisor always loads into a Segment), retirement into pending locals.
-// runTraced runs only while PreStep is armed and hands the remaining budget
-// to runFast the moment the hook disarms itself — which the injector does as
-// soon as the flip's fate is decided, so a traced injection run still spends
-// almost all of its instructions on the fast loop. runSlow is the
-// seed-equivalent path behind ForceSlow, kept so differential tests can
-// prove the fast path bit-identical. All paths flush pending PMU counts
+// The loop is split four ways. runThreaded is the steady state when Text is
+// a concrete *Segment (the hypervisor always loads into one): untraced
+// direct-threaded execution over the segment's translated op closures.
+// runFast is the same untraced loop over the semantics table — the
+// dispatcher the differential harness holds runThreaded against
+// (DisableThreaded), and the fallback for non-Segment text maps. runTraced
+// runs only while PreStep is armed and hands the remaining budget to the
+// untraced loop the moment the hook disarms itself — which the injector
+// does as soon as the flip's fate is decided, so a traced injection run
+// still spends almost all of its instructions on threaded code. runSlow is
+// the seed-equivalent path behind ForceSlow, kept so differential tests can
+// prove the fast paths bit-identical. All paths flush pending PMU counts
 // exactly once, at stop, before any caller can observe the counter bank.
 func (c *CPU) Run(budget uint64) RunResult {
 	if c.ForceSlow {
+		// runSlow flushes per instruction and charges INST_RETIRED itself.
 		rr := c.runSlow(budget)
 		c.flushPMU()
 		return rr
@@ -268,13 +287,22 @@ func (c *CPU) Run(budget uint64) RunResult {
 	if c.PreStep != nil {
 		rr, done := c.runTraced(budget, seg)
 		if done {
+			c.pend[perf.InstRetired] += rr.Steps
 			c.flushPMU()
 			return rr
 		}
 		prefix = rr.Steps
 	}
-	rr := c.runFast(budget-prefix, seg)
+	var rr RunResult
+	if seg != nil && !c.DisableThreaded {
+		rr = c.runThreaded(budget-prefix, seg)
+	} else {
+		rr = c.runFast(budget-prefix, seg)
+	}
 	rr.Steps += prefix
+	// INST_RETIRED advances once per retired instruction — the quantity
+	// Steps totals — so it is charged here in bulk (see retire).
+	c.pend[perf.InstRetired] += rr.Steps
 	c.flushPMU()
 	return rr
 }
@@ -319,9 +347,8 @@ func (c *CPU) runFast(budget uint64, seg *Segment) RunResult {
 		if seg != nil {
 			in, fr = seg.FetchPtr(pc)
 		} else {
-			var v isa.Instr
-			v, fr = c.Text.FetchInstr(pc)
-			in = &v
+			c.fetchBuf, fr = c.Text.FetchInstr(pc)
+			in = &c.fetchBuf
 		}
 		if fr != FetchOK {
 			return fetchStop(fr, pc, steps)
@@ -355,9 +382,8 @@ func (c *CPU) runTraced(budget uint64, seg *Segment) (RunResult, bool) {
 		if seg != nil {
 			in, fr = seg.FetchPtr(pc)
 		} else {
-			var v isa.Instr
-			v, fr = c.Text.FetchInstr(pc)
-			in = &v
+			c.fetchBuf, fr = c.Text.FetchInstr(pc)
+			in = &c.fetchBuf
 		}
 		if fr != FetchOK {
 			return fetchStop(fr, pc, steps), true
@@ -384,11 +410,13 @@ func (c *CPU) runSlow(budget uint64) RunResult {
 			c.PreStep(steps, pc)
 			pc = c.Regs[isa.RIP] // injection may have flipped RIP
 		}
-		in, fr := c.Text.FetchInstr(pc)
+		var fr FetchResult
+		c.fetchBuf, fr = c.Text.FetchInstr(pc)
 		if fr != FetchOK {
 			return fetchStop(fr, pc, steps)
 		}
-		retired, err := c.step(pc, &in, budget-steps)
+		retired, err := c.step(pc, &c.fetchBuf, budget-steps)
+		c.pend[perf.InstRetired] += retired
 		c.flushPMU()
 		steps += retired
 		if err != nil {
@@ -400,11 +428,14 @@ func (c *CPU) runSlow(budget uint64) RunResult {
 
 // retire charges one retired instruction with the given event profile. The
 // TSC and cycle counters advance inline (rdtsc reads the TSC mid-run); the
-// four PMU events accumulate in pending locals and flush at Run stop.
+// event counts accumulate in pending locals and flush at Run stop.
+// INST_RETIRED is not counted here at all: retire fires exactly once per
+// dynamically retired instruction, which is what RunResult.Steps already
+// totals, so the run loops charge pend[InstRetired] in bulk from Steps at
+// their flush points rather than paying a third increment per instruction.
 func (c *CPU) retire(branch, load, store bool) {
 	c.Cycles++
 	c.TSC++
-	c.pend[perf.InstRetired]++
 	if branch {
 		c.pend[perf.BranchRetired]++
 	}

@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"xentry/internal/isa"
 )
@@ -15,6 +16,12 @@ type Segment struct {
 	// Base is the segment's first virtual address.
 	Base   uint64
 	instrs []isa.Instr
+
+	// trans caches the segment's direct-threaded translation (threaded.go),
+	// built on first untraced Run and shared by every CPU executing this
+	// text. The cached value carries the translator version that produced
+	// it; threadedCode revalidates and retranslates on mismatch.
+	trans atomic.Pointer[translation]
 }
 
 // End returns the first address past the segment.

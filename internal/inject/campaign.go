@@ -47,6 +47,11 @@ type CampaignConfig struct {
 	// differential tests prove it); the switch exists for them and for
 	// perf triage.
 	SlowPath bool
+	// SwitchDispatch disables the direct-threaded translator on every
+	// simulated machine, running the fast interpreter through the
+	// semantics-table switch instead. Outcomes are bit-identical either
+	// way (the dual-dispatch differential tests prove it).
+	SwitchDispatch bool
 	// Detectors builds plugin detectors on every campaign machine,
 	// appended behind the built-in pipeline (see sim.Config.Detectors).
 	// Their verdicts tally under their registered techniques with no

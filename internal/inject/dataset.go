@@ -38,6 +38,9 @@ type DatasetConfig struct {
 	// SlowPath forces the seed-equivalent interpreter slow path; dataset
 	// bytes are bit-identical either way (the differential tests prove it).
 	SlowPath bool
+	// SwitchDispatch disables the direct-threaded translator; dataset
+	// bytes are bit-identical either way (the differential tests prove it).
+	SwitchDispatch bool
 	// LegacyDetection routes every machine through the seed's hard-coded
 	// detection switch; dataset bytes are bit-identical either way (the
 	// differential tests prove it).
@@ -90,6 +93,7 @@ func CollectDataset(cfg DatasetConfig) (ml.Dataset, error) {
 				Seed:            cfg.Seed + int64(bi)*1543 + int64(run)*389,
 				Detection:       core.FullDetection(),
 				SlowPath:        cfg.SlowPath,
+				SwitchDispatch:  cfg.SwitchDispatch,
 				LegacyDetection: cfg.LegacyDetection,
 			}
 			acts, err := sim.GoldenRun(simCfg, cfg.Activations)
@@ -112,6 +116,7 @@ func CollectDataset(cfg DatasetConfig) (ml.Dataset, error) {
 			Seed:            cfg.Seed + int64(bi)*1543,
 			Detection:       core.FullDetection(),
 			SlowPath:        cfg.SlowPath,
+			SwitchDispatch:  cfg.SwitchDispatch,
 			LegacyDetection: cfg.LegacyDetection,
 		}
 		runner, err := NewRunner(simCfg, cfg.Activations, nil)

@@ -1,0 +1,104 @@
+package inject
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Dual-dispatch differentials for the direct-threaded translator: whole
+// campaigns, recovery campaigns, and dataset collection must produce
+// bit-identical results whether the fast interpreter executes through the
+// threaded closure array or the devirtualized semantics-table switch
+// (sim.Config.SwitchDispatch). Together with the slow-path differentials
+// in fastpath_test.go this pins all three dispatchers to one semantics.
+
+// TestThreadedCampaignBitIdentical runs the same campaign with the
+// translator enabled (default) and disabled; every tally must match.
+func TestThreadedCampaignBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign differential")
+	}
+	run := func(mutate func(*CampaignConfig)) *CampaignResult {
+		cfg := diffCampaign()
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		res, err := RunCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Normalize()
+		return res
+	}
+	threaded := run(nil)
+	switched := run(func(c *CampaignConfig) { c.SwitchDispatch = true })
+	if !reflect.DeepEqual(threaded, switched) {
+		t.Fatalf("threaded and switch-dispatch campaigns diverge\nthreaded total: %+v\nswitch total: %+v",
+			threaded.Total, switched.Total)
+	}
+}
+
+// TestThreadedRecoveryBitIdentical repeats the differential with live
+// recovery enabled — the COW snapshot/restore cycle plus the TLB and
+// translation-cache invalidations it triggers.
+func TestThreadedRecoveryBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign differential")
+	}
+	cfg := diffCampaign()
+	cfg.Recover = true
+	cfg.InjectionsPerBenchmark = 25
+	threaded, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SwitchDispatch = true
+	switched, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threaded.Normalize()
+	switched.Normalize()
+	if !reflect.DeepEqual(threaded, switched) {
+		t.Fatalf("recovery campaigns diverge\nthreaded total: %+v\nswitch total: %+v",
+			threaded.Total, switched.Total)
+	}
+}
+
+// TestThreadedDatasetBitIdentical proves training-data collection emits
+// byte-identical samples under both fast-path dispatchers.
+func TestThreadedDatasetBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full dataset differential")
+	}
+	cfg := DatasetConfig{
+		Benchmarks:             diffCampaign().Benchmarks,
+		Mode:                   diffCampaign().Mode,
+		FaultFreeRuns:          2,
+		Activations:            80,
+		InjectionsPerBenchmark: 30,
+		Seed:                   7,
+		Workers:                2,
+	}
+	threaded, err := CollectDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SwitchDispatch = true
+	switched, err := CollectDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(threaded, switched) {
+		if len(threaded) != len(switched) {
+			t.Fatalf("dataset sizes diverge: threaded %d, switch %d", len(threaded), len(switched))
+		}
+		for i := range threaded {
+			if !reflect.DeepEqual(threaded[i], switched[i]) {
+				t.Fatalf("dataset sample %d diverges\nthreaded %+v\nswitch   %+v",
+					i, threaded[i], switched[i])
+			}
+		}
+		t.Fatal("datasets diverge")
+	}
+}

@@ -45,6 +45,7 @@ func (cfg CampaignConfig) BenchmarkSim(bi int) sim.Config {
 		Detection:       cfg.Detection,
 		Detectors:       cfg.Detectors,
 		SlowPath:        cfg.SlowPath,
+		SwitchDispatch:  cfg.SwitchDispatch,
 		LegacyDetection: cfg.LegacyDetection,
 	}
 }

@@ -164,6 +164,11 @@ const (
 	numOps
 )
 
+// NumOps is the number of defined opcodes. Dispatch tables indexed by Op
+// (the cpu package's semantics table, the threaded translator) size
+// themselves with it; any Op ≥ NumOps is an invalid opcode (#UD).
+const NumOps = numOps
+
 var opNames = [numOps]string{
 	OpNop: "nop", OpHlt: "hlt",
 	OpMovImm: "movi", OpMov: "mov",

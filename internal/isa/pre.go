@@ -1,0 +1,34 @@
+package isa
+
+// Pre is one pre-decoded instruction: every operand the execution of Op
+// consumes, extracted from the fixed encoding exactly once, at translation
+// time. The threaded translator (internal/cpu) compiles each linked
+// instruction into a closure over these fields, so the hot loop never
+// re-reads an Instr, re-extracts a register index, or re-derives its
+// fallthrough address per dynamic instruction.
+type Pre struct {
+	Op             Op
+	Dst, Src, Base Reg
+	// Imm is the raw signed immediate; UImm is the same bits reinterpreted
+	// unsigned — the form the ALU, displacement, and branch-target paths
+	// consume (uint64(Imm) conversions hoisted out of execution).
+	Imm  int64
+	UImm uint64
+	// PC is the instruction's linked virtual address; Next is its
+	// fallthrough address (PC + InstrBytes).
+	PC, Next uint64
+}
+
+// Predecode extracts an instruction's operands for its linked address pc.
+func Predecode(in Instr, pc uint64) Pre {
+	return Pre{
+		Op:   in.Op,
+		Dst:  in.Dst,
+		Src:  in.Src,
+		Base: in.Base,
+		Imm:  in.Imm,
+		UImm: uint64(in.Imm),
+		PC:   pc,
+		Next: pc + InstrBytes,
+	}
+}

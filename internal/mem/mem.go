@@ -184,7 +184,7 @@ func (r *Region) cowPage(p uint64) {
 
 // D-TLB geometry: the cache is direct-mapped and indexed by the access
 // address's page number (512-byte pages, matching the checkpoint page
-// size). Entries are *Region pointers verified with a containment check on
+// size). Entries carry a *Region verified with a containment check on
 // every hit, so an entry can never satisfy an access the binary search
 // would not — at worst a stale or conflicting entry costs one extra miss.
 const (
@@ -193,18 +193,48 @@ const (
 	tlbMask      = tlbSize - 1
 )
 
+// tlbEntry is one direct-mapped D-TLB slot. It caches two translation
+// levels:
+//
+//   - region, the classic entry: addr → containing *Region, verified by a
+//     containment check on every hit. Valid independently of the page
+//     fields below.
+//   - page/tag, the page fast path: a direct pointer to the backing page
+//     for the slot's 512-byte window, letting Load/Store skip the region
+//     deref, permission check, COW test, and double page indexing. An
+//     entry is installed only when every check it skips is statically
+//     satisfied: the region is PermRW, its Start is 512-byte aligned (so
+//     the window maps to exactly one full page), the page is full-size,
+//     and the page is private (not shared with any Checkpoint — writing a
+//     shared page in place would corrupt the checkpoint image). tag is
+//     the address's page number; page != nil && tag match is the hit
+//     condition, so a zeroed entry is invalid.
+//
+// The page pointer can only go stale when pages are repointed or become
+// shared: Checkpoint, RestoreCheckpoint, Restore, and Map all invalidate
+// the whole TLB; cowPage only ever repoints *shared* pages, which are
+// never cached; Region.Zero clears contents in place through the COW
+// path instead of repointing.
+type tlbEntry struct {
+	region *Region
+	page   *[pageWords]uint64
+	tag    uint64
+}
+
 // Memory is the machine's physical memory map.
 type Memory struct {
 	regions []*Region // sorted by Start
 
-	// tlb is the software D-TLB: a direct-mapped region cache that lets
-	// straight-line handler code (stack traffic in one slot, data traffic
-	// in others) skip the per-access binary search in locate. It is pure
-	// cache: hits are containment-verified, regions are never unmapped or
-	// moved, so a stale entry is a miss, never a wrong answer. It is
-	// nevertheless invalidated at every structural change point (Map,
-	// Restore, RestoreCheckpoint) to keep the invariant auditable.
-	tlb [tlbSize]*Region
+	// tlb is the software D-TLB: a direct-mapped translation cache that
+	// lets straight-line handler code (stack traffic in one slot, data
+	// traffic in others) skip the per-access binary search in locate and —
+	// via the per-slot page pointer — the per-access COW and permission
+	// checks. It is pure cache: hits are verified or pre-verified at
+	// install time, so a stale entry is a miss, never a wrong answer. It
+	// is nevertheless invalidated at every structural change point (Map,
+	// Restore, Checkpoint, RestoreCheckpoint) to keep the invariant
+	// auditable.
+	tlb [tlbSize]tlbEntry
 
 	// DisableTLB forces every access through the binary search — the
 	// pre-TLB slow path. The fast/slow differential tests flip it to prove
@@ -221,14 +251,14 @@ func New() *Memory { return &Memory{} }
 // restore invalidate internally; callers only need this when flipping
 // DisableTLB on a memory that has already served accesses.
 func (m *Memory) InvalidateTLB() {
-	m.tlb = [tlbSize]*Region{}
+	m.tlb = [tlbSize]tlbEntry{}
 }
 
 // lookup resolves addr to its region through the D-TLB, falling back to
 // (and refilling from) the binary search.
 func (m *Memory) lookup(addr uint64) *Region {
 	slot := (addr >> tlbByteShift) & tlbMask
-	if r := m.tlb[slot]; r != nil && !m.DisableTLB &&
+	if r := m.tlb[slot].region; r != nil && !m.DisableTLB &&
 		addr-r.Start < r.Size {
 		return r
 	}
@@ -242,9 +272,25 @@ func (m *Memory) lookupSlow(addr, slot uint64) *Region {
 	}
 	r := m.Find(addr)
 	if r != nil {
-		m.tlb[slot] = r
+		m.tlb[slot].region = r
 	}
 	return r
+}
+
+// installPage arms the page fast path for addr's TLB slot when every
+// check the fast path skips is statically satisfied; see tlbEntry. Called
+// from the Load/Store miss paths after the access has been fully
+// validated (and any COW copy performed), so the page is known private.
+func (m *Memory) installPage(e *tlbEntry, r *Region, addr uint64) {
+	if m.DisableTLB || r.Perm&PermRW != PermRW || r.Start%(pageWords*8) != 0 {
+		return
+	}
+	p := (addr - r.Start) / 8 >> pageShift
+	if r.shared[p] || len(r.pages[p]) != pageWords {
+		return
+	}
+	e.page = (*[pageWords]uint64)(r.pages[p])
+	e.tag = addr >> tlbByteShift
 }
 
 // Map adds a region. Regions may not overlap; size is rounded up to a
@@ -331,34 +377,85 @@ func (m *Memory) locate(addr uint64, access AccessKind, need Perm) (*Region, err
 // FaultNone on success, or the fault kind with no heap traffic. The cold
 // path rebuilds the full *Fault through Read64, which reproduces the same
 // classification bit for bit.
+// LoadHit is the page-TLB probe alone: it returns the word and true on a
+// page hit, false on any miss (including unaligned or unmapped addresses),
+// deciding nothing about why. It is small enough to inline into the CPU's
+// per-instruction closures; callers fall back to Load, which re-probes and
+// classifies. A hit is exactly Load's fast path: install-time checks
+// guarantee the page is private, full-size, and in a PermRW region.
+func (m *Memory) LoadHit(addr uint64) (uint64, bool) {
+	tag := addr >> tlbByteShift
+	e := &m.tlb[tag&tlbMask]
+	if addr%8 == 0 && e.tag == tag && e.page != nil {
+		return e.page[addr/8&pageMask], true
+	}
+	return 0, false
+}
+
+// StoreHit is LoadHit's write twin: true means the word was written.
+func (m *Memory) StoreHit(addr, val uint64) bool {
+	tag := addr >> tlbByteShift
+	e := &m.tlb[tag&tlbMask]
+	if addr%8 == 0 && e.tag == tag && e.page != nil {
+		e.page[addr/8&pageMask] = val
+		return true
+	}
+	return false
+}
+
 func (m *Memory) Load(addr uint64) (uint64, FaultKind) {
+	// The page-hit probe is the whole body so Load inlines into the CPU's
+	// per-instruction closures: a hit is a tag compare and a direct indexed
+	// read (install-time checks guarantee the page is private, full-size,
+	// and in a readable region). Everything else — region probe, binary
+	// search, permission and alignment faults — is the outlined loadSlow.
+	tag := addr >> tlbByteShift
+	e := &m.tlb[tag&tlbMask]
+	if addr%8 == 0 && e.tag == tag && e.page != nil {
+		return e.page[addr/8&pageMask], FaultNone
+	}
+	return m.loadSlow(e, addr)
+}
+
+// loadSlow is Load's page-miss path.
+func (m *Memory) loadSlow(e *tlbEntry, addr uint64) (uint64, FaultKind) {
 	if addr%8 != 0 {
 		return 0, FaultUnaligned
 	}
-	// The D-TLB probe is written out here (rather than calling lookup) so
-	// the per-instruction hit path costs one call, not three.
-	slot := (addr >> tlbByteShift) & tlbMask
-	r := m.tlb[slot]
+	r := e.region
 	if r == nil || addr-r.Start >= r.Size {
-		if r = m.lookupSlow(addr, slot); r == nil {
+		if r = m.lookupSlow(addr, (addr>>tlbByteShift)&tlbMask); r == nil {
 			return 0, FaultUnmapped
 		}
 	}
 	if r.Perm&PermRead == 0 {
 		return 0, FaultProtection
 	}
-	return r.word((addr - r.Start) / 8), FaultNone
+	v := r.word((addr - r.Start) / 8)
+	m.installPage(e, r, addr)
+	return v, FaultNone
 }
 
 // Store is the CPU core's allocation-free write, mirroring Load.
 func (m *Memory) Store(addr, val uint64) FaultKind {
+	tag := addr >> tlbByteShift
+	e := &m.tlb[tag&tlbMask]
+	if addr%8 == 0 && e.tag == tag && e.page != nil {
+		e.page[addr/8&pageMask] = val
+		return FaultNone
+	}
+	return m.storeSlow(e, addr, val)
+}
+
+// storeSlow is Store's page-miss path: the COW copy, if one is due,
+// happens here before the write and before the page fast path is armed.
+func (m *Memory) storeSlow(e *tlbEntry, addr, val uint64) FaultKind {
 	if addr%8 != 0 {
 		return FaultUnaligned
 	}
-	slot := (addr >> tlbByteShift) & tlbMask
-	r := m.tlb[slot]
+	r := e.region
 	if r == nil || addr-r.Start >= r.Size {
-		if r = m.lookupSlow(addr, slot); r == nil {
+		if r = m.lookupSlow(addr, (addr>>tlbByteShift)&tlbMask); r == nil {
 			return FaultUnmapped
 		}
 	}
@@ -371,6 +468,7 @@ func (m *Memory) Store(addr, val uint64) FaultKind {
 		r.cowPage(p)
 	}
 	r.pages[p][i&pageMask] = val
+	m.installPage(e, r, addr)
 	return FaultNone
 }
 
@@ -522,6 +620,10 @@ type Checkpoint struct {
 // Checkpoint captures the current contents. All live pages become shared:
 // subsequent writes through this Memory copy the touched page first.
 func (m *Memory) Checkpoint() *Checkpoint {
+	// Every page becomes shared, so any armed page fast paths (which are
+	// only ever installed over private pages) must be dropped: a write
+	// through a stale page pointer would mutate the checkpoint image.
+	m.InvalidateTLB()
 	cp := &Checkpoint{pages: make(map[string][][]uint64, len(m.regions))}
 	for _, r := range m.regions {
 		for i := range r.shared {
@@ -562,10 +664,14 @@ func (m *Memory) RestoreCheckpoint(cp *Checkpoint) error {
 	return nil
 }
 
-// Zero clears a region's contents.
+// Zero clears a region's contents. Pages are cleared in place through the
+// copy-on-write path (shared pages are privatized first), never repointed,
+// so cached page translations in any owning Memory's D-TLB stay valid.
 func (r *Region) Zero() {
-	r.pages = newPages(r.Size / 8)
-	for i := range r.shared {
-		r.shared[i] = false
+	for p := range r.pages {
+		pg := r.writablePage(uint64(p))
+		for i := range pg {
+			pg[i] = 0
+		}
 	}
 }

@@ -41,6 +41,12 @@ type Config struct {
 	// outcomes must be bit-identical either way; the differential tests
 	// enforce that by running whole campaigns with SlowPath set.
 	SlowPath bool
+	// SwitchDispatch disables the direct-threaded translator and runs the
+	// fast interpreter through the devirtualized semantics-table switch
+	// instead (cpu.CPU.DisableThreaded). Outcomes are bit-identical either
+	// way; the dual-dispatch differential tests run whole campaigns with
+	// this set to prove it.
+	SwitchDispatch bool
 	// LegacyDetection routes the sentry through the seed's hard-coded
 	// detection switch instead of the pipeline (see core.Sentry.
 	// ForceLegacy). Like SlowPath it exists for the differential tests
@@ -114,6 +120,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	h.CPU.ForceSlow = cfg.SlowPath
+	h.CPU.DisableThreaded = cfg.SwitchDispatch
 	h.Mem.DisableTLB = cfg.SlowPath
 	if cfg.SlowPath {
 		// Construction-time pokes warmed the TLB; purge so the forced

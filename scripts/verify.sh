@@ -21,4 +21,9 @@ go build ./...
 go vet ./...
 go test ./...
 go test -run '^$' -bench . -benchtime 1x ./...
+# Dual-dispatch differential fuzzing: a short deterministic-corpus run
+# plus a brief live-fuzz burst over the threaded-vs-switch harness, so
+# translator changes cannot land without surviving randomized programs.
+go test -run FuzzThreadedVsSwitch ./internal/cpu/
+go test -run '^$' -fuzz FuzzThreadedVsSwitch -fuzztime 15s ./internal/cpu/
 go test -race ./internal/cpu/ ./internal/inject/ ./internal/mem/ ./internal/sim/ ./internal/store/ ./internal/server/ ./internal/progress/
