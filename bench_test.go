@@ -18,6 +18,7 @@ import (
 	"xentry/internal/hv"
 	"xentry/internal/inject"
 	"xentry/internal/ml"
+	"xentry/internal/recovery"
 	"xentry/internal/sim"
 	"xentry/internal/stats"
 	"xentry/internal/workload"
@@ -395,18 +396,22 @@ func BenchmarkInjectionRun(b *testing.B) {
 // BenchmarkCampaignThroughput measures raw campaign engine throughput —
 // injections per second — with the checkpoint pool at several intervals K
 // and with checkpointing disabled (every run replays its fault-free prefix
-// from machine reset, the pre-checkpoint engine). The pool is built outside
-// the timer, as RunCampaign builds it eagerly before dispatching workers;
-// plans replay the same seed in activation order, matching the campaign
-// claim loop.
+// from machine reset, the pre-checkpoint engine). The K=1+recover variant
+// arms the microreboot recovery engine, so the cost of salvaging and
+// re-entering detected runs shows up next to the detection-only numbers.
+// The pool is built outside the timer, as RunCampaign builds it eagerly
+// before dispatching workers; plans replay the same seed in activation
+// order, matching the campaign claim loop.
 func BenchmarkCampaignThroughput(b *testing.B) {
 	for _, bc := range []struct {
-		name  string
-		every int
+		name    string
+		every   int
+		recover string
 	}{
-		{"K=1", 1},
-		{"K=16", 16},
-		{"K=off", -1},
+		{"K=1", 1, ""},
+		{"K=16", 16, ""},
+		{"K=off", -1, ""},
+		{"K=1+recover", 1, "microreboot"},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			runner, err := inject.NewRunner(sim.DefaultConfig("postmark", 3), 160, nil)
@@ -414,6 +419,13 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 				b.Fatal(err)
 			}
 			runner.CheckpointEvery = bc.every
+			if bc.recover != "" {
+				engine, err := recovery.EngineFor(bc.recover)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runner.Recovery = engine
+			}
 			if err := runner.EnsureCheckpoints(); err != nil {
 				b.Fatal(err)
 			}

@@ -25,6 +25,11 @@
 //   - BenchmarkCPURunHot/fast allocates: the interpreter fast path is
 //     required to stay at 0 allocs/op.
 //
+// Benchmarks or metrics present in only one report are informational:
+// the diff skips what it cannot pair up, so a report that grows new
+// benches (or new ReportMetric fields) gates cleanly against an older
+// baseline.
+//
 // A separate mode renders the performance trajectory:
 //
 //	benchgate -history BENCH_pr3.json,BENCH_pr4.json,...
@@ -163,12 +168,24 @@ func sharedBenches(old, cur *report) []string {
 // with their percentage change, e.g.
 //
 //	BenchmarkCampaignThroughput/K=1  inj/s 12074 -> 24000 (+98.8%)  allocs/op 105 -> 60 (-42.9%)
+//
+// Benchmarks without a headline metric recognized in both reports are
+// skipped, so reports that grow new benches or metrics diff cleanly
+// against older ones.
 func diffLine(name string, old, cur map[string][]float64) {
-	fmt.Printf("  %-36s", name)
-	unit := "inj/s"
-	if _, ok := cur[unit]; !ok {
-		unit = "ns/op"
+	unit := ""
+	for _, u := range []string{"inj/s", "ns/instr", "ns/op"} {
+		_, okOld := old[u]
+		_, okCur := cur[u]
+		if okOld && okCur {
+			unit = u
+			break
+		}
 	}
+	if unit == "" {
+		return
+	}
+	fmt.Printf("  %-36s", name)
 	for _, u := range []string{unit, "allocs/op"} {
 		ov, oOK := median(old[u])
 		cv, cOK := median(cur[u])

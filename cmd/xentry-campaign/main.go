@@ -8,7 +8,8 @@
 // Usage:
 //
 //	xentry-campaign [-injections N] [-activations N] [-seed S] [-checkpoint-every K]
-//	                [-prune on|off] [-detectors a,b] [-json] [-store DIR]
+//	                [-prune on|off] [-recover off|microreboot|restore|policy|study]
+//	                [-detectors a,b] [-json] [-store DIR]
 //	                [-server URL [-campaign ID]]
 //
 // -json emits the machine-readable campaign report (the same encoding the
@@ -16,7 +17,13 @@
 // the run durable: every outcome lands in an append-only WAL under DIR,
 // and re-running with the same flags resumes instead of restarting.
 // -server dispatches the campaign to a running xentry-serve coordinator
-// and streams its progress.
+// and streams its progress. -recover arms the live recovery engine
+// (internal/recovery): on detection the machine is microrebooted (or
+// restored, or routed through the policy table) and the attempt is
+// classified against the golden reference; the report then carries the
+// recovery-rate × detection-latency table. -recover=study instead runs
+// the paired Section VI restore-and-reexecute study after the campaign
+// (local-only).
 package main
 
 import (
@@ -44,7 +51,10 @@ func main() {
 	injections := flag.Int("injections", 900, "injections per benchmark")
 	activations := flag.Int("activations", 160, "hypervisor activations per run")
 	seed := flag.Int64("seed", 20140901, "deterministic seed")
-	recover := flag.Bool("recover", false, "also run the live-recovery study (Section VI implemented)")
+	recover := flag.String("recover", "off",
+		"recovery on detection: off, microreboot, restore, or policy arms the "+
+			"recovery engine; study runs the paired Section VI restore-and-reexecute "+
+			"study after the campaign (local-only)")
 	checkpointEvery := flag.Int("checkpoint-every", 0,
 		"golden-checkpoint interval K (0 = default, negative disables checkpointing)")
 	prune := flag.String("prune", "on",
@@ -72,6 +82,16 @@ func main() {
 	default:
 		log.Fatalf("-prune must be on or off, got %q", *prune)
 	}
+	recoverStudy := false
+	switch *recover {
+	case "", "off", "none":
+	case "microreboot", "restore", "policy":
+		sc.Recovery = *recover
+	case "study":
+		recoverStudy = true
+	default:
+		log.Fatalf("-recover must be off, microreboot, restore, policy, or study, got %q", *recover)
+	}
 	if *detectors != "" {
 		for _, name := range strings.Split(*detectors, ",") {
 			name = strings.TrimSpace(name)
@@ -98,7 +118,7 @@ func main() {
 	// Profiles must land even when the run fails, so the dispatch below
 	// funnels through one exit point instead of log.Fatal-ing mid-flight.
 	runErr := dispatch(serverURL, campaignID, storeDir, sc,
-		*checkpointEvery, *jsonOut, *recover)
+		*checkpointEvery, *jsonOut, recoverStudy)
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -124,7 +144,7 @@ func dispatch(serverURL, campaignID, storeDir *string, sc experiments.Scale,
 
 	if *serverURL != "" {
 		if recoverStudy {
-			return fmt.Errorf("-recover is local-only; run it without -server")
+			return fmt.Errorf("-recover=study is local-only; run it without -server")
 		}
 		if *storeDir != "" {
 			return fmt.Errorf("-store is local-only; the server keeps its own store per campaign")
@@ -215,6 +235,7 @@ func runRemote(base, id string, sc experiments.Scale, checkpointEvery int, jsonO
 		CheckpointEvery:        checkpointEvery,
 		TrainInjections:        sc.TrainInjections,
 		Detectors:              sc.Detectors,
+		Recovery:               sc.Recovery,
 	}
 	if sc.DisablePrune {
 		spec.Prune = "off"

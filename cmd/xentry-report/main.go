@@ -1,6 +1,7 @@
 // Command xentry-report regenerates every table and figure of the paper's
 // evaluation in one run: Fig. 3, the Section III-B classifier study with
-// the Fig. 6 tree, Fig. 7, Figs. 8–10, Table II, and Fig. 11.
+// the Fig. 6 tree, Fig. 7, Figs. 8–10, Table II, the microreboot recovery
+// classification table, and Fig. 11.
 //
 // Usage:
 //
@@ -74,6 +75,13 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(study.Render())
+
+	log.Print("recovery engine: microreboot outcome classification...")
+	rec, err := experiments.RecoveryClassification(sc, train.Best())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.RenderRecovery(rec))
 
 	log.Print("model sweeps (features / depth / training size / naive Bayes)...")
 	sw, err := experiments.Sweeps(sc)

@@ -68,6 +68,12 @@ type Scale struct {
 	// Aggregates are bit-identical either way apart from the provenance
 	// counters; only wall-clock changes.
 	DisablePrune bool
+
+	// Recovery names the recovery-engine strategy armed on every campaign
+	// machine (xentry-campaign -recover): ""/"off"/"none" = no engine,
+	// "microreboot", "restore", or "policy". Unknown names fail
+	// CampaignConfigFor.
+	Recovery string
 }
 
 // DefaultScale is a faithful reduction of the paper's sizes that completes
@@ -405,6 +411,7 @@ func CampaignConfigFor(sc Scale, model *ml.Tree, checkpointEvery int) (inject.Ca
 		CheckpointEvery:        checkpointEvery,
 		Detectors:              detectors,
 		DisablePrune:           sc.DisablePrune,
+		Recovery:               sc.Recovery,
 	}, nil
 }
 

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xentry/internal/core"
+	"xentry/internal/inject"
+	"xentry/internal/ml"
+	"xentry/internal/recovery"
+	"xentry/internal/stats"
+)
+
+// This file reports on the live recovery engine (internal/recovery,
+// DESIGN.md §12): the microreboot campaign of RecoveryClassification, the
+// RecoveryReport block of the campaign report, and the figure that renders
+// the per-technique recovery-rate × detection-latency table next to
+// Figs. 8–10. The Section VI restore-and-reexecute study lives in
+// recoverystudy.go; Fig. 11's cost model in experiments.go.
+
+// RecoveryReport is the machine-readable recovery block of a campaign
+// report. It is nil (and absent from the JSON) when the campaign never
+// attempted a recovery, so engine-off reports are byte-identical to
+// pre-engine ones.
+type RecoveryReport struct {
+	Attempts int `json:"attempts"`
+	// SuccessRate is full recoveries over attempts.
+	SuccessRate float64 `json:"success_rate"`
+	// ByStrategy/ByClass split the attempts, keyed by name.
+	ByStrategy map[string]int `json:"by_strategy"`
+	ByClass    map[string]int `json:"by_class"`
+	// PerTechnique is the recovery-rate × detection-latency table: one row
+	// per triggering detection technique.
+	PerTechnique []RecoveryTechRow `json:"per_technique"`
+}
+
+// RecoveryTechRow is one technique's row of the recovery table.
+type RecoveryTechRow struct {
+	Technique string `json:"technique"`
+	Attempts  int    `json:"attempts"`
+	// ByClass splits this technique's attempts by outcome class.
+	ByClass map[string]int `json:"by_class"`
+	// SuccessRate is full recoveries over attempts for this technique.
+	SuccessRate float64 `json:"success_rate"`
+	// MeanLatency/MedianLatency summarize the triggering detections'
+	// latencies (instructions from activation to detection).
+	MeanLatency   float64 `json:"mean_latency"`
+	MedianLatency float64 `json:"median_latency"`
+}
+
+// NewRecoveryReport builds the report block from folded recovery stats.
+// Returns nil when no recovery was attempted.
+func NewRecoveryReport(rs inject.RecoveryStats) *RecoveryReport {
+	if rs.Attempts == 0 {
+		return nil
+	}
+	rep := &RecoveryReport{
+		Attempts:    rs.Attempts,
+		SuccessRate: rs.SuccessRate(),
+		ByStrategy:  map[string]int{},
+		ByClass:     map[string]int{},
+	}
+	for s, n := range rs.ByStrategy {
+		rep.ByStrategy[s.String()] = n
+	}
+	for c, n := range rs.ByClass {
+		rep.ByClass[c.String()] = n
+	}
+	techs := make([]core.Technique, 0, len(rs.ByTechnique))
+	for tech := range rs.ByTechnique {
+		techs = append(techs, tech)
+	}
+	sort.Slice(techs, func(i, j int) bool { return techs[i] < techs[j] })
+	for _, tech := range techs {
+		ts := rs.ByTechnique[tech]
+		row := RecoveryTechRow{
+			Technique: tech.String(),
+			Attempts:  ts.Attempts,
+			ByClass:   map[string]int{},
+		}
+		for c, n := range ts.ByClass {
+			row.ByClass[c.String()] = n
+		}
+		if ts.Attempts > 0 {
+			row.SuccessRate = float64(ts.ByClass[recovery.ClassFull]) / float64(ts.Attempts)
+		}
+		if n := len(ts.Latencies); n > 0 {
+			var sum float64
+			for _, l := range ts.Latencies {
+				sum += float64(l)
+			}
+			row.MeanLatency = sum / float64(n)
+			// Latencies are sorted by Tally.Normalize.
+			row.MedianLatency = float64(ts.Latencies[n/2])
+		}
+		rep.PerTechnique = append(rep.PerTechnique, row)
+	}
+	return rep
+}
+
+// RenderRecovery formats the recovery figure: the outcome-class split and
+// the per-technique recovery-rate × detection-latency table. Empty string
+// when the campaign never attempted a recovery.
+func RenderRecovery(res *inject.CampaignResult) string {
+	rep := NewRecoveryReport(res.Total.Recovery)
+	if rep == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("Recovery — microreboot outcome classification (ReHype-style)\n")
+	classes := recovery.Classes()
+	hdr := []string{"technique", "attempts"}
+	for _, c := range classes {
+		hdr = append(hdr, c.String())
+	}
+	hdr = append(hdr, "recovery rate", "mean latency", "median latency")
+	t := stats.NewTable(hdr...)
+	rs := res.Total.Recovery
+	for _, row := range rep.PerTechnique {
+		cells := []string{row.Technique, fmt.Sprintf("%d", row.Attempts)}
+		for _, c := range classes {
+			cells = append(cells, fmt.Sprintf("%d", row.ByClass[c.String()]))
+		}
+		cells = append(cells, stats.Pct(row.SuccessRate),
+			fmt.Sprintf("%.0f", row.MeanLatency),
+			fmt.Sprintf("%.0f", row.MedianLatency))
+		t.AddRow(cells...)
+	}
+	totals := []string{"ALL", fmt.Sprintf("%d", rs.Attempts)}
+	for _, c := range classes {
+		totals = append(totals, fmt.Sprintf("%d", rs.ByClass[c]))
+	}
+	totals = append(totals, stats.Pct(rs.SuccessRate()), "-", "-")
+	t.AddRow(totals...)
+	b.WriteString(t.String())
+	strategies := make([]string, 0, len(rep.ByStrategy))
+	for s := range rep.ByStrategy {
+		strategies = append(strategies, s)
+	}
+	sort.Strings(strategies)
+	for i, s := range strategies {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "strategy %s: %d attempts", s, rep.ByStrategy[s])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// RecoveryClassification runs the microreboot classification campaign: the
+// standard campaign configuration with the recovery engine armed, every
+// detection answered with a ReHype-style microreboot, and each attempt
+// classified against the golden reference. The config comes from
+// CampaignConfigFor, so the injected plans are exactly the ones the
+// detection figures report on.
+func RecoveryClassification(sc Scale, model *ml.Tree) (*inject.CampaignResult, error) {
+	sc.Recovery = "microreboot"
+	cfg, err := CampaignConfigFor(sc, model, 0)
+	if err != nil {
+		return nil, err
+	}
+	return inject.RunCampaign(cfg)
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"xentry/internal/core"
+	"xentry/internal/inject"
+	"xentry/internal/recovery"
+	"xentry/internal/workload"
+)
+
+// reportCampaign is the small campaign the report tests fold: big enough
+// that a microreboot run attempts recoveries on every benchmark, small
+// enough to stay in test-suite time.
+func reportCampaign() inject.CampaignConfig {
+	return inject.CampaignConfig{
+		Benchmarks:             workload.Names(),
+		Mode:                   workload.PV,
+		InjectionsPerBenchmark: 60,
+		Activations:            80,
+		Seed:                   7,
+		Workers:                2,
+		Detection:              core.FullDetection(),
+	}
+}
+
+// TestRecoveryReportNilWhenOff: an engine-off campaign report carries no
+// recovery block — nil struct, absent JSON key, empty figure — so
+// pre-engine report encodings survive byte-identical.
+func TestRecoveryReportNilWhenOff(t *testing.T) {
+	res, err := inject.RunCampaign(reportCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := NewRecoveryReport(res.Total.Recovery); rep != nil {
+		t.Errorf("NewRecoveryReport = %+v, want nil for engine-off campaign", rep)
+	}
+	if s := RenderRecovery(res); s != "" {
+		t.Errorf("RenderRecovery = %q, want empty for engine-off campaign", s)
+	}
+	camp := NewCampaignReport(res, workload.Names())
+	data, err := camp.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"recovery"`) {
+		t.Error("engine-off campaign report JSON contains a recovery key")
+	}
+}
+
+// TestRecoveryReportPopulated: a microreboot campaign's report block and
+// rendered figure carry the outcome-class split and the per-technique
+// recovery-rate table, consistent with the folded aggregates.
+func TestRecoveryReportPopulated(t *testing.T) {
+	cfg := reportCampaign()
+	cfg.Recovery = "microreboot"
+	res, err := inject.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := res.Total.Recovery
+	rep := NewRecoveryReport(rs)
+	if rep == nil {
+		t.Fatal("microreboot campaign produced a nil recovery report")
+	}
+	if rep.Attempts != rs.Attempts || rep.Attempts == 0 {
+		t.Errorf("report attempts = %d, stats attempts = %d", rep.Attempts, rs.Attempts)
+	}
+	if rep.ByStrategy["microreboot"] != rs.Attempts {
+		t.Errorf("by_strategy[microreboot] = %d, want %d", rep.ByStrategy["microreboot"], rs.Attempts)
+	}
+	var classed, techAttempts int
+	for _, c := range recovery.Classes() {
+		classed += rep.ByClass[c.String()]
+	}
+	if classed != rep.Attempts {
+		t.Errorf("class counts sum to %d, want %d", classed, rep.Attempts)
+	}
+	for _, row := range rep.PerTechnique {
+		techAttempts += row.Attempts
+		if row.Attempts > 0 && row.MeanLatency <= 0 {
+			t.Errorf("technique %s: %d attempts but mean latency %g", row.Technique, row.Attempts, row.MeanLatency)
+		}
+	}
+	if techAttempts != rep.Attempts {
+		t.Errorf("per-technique attempts sum to %d, want %d", techAttempts, rep.Attempts)
+	}
+
+	fig := RenderRecovery(res)
+	if !strings.Contains(fig, "microreboot outcome classification") {
+		t.Errorf("figure lacks its header:\n%s", fig)
+	}
+	if !strings.Contains(fig, "ALL") {
+		t.Errorf("figure lacks the ALL totals row:\n%s", fig)
+	}
+	if !strings.Contains(RenderCampaign(res), "microreboot outcome classification") {
+		t.Error("RenderCampaign does not append the recovery figure")
+	}
+	t.Logf("recovery figure:\n%s", fig)
+}

@@ -75,6 +75,10 @@ type CampaignReport struct {
 	// full. Provenance only — every outcome statistic above is
 	// bit-identical with pruning on or off.
 	Pruned inject.PruneStats `json:"pruned"`
+	// Recovery summarizes the recovery engine's attempts. Nil (absent from
+	// the JSON) when the campaign never attempted one, so engine-off
+	// reports keep their exact pre-engine encoding.
+	Recovery *RecoveryReport `json:"recovery,omitempty"`
 	// TechniqueShares is the campaign-wide share of manifested faults each
 	// technique caught, keyed by technique name.
 	TechniqueShares map[string]float64 `json:"technique_shares"`
@@ -119,6 +123,7 @@ func NewCampaignReport(res *inject.CampaignResult, benchmarks []string) *Campaig
 		Manifested:      tot.Manifested,
 		Coverage:        tot.Coverage(),
 		Pruned:          tot.Prune,
+		Recovery:        NewRecoveryReport(tot.Recovery),
 		TechniqueShares: map[string]float64{},
 		LatencyCDF:      map[string][]CDFPoint{},
 		Result:          res,
@@ -189,6 +194,10 @@ func RenderCampaign(res *inject.CampaignResult) string {
 	b.WriteString(RenderFig10(res))
 	b.WriteString("\n\n")
 	b.WriteString(RenderTableII(res))
+	if rec := RenderRecovery(res); rec != "" {
+		b.WriteString("\n\n")
+		b.WriteString(rec)
+	}
 	return b.String()
 }
 

@@ -32,6 +32,10 @@ type CampaignConfig struct {
 	Model *ml.Tree
 	// Recover enables live recovery (paper Section VI) on every run.
 	Recover bool
+	// Recovery names the recovery-engine strategy armed on every run
+	// ("" or "off" = engine off; "microreboot", "restore", "policy" — see
+	// recovery.EngineFor). Mutually exclusive with Recover.
+	Recovery string
 	// CheckpointEvery is the golden-checkpoint interval K per runner
 	// (0 = DefaultCheckpointEvery, negative disables checkpointing). The
 	// interval is pure mechanism: Tally aggregates are bit-identical for
@@ -127,6 +131,10 @@ type Tally struct {
 	// convergence early-exit). Mechanism, not outcome: the only field
 	// allowed to differ between a pruned and an unpruned campaign.
 	Prune PruneStats
+	// Recovery aggregates recovery-engine attempts (strategy, outcome
+	// class, per-technique class × latency). Empty unless the campaign ran
+	// with a recovery strategy armed.
+	Recovery RecoveryStats
 }
 
 // NewTally returns an empty tally.
@@ -159,6 +167,7 @@ func (t *Tally) Add(o Outcome) {
 	t.ensureMaps()
 	t.Injections++
 	t.Prune.count(o.Pruned)
+	t.Recovery.count(o)
 	if o.Hang {
 		t.Hangs++
 	}
@@ -225,6 +234,7 @@ func (t *Tally) Merge(other *Tally) {
 	t.Recovered += other.Recovered
 	t.RecoveredClean += other.RecoveredClean
 	t.Prune.add(other.Prune)
+	t.Recovery.add(other.Recovery)
 	for k, v := range other.DetectedBy {
 		t.DetectedBy[k] += v
 	}
@@ -266,6 +276,7 @@ func (t *Tally) Clone() *Tally {
 	for k, v := range t.Latencies {
 		c.Latencies[k] = append([]uint64(nil), v...)
 	}
+	c.Recovery = t.Recovery.clone()
 	return &c
 }
 
@@ -279,6 +290,7 @@ func (t *Tally) Normalize() {
 	for _, latencies := range t.Latencies {
 		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	}
+	t.Recovery.normalize()
 }
 
 // Coverage is detected/manifested — the paper's headline metric. It is 0

@@ -20,6 +20,7 @@ import (
 	"xentry/internal/isa"
 	"xentry/internal/mem"
 	"xentry/internal/ml"
+	"xentry/internal/recovery"
 	"xentry/internal/sim"
 )
 
@@ -134,6 +135,10 @@ type Outcome struct {
 	// dead-value pre-pruned, or convergence early-exit). Provenance only:
 	// every other field is bit-identical with pruning on or off.
 	Pruned PruneKind
+	// Recovery is the recovery engine's record when it fired during this
+	// run (zero value otherwise, which is also what WAL records written
+	// before the engine existed decode to).
+	Recovery recovery.Outcome
 }
 
 // DefaultCheckpointEvery is the default golden-checkpoint interval K: a
@@ -152,6 +157,16 @@ type Runner struct {
 	// injected machines: snapshot at VM exit, restore and re-execute on
 	// positive detection.
 	Recover bool
+	// Recovery arms the ReHype-style recovery engine on the injected
+	// machines instead (see internal/recovery). The engine is armed only
+	// for the injected run itself — reference replays, golden runs and
+	// prefix replays stay fault-free and engine-free — and at most one
+	// recovery is attempted per run. Mutually exclusive with Recover.
+	// Arming the engine disables pruning: a microreboot rebuilds
+	// hypervisor private state, which the fingerprint fold cannot see
+	// past, and dead-flip synthesis is unsound when a model false
+	// positive can trigger a state-changing reboot.
+	Recovery *recovery.Engine
 	// CheckpointEvery is the checkpoint interval K: during a reference
 	// replay, a full-machine checkpoint is recorded every K activations
 	// into a shared read-only pool, and each injection run restores the
@@ -459,8 +474,16 @@ func (w *Worker) RunOne(plan Plan) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
+	// Arm the recovery engine for the injected run only (machineAt's
+	// prefix replay above ran engine-free, matching the reference replay
+	// that built the checkpoint pool). The engine disarms after its first
+	// attempt: one recovery per run.
+	m.Recovery = r.Recovery
 	c := m.HV.CPU
-	defer func() { c.PreStep = nil }()
+	defer func() {
+		c.PreStep = nil
+		m.Recovery = nil
+	}()
 
 	o := Outcome{Plan: plan, DetectedAt: -1}
 	var (
@@ -520,9 +543,15 @@ func (w *Worker) RunOne(plan Plan) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, fmt.Errorf("inject: injected activation: %w", err)
 	}
+	if act.Recovery.Attempted {
+		m.Recovery = nil
+		o.Recovery = act.Recovery
+	}
 	res := act.Outcome.Result
 
-	// Host-mode failure before VM entry: a short-latency error.
+	// Host-mode failure before VM entry: a short-latency error. When the
+	// recovery engine fired, reaching here means the re-execution itself
+	// died under the watchdog — recovery failed outright.
 	if res.Stop != cpu.StopVMEntry {
 		o.Hang = act.Outcome.Hang
 		o.foldVerdict(plan.Activation, &act, sub(res.Steps, activatedStep))
@@ -530,6 +559,9 @@ func (w *Worker) RunOne(plan Plan) (Outcome, error) {
 		o.DiffKind = guest.DiffNone
 		o.Manifested = true
 		o.Cause = r.undetectedCause(&o, haveConsumer, consumerOp)
+		if o.Recovery.Attempted {
+			o.Recovery.Class = recovery.Classify(false, guest.AllVMFailure)
+		}
 		return o, nil
 	}
 
@@ -590,6 +622,12 @@ func (w *Worker) RunOne(plan Plan) (Outcome, error) {
 				return Outcome{}, fmt.Errorf("inject: suffix replay: %w", err)
 			}
 			o.foldVerdict(i, &act2, runningLatency+act2.Outcome.Result.Steps)
+			if act2.Recovery.Attempted {
+				// Late detection from corrupted hypervisor state fired the
+				// engine during the suffix.
+				m.Recovery = nil
+				o.Recovery = act2.Recovery
+			}
 			if act2.Outcome.Result.Stop != cpu.StopVMEntry {
 				truncated = true
 				break
@@ -624,6 +662,9 @@ func (w *Worker) RunOne(plan Plan) (Outcome, error) {
 	o.Manifested = worst != guest.Benign
 	o.LongLatency = o.Manifested
 	o.Cause = r.undetectedCause(&o, haveConsumer, consumerOp)
+	if o.Recovery.Attempted {
+		o.Recovery.Class = recovery.Classify(!truncated, worst)
+	}
 	return o, nil
 }
 

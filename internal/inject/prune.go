@@ -160,9 +160,13 @@ func (r *Runner) foldRefSuffix(o *Outcome, from int, runningLatency uint64) {
 // pruneEnabled reports whether both pruning mechanisms are live. Plugin
 // detectors force it off: the soundness argument (fingerprint equality ⇒
 // identical remaining stream) covers architectural state only, and the
-// built-in detectors hold none beyond it, but a plugin may.
+// built-in detectors hold none beyond it, but a plugin may. The recovery
+// engine forces it off too: a microreboot discards hypervisor private
+// state mid-run, so a post-reboot machine can never re-coincide with the
+// reference fingerprints, and dead-flip synthesis is unsound when a model
+// false positive can trigger a state-changing reboot.
 func (r *Runner) pruneEnabled() bool {
-	return !r.DisablePrune && len(r.Cfg.Detectors) == 0
+	return !r.DisablePrune && len(r.Cfg.Detectors) == 0 && r.Recovery == nil
 }
 
 // prunePlan classifies an injection without executing it when the golden

@@ -1,0 +1,154 @@
+package inject
+
+import (
+	"sort"
+
+	"xentry/internal/core"
+	"xentry/internal/recovery"
+)
+
+// RecoveryTechStats aggregates the recovery engine's attempts triggered by
+// one detection technique: the per-class outcome split plus the detection
+// latencies of the triggering detections, which together give the
+// recovery-success-rate × detection-latency axis of the campaign report.
+type RecoveryTechStats struct {
+	Attempts int
+	ByClass  map[recovery.Class]int
+	// Latencies are the triggering detections' latencies (instructions
+	// from fault activation to detection), one per attempt.
+	Latencies []uint64
+}
+
+// RecoveryStats aggregates recovery-engine attempts in a Tally. Like
+// PruneStats the counters ride the same Add/Merge/Normalize spine as every
+// other tally field, so they survive WAL replay, shard merges, and
+// kill/resume bit-identically.
+type RecoveryStats struct {
+	// Attempts counts runs on which the engine fired.
+	Attempts int
+	// ByStrategy splits attempts by the strategy the policy selected.
+	ByStrategy map[recovery.Strategy]int
+	// ByClass splits attempts by final outcome class.
+	ByClass map[recovery.Class]int
+	// ByTechnique splits attempts by the triggering detection technique.
+	ByTechnique map[core.Technique]*RecoveryTechStats
+}
+
+// ensureMaps initialises the map fields so count and add work on a
+// zero-value RecoveryStats (e.g. one decoded from a store snapshot).
+func (s *RecoveryStats) ensureMaps() {
+	if s.ByStrategy == nil {
+		s.ByStrategy = map[recovery.Strategy]int{}
+	}
+	if s.ByClass == nil {
+		s.ByClass = map[recovery.Class]int{}
+	}
+	if s.ByTechnique == nil {
+		s.ByTechnique = map[core.Technique]*RecoveryTechStats{}
+	}
+}
+
+// count folds one outcome's recovery record into the stats. Outcomes
+// without an attempt (including every record written before the engine
+// existed) contribute nothing.
+func (s *RecoveryStats) count(o Outcome) {
+	rec := o.Recovery
+	if !rec.Attempted {
+		return
+	}
+	s.ensureMaps()
+	s.Attempts++
+	s.ByStrategy[rec.Strategy]++
+	s.ByClass[rec.Class]++
+	ts := s.ByTechnique[rec.Technique]
+	if ts == nil {
+		ts = &RecoveryTechStats{}
+		s.ByTechnique[rec.Technique] = ts
+	}
+	ts.Attempts++
+	if ts.ByClass == nil {
+		ts.ByClass = map[recovery.Class]int{}
+	}
+	ts.ByClass[rec.Class]++
+	ts.Latencies = append(ts.Latencies, o.Latency)
+}
+
+// add folds another stats block in (shard merges, WAL snapshots). Merging
+// a zero value is a no-op.
+func (s *RecoveryStats) add(q RecoveryStats) {
+	if q.Attempts == 0 {
+		return
+	}
+	s.ensureMaps()
+	s.Attempts += q.Attempts
+	for k, v := range q.ByStrategy {
+		s.ByStrategy[k] += v
+	}
+	for k, v := range q.ByClass {
+		s.ByClass[k] += v
+	}
+	for k, v := range q.ByTechnique {
+		ts := s.ByTechnique[k]
+		if ts == nil {
+			ts = &RecoveryTechStats{}
+			s.ByTechnique[k] = ts
+		}
+		ts.Attempts += v.Attempts
+		if len(v.ByClass) > 0 && ts.ByClass == nil {
+			ts.ByClass = map[recovery.Class]int{}
+		}
+		for c, n := range v.ByClass {
+			ts.ByClass[c] += n
+		}
+		ts.Latencies = append(ts.Latencies, v.Latencies...)
+	}
+}
+
+// clone deep-copies the stats so mutating the copy never touches the
+// original's maps or latency slices.
+func (s RecoveryStats) clone() RecoveryStats {
+	c := s
+	if s.ByStrategy != nil {
+		c.ByStrategy = make(map[recovery.Strategy]int, len(s.ByStrategy))
+		for k, v := range s.ByStrategy {
+			c.ByStrategy[k] = v
+		}
+	}
+	if s.ByClass != nil {
+		c.ByClass = make(map[recovery.Class]int, len(s.ByClass))
+		for k, v := range s.ByClass {
+			c.ByClass[k] = v
+		}
+	}
+	if s.ByTechnique != nil {
+		c.ByTechnique = make(map[core.Technique]*RecoveryTechStats, len(s.ByTechnique))
+		for k, v := range s.ByTechnique {
+			ts := RecoveryTechStats{Attempts: v.Attempts}
+			if v.ByClass != nil {
+				ts.ByClass = make(map[recovery.Class]int, len(v.ByClass))
+				for ck, cv := range v.ByClass {
+					ts.ByClass[ck] = cv
+				}
+			}
+			ts.Latencies = append([]uint64(nil), v.Latencies...)
+			c.ByTechnique[k] = &ts
+		}
+	}
+	return c
+}
+
+// normalize sorts the per-technique latency lists into canonical form (see
+// Tally.Normalize).
+func (s *RecoveryStats) normalize() {
+	for _, ts := range s.ByTechnique {
+		sort.Slice(ts.Latencies, func(i, j int) bool { return ts.Latencies[i] < ts.Latencies[j] })
+	}
+}
+
+// SuccessRate is full recoveries over attempts (0 for no attempts).
+func (s *RecoveryStats) SuccessRate() float64 {
+	if s.Attempts == 0 {
+		return 0
+	}
+	return float64(s.ByClass[recovery.ClassFull]) / float64(s.Attempts)
+}

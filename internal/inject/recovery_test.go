@@ -1,0 +1,172 @@
+package inject
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"xentry/internal/recovery"
+	"xentry/internal/workload"
+)
+
+// recoveryCampaign is the microreboot-armed variant of the differential
+// campaign (pruning auto-disables when the engine is armed).
+func recoveryCampaign() CampaignConfig {
+	cfg := diffCampaign()
+	cfg.Recovery = "microreboot"
+	return cfg
+}
+
+// TestRecoveryOffBitIdentity proves arming no engine changes nothing: a
+// campaign with Recovery "off" (and "none") is bit-identical to one that
+// never heard of the field.
+func TestRecoveryOffBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign differential")
+	}
+	base, err := RunCampaign(diffCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Normalize()
+	for _, name := range []string{"off", "none"} {
+		cfg := diffCampaign()
+		cfg.Recovery = name
+		got, err := RunCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Normalize()
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("Recovery=%q diverged from the plain campaign", name)
+		}
+	}
+}
+
+// TestMicrorebootCampaignDeterministic is the determinism obligation:
+// same seed + same plans ⇒ identical RecoveryOutcome aggregates, under the
+// concurrent worker pool (the -race verify pass runs this too).
+func TestMicrorebootCampaignDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign differential")
+	}
+	a, err := RunCampaign(recoveryCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCampaign(recoveryCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Normalize()
+	b.Normalize()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("microreboot campaign not deterministic across runs")
+	}
+}
+
+// TestRunOneMicrorebootDeterministic checks per-run determinism at the
+// Outcome level, including the recovery record, without pool concurrency.
+func TestRunOneMicrorebootDeterministic(t *testing.T) {
+	cfg := recoveryCampaign()
+	br, err := PrepareBenchmark(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := br.Runner.NewWorker()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 12; i++ {
+		plan := br.Runner.RandomPlan(rng)
+		a, err := w.RunOne(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := w.RunOne(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("plan %v: outcomes differ:\n%+v\n%+v", plan, a, b)
+		}
+	}
+}
+
+// TestMicrorebootClassMix is the acceptance criterion: a microreboot
+// campaign attempts recoveries and the outcome taxonomy is populated at
+// both ends — some runs recover fully, some fail outright — with the
+// class counts partitioning the attempts.
+func TestMicrorebootClassMix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	// Salvage-validation aborts (the failed class) run at a few percent of
+	// attempts, so the mix assertion needs a larger sample than the
+	// differential campaigns use.
+	cfg := recoveryCampaign()
+	cfg.InjectionsPerBenchmark = 200
+	res, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := res.Total.Recovery
+	if rs.Attempts == 0 {
+		t.Fatal("microreboot campaign attempted no recoveries")
+	}
+	if rs.ByClass[recovery.ClassFull] == 0 {
+		t.Errorf("no full recoveries across %d attempts", rs.Attempts)
+	}
+	if rs.ByClass[recovery.ClassFailed] == 0 {
+		t.Errorf("no failed recoveries across %d attempts", rs.Attempts)
+	}
+	classSum := 0
+	for _, n := range rs.ByClass {
+		classSum += n
+	}
+	if classSum != rs.Attempts {
+		t.Errorf("class counts sum to %d, want %d attempts", classSum, rs.Attempts)
+	}
+	if rs.ByStrategy[recovery.StrategyMicroreboot] != rs.Attempts {
+		t.Errorf("strategy split %v does not attribute all %d attempts to microreboot",
+			rs.ByStrategy, rs.Attempts)
+	}
+	techSum := 0
+	for _, ts := range rs.ByTechnique {
+		techSum += ts.Attempts
+		if len(ts.Latencies) != ts.Attempts {
+			t.Errorf("technique stats carry %d latencies for %d attempts",
+				len(ts.Latencies), ts.Attempts)
+		}
+	}
+	if techSum != rs.Attempts {
+		t.Errorf("technique counts sum to %d, want %d attempts", techSum, rs.Attempts)
+	}
+	// The engine disables pruning wholesale.
+	if p := res.Total.Prune; p.Dead != 0 || p.Converged != 0 {
+		t.Errorf("pruning fired under the recovery engine: %+v", p)
+	}
+}
+
+// TestRecoveryMutualExclusion: the Section VI study switch and the engine
+// cannot both be armed.
+func TestRecoveryMutualExclusion(t *testing.T) {
+	cfg := recoveryCampaign()
+	cfg.Recover = true
+	cfg.Benchmarks = workload.Names()[:1]
+	cfg.InjectionsPerBenchmark = 1
+	if _, err := RunCampaign(cfg); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("want mutual-exclusion error, got %v", err)
+	}
+}
+
+// TestUnknownRecoveryStrategyRejected: an unknown strategy name surfaces
+// as an error naming the accepted set.
+func TestUnknownRecoveryStrategyRejected(t *testing.T) {
+	cfg := diffCampaign()
+	cfg.Recovery = "reboot-harder"
+	cfg.Benchmarks = workload.Names()[:1]
+	cfg.InjectionsPerBenchmark = 1
+	if _, err := RunCampaign(cfg); err == nil || !strings.Contains(err.Error(), "microreboot") {
+		t.Fatalf("want unknown-strategy error naming the accepted set, got %v", err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"xentry/internal/recovery"
 	"xentry/internal/sim"
 )
 
@@ -67,6 +68,14 @@ func PrepareBenchmark(cfg CampaignConfig, bi int) (*BenchmarkRun, error) {
 	runner.Recover = cfg.Recover
 	runner.CheckpointEvery = cfg.CheckpointEvery
 	runner.DisablePrune = cfg.DisablePrune
+	engine, err := recovery.EngineFor(cfg.Recovery)
+	if err != nil {
+		return nil, err
+	}
+	if engine != nil && cfg.Recover {
+		return nil, fmt.Errorf("inject: Recover (Section VI study) and Recovery=%q are mutually exclusive", cfg.Recovery)
+	}
+	runner.Recovery = engine
 	if err := runner.EnsureCheckpoints(); err != nil {
 		return nil, fmt.Errorf("inject: checkpoint pool for %s: %w", bench, err)
 	}

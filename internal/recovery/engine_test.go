@@ -1,0 +1,210 @@
+package recovery
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"xentry/internal/cpu"
+	"xentry/internal/detect"
+	"xentry/internal/guest"
+	"xentry/internal/hv"
+)
+
+func TestEmptyTraceEstimateIsZero(t *testing.T) {
+	// Regression: an empty trace used to divide by a zero base, poisoning
+	// Overhead with NaN and leaving Min at its 1e18 sentinel.
+	m := DefaultModel()
+	est := m.EstimateForTrace("mcf", nil, 10, 1)
+	want := Estimate{Benchmark: "mcf"}
+	if est != want {
+		t.Errorf("empty trace: got %+v, want zeroed estimate", est)
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	cases := []struct {
+		name string
+		want Strategy
+		ok   bool
+	}{
+		{"", StrategyNone, true},
+		{"off", StrategyNone, true},
+		{"none", StrategyNone, true},
+		{"microreboot", StrategyMicroreboot, true},
+		{"restore", StrategyRestore, true},
+		{"policy", StrategyNone, false}, // policy is EngineFor's, not a strategy
+		{"reboot-harder", StrategyNone, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseStrategy(c.name)
+		if got != c.want || ok != c.ok {
+			t.Errorf("ParseStrategy(%q) = %v,%v want %v,%v", c.name, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestStrategyTextRoundTrip(t *testing.T) {
+	for _, s := range []Strategy{StrategyNone, StrategyMicroreboot, StrategyRestore} {
+		b, err := s.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Strategy
+		if err := back.UnmarshalText(b); err != nil || back != s {
+			t.Errorf("round trip %v: got %v, %v", s, back, err)
+		}
+	}
+	var s Strategy
+	if err := s.UnmarshalText([]byte("bogus")); err == nil {
+		t.Error("unknown strategy name decoded without error")
+	}
+}
+
+func TestCauseAndClassTextRoundTrip(t *testing.T) {
+	for c := CauseNone; c < numCauses; c++ {
+		b, _ := c.MarshalText()
+		var back Cause
+		if err := back.UnmarshalText(b); err != nil || back != c {
+			t.Errorf("cause round trip %v: got %v, %v", c, back, err)
+		}
+	}
+	for c := ClassNone; c < numClasses; c++ {
+		b, _ := c.MarshalText()
+		var back Class
+		if err := back.UnmarshalText(b); err != nil || back != c {
+			t.Errorf("class round trip %v: got %v, %v", c, back, err)
+		}
+	}
+	var c Cause
+	if err := c.UnmarshalText([]byte("bogus")); err == nil {
+		t.Error("unknown cause name decoded without error")
+	}
+	var k Class
+	if err := k.UnmarshalText([]byte("bogus")); err == nil {
+		t.Error("unknown class name decoded without error")
+	}
+}
+
+func TestCauseOf(t *testing.T) {
+	cases := []struct {
+		stop cpu.StopReason
+		hang bool
+		want Cause
+	}{
+		{cpu.StopException, false, CauseException},
+		{cpu.StopAssert, false, CauseAssertion},
+		{cpu.StopBudget, true, CauseWatchdog},
+		{cpu.StopException, true, CauseWatchdog}, // hang wins
+		{cpu.StopVMEntry, false, CauseVMEntry},
+	}
+	for _, c := range cases {
+		if got := CauseOf(c.stop, c.hang); got != c.want {
+			t.Errorf("CauseOf(%v, %v) = %v want %v", c.stop, c.hang, got, c.want)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		completed bool
+		worst     guest.Consequence
+		want      Class
+	}{
+		{false, guest.Benign, ClassFailed},
+		{true, guest.AllVMFailure, ClassFailed},
+		{true, guest.Benign, ClassFull},
+		{true, guest.AppSDC, ClassGuestCorrupted},
+		{true, guest.AppCrash, ClassDegraded},
+		{true, guest.OneVMFailure, ClassDegraded},
+	}
+	for _, c := range cases {
+		if got := Classify(c.completed, c.worst); got != c.want {
+			t.Errorf("Classify(%v, %v) = %v want %v", c.completed, c.worst, got, c.want)
+		}
+	}
+	if got := Classes(); len(got) != int(numClasses)-1 {
+		t.Errorf("Classes() renders %d of %d classes", len(got), numClasses-1)
+	}
+}
+
+func TestPolicyDecide(t *testing.T) {
+	p := DefaultPolicy()
+	cases := []struct {
+		tech  detect.Technique
+		cause Cause
+		want  Strategy
+	}{
+		{detect.TechHWException, CauseException, StrategyMicroreboot},
+		{detect.TechAssertion, CauseAssertion, StrategyMicroreboot},
+		{detect.TechWatchdog, CauseWatchdog, StrategyMicroreboot},
+		{detect.TechVMTransition, CauseVMEntry, StrategyRestore},
+		// First match wins: a transition detection that somehow surfaced as
+		// an exception hits the cause rule before the technique rule.
+		{detect.TechVMTransition, CauseException, StrategyMicroreboot},
+	}
+	for _, c := range cases {
+		if got := p.Decide(c.tech, c.cause); got != c.want {
+			t.Errorf("Decide(%v, %v) = %v want %v", c.tech, c.cause, got, c.want)
+		}
+	}
+	u := UniformPolicy(StrategyRestore)
+	if got := u.Decide(detect.TechAssertion, CauseAssertion); got != StrategyRestore {
+		t.Errorf("uniform policy decided %v", got)
+	}
+}
+
+func TestEngineFor(t *testing.T) {
+	for _, name := range []string{"", "off", "none"} {
+		e, err := EngineFor(name)
+		if err != nil || e != nil {
+			t.Errorf("EngineFor(%q) = %v, %v; want nil engine", name, e, err)
+		}
+	}
+	e, err := EngineFor("microreboot")
+	if err != nil || e == nil {
+		t.Fatalf("EngineFor(microreboot): %v, %v", e, err)
+	}
+	if got := e.Decide(detect.TechAssertion, CauseAssertion); got != StrategyMicroreboot {
+		t.Errorf("microreboot engine decided %v", got)
+	}
+	if e.Watchdog() != hv.DefaultBudget {
+		t.Errorf("default watchdog = %d, want hv.DefaultBudget", e.Watchdog())
+	}
+	e.Budget = 42
+	if e.Watchdog() != 42 {
+		t.Errorf("explicit watchdog = %d", e.Watchdog())
+	}
+	p, err := EngineFor("policy")
+	if err != nil || p == nil {
+		t.Fatalf("EngineFor(policy): %v, %v", p, err)
+	}
+	if !reflect.DeepEqual(p.Policy, DefaultPolicy()) {
+		t.Error("policy engine does not carry DefaultPolicy")
+	}
+	if _, err := EngineFor("reboot-harder"); err == nil ||
+		!strings.Contains(err.Error(), "microreboot") {
+		t.Errorf("unknown name error should list accepted set, got %v", err)
+	}
+}
+
+func TestOutcomeZeroValueMarshalsEmpty(t *testing.T) {
+	// WAL forward compatibility hinges on the zero Outcome serializing to
+	// nothing: records written before the engine existed decode to it, and
+	// engine-off runs add no bytes to the WAL.
+	b, err := json.Marshal(Outcome{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "{}" {
+		t.Errorf("zero Outcome marshals to %s, want {}", b)
+	}
+	var back Outcome
+	if err := json.Unmarshal([]byte("{}"), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != (Outcome{}) {
+		t.Errorf("empty object decoded to %+v", back)
+	}
+}

@@ -1,15 +1,19 @@
-// Package recovery implements the paper's Section VI false-positive
-// recovery cost model. Xentry itself only detects; the paper estimates what
-// a light-weight recovery (preserve critical hypervisor data and the VM
-// exit reason at every exit, restore and re-execute on a positive
-// detection) would cost under the transition detector's false-positive
-// rate, and reports the resulting per-application overhead in Fig. 11.
+// Package recovery implements recovery from detected soft errors, in two
+// halves. This file is the paper's Section VI false-positive recovery cost
+// model: Xentry itself only detects, and the paper estimates what a
+// light-weight recovery (preserve critical hypervisor data and the VM exit
+// reason at every exit, restore and re-execute on a positive detection)
+// would cost under the transition detector's false-positive rate, reported
+// as per-application overhead in Fig. 11. engine.go is the live half: a
+// ReHype-style recovery engine that actually microreboots the simulated
+// hypervisor on detection and classifies how well the run survived
+// (DESIGN.md §12).
 package recovery
 
 import (
 	"fmt"
-	"math/rand"
 
+	"xentry/internal/rng"
 	"xentry/internal/workload"
 )
 
@@ -74,7 +78,16 @@ func (m Model) EstimateForTrace(benchmark string, trace []ActivationCost, reps i
 	if reps <= 0 {
 		reps = 100
 	}
-	rng := rand.New(rand.NewSource(seed))
+	if len(trace) == 0 {
+		// A degenerate trace has no base time to divide by; the estimate of
+		// recovering nothing is zero overhead, zero spread, zero false
+		// positives — not a division by zero leaving Min at its sentinel.
+		return Estimate{Benchmark: benchmark}
+	}
+	// Draws come from the explicit-state splitmix64 generator, not
+	// math/rand, so an estimate is reproducible bit-for-bit across Go
+	// releases and checkpoint/resume like every other stochastic path.
+	gen := rng.New(seed)
 	var base, fixed float64
 	for _, a := range trace {
 		base += a.GuestCycles + a.HandlerCycles
@@ -86,7 +99,7 @@ func (m Model) EstimateForTrace(benchmark string, trace []ActivationCost, reps i
 		extra := fixed
 		fps := 0
 		for _, a := range trace {
-			if rng.Float64() < m.FalsePositiveRate {
+			if gen.Float64() < m.FalsePositiveRate {
 				// Restore the snapshot and re-execute the activation.
 				extra += m.RestoreCycles + a.HandlerCycles
 				fps++
@@ -111,12 +124,12 @@ func (m Model) EstimateForTrace(benchmark string, trace []ActivationCost, reps i
 // measured trace is not available: intervals from the profile, handler
 // cycles around the given mean.
 func SyntheticTrace(p *workload.Profile, mode workload.Mode, n int, meanHandler float64, seed int64) []ActivationCost {
-	rng := rand.New(rand.NewSource(seed))
+	gen := rng.New(seed)
 	trace := make([]ActivationCost, n)
 	for i := range trace {
 		trace[i] = ActivationCost{
-			GuestCycles:   p.SampleInterval(mode, rng),
-			HandlerCycles: meanHandler * (0.5 + rng.Float64()),
+			GuestCycles:   p.SampleInterval(mode, gen),
+			HandlerCycles: meanHandler * (0.5 + gen.Float64()),
 		}
 	}
 	return trace

@@ -62,6 +62,12 @@ type Event struct {
 	// pruned ("dead" or "converged", empty for full runs); it feeds the
 	// server's xentry_pruned_total metric and the SSE stream.
 	Pruned string `json:"pruned,omitempty"`
+	// RecoveryStrategy/RecoveryOutcome label outcome events on which the
+	// recovery engine fired: the strategy applied and the final outcome
+	// class ("full", "degraded", "guest-corrupted", "failed"). They feed
+	// the xentry_recoveries_total metric and the SSE stream.
+	RecoveryStrategy string `json:"recovery_strategy,omitempty"`
+	RecoveryOutcome  string `json:"recovery_outcome,omitempty"`
 }
 
 // Engine executes one campaign through a durable store with a sharded
@@ -207,6 +213,10 @@ func (e *Engine) Run(ctx context.Context, cfg inject.CampaignConfig) (*inject.Ca
 						}
 						if o.Pruned != inject.PruneNone {
 							ev.Pruned = o.Pruned.String()
+						}
+						if o.Recovery.Attempted {
+							ev.RecoveryStrategy = o.Recovery.Strategy.String()
+							ev.RecoveryOutcome = o.Recovery.Class.String()
 						}
 						e.emit(ev)
 					})

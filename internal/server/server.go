@@ -18,6 +18,7 @@ import (
 	"xentry/internal/detect"
 	"xentry/internal/experiments"
 	"xentry/internal/inject"
+	"xentry/internal/recovery"
 	"xentry/internal/store"
 	"xentry/internal/workload"
 )
@@ -56,6 +57,10 @@ type CampaignSpec struct {
 	// prunes, "off" forces every run to its full activation budget (the
 	// differential baseline). Anything else is a 400.
 	Prune string `json:"prune,omitempty"`
+	// Recovery names the recovery-engine strategy applied to detections
+	// ("off"/"none"/"" = no engine, "microreboot", "restore", "policy").
+	// An unknown name is a 400. Mutually exclusive with Recover.
+	Recovery string `json:"recovery,omitempty"`
 }
 
 // withDefaults fills the deterministic defaults a local xentry-campaign
@@ -92,6 +97,7 @@ func (sp CampaignSpec) campaignConfig() (inject.CampaignConfig, error) {
 		CheckpointEvery:        sp.CheckpointEvery,
 		Detectors:              detectors,
 		DisablePrune:           sp.Prune == "off",
+		Recovery:               sp.Recovery,
 	}, nil
 }
 
@@ -155,6 +161,12 @@ type Server struct {
 	// xentry_detections_total{technique="..."}.
 	detectionsMu sync.Mutex
 	detections   map[string]int64
+
+	// recoveries counts recovery-engine attempts by (strategy, outcome
+	// class), exposed as xentry_recoveries_total{strategy="...",
+	// outcome="..."}; guarded by recoveriesMu like detections.
+	recoveriesMu sync.Mutex
+	recoveries   map[[2]string]int64
 }
 
 // campaign is one registered campaign's runtime state.
@@ -242,6 +254,13 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	case "", "on", "off":
 	default:
 		httpError(w, http.StatusBadRequest, "prune must be \"on\" or \"off\", got %q", spec.Prune)
+		return
+	}
+	if engine, err := recovery.EngineFor(spec.Recovery); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	} else if engine != nil && spec.Recover {
+		httpError(w, http.StatusBadRequest, "recover and recovery=%q are mutually exclusive", spec.Recovery)
 		return
 	}
 	if spec.ID != "" && !idPattern.MatchString(spec.ID) {
@@ -339,6 +358,9 @@ func (s *Server) startCampaign(spec CampaignSpec) (*campaign, error) {
 					s.prunedDead.Add(1)
 				case "converged":
 					s.prunedConverged.Add(1)
+				}
+				if ev.RecoveryStrategy != "" {
+					s.countRecovery(ev.RecoveryStrategy, ev.RecoveryOutcome)
 				}
 			case EventShardRequeued:
 				s.shardRetries.Add(1)
@@ -563,6 +585,15 @@ func (s *Server) countDetection(technique string) {
 	s.detectionsMu.Unlock()
 }
 
+func (s *Server) countRecovery(strategy, outcome string) {
+	s.recoveriesMu.Lock()
+	if s.recoveries == nil {
+		s.recoveries = map[[2]string]int64{}
+	}
+	s.recoveries[[2]string{strategy, outcome}]++
+	s.recoveriesMu.Unlock()
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	total := len(s.campaigns)
@@ -596,6 +627,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "xentry_detections_total{technique=%q} %d\n", name, s.detections[name])
 	}
 	s.detectionsMu.Unlock()
+	s.recoveriesMu.Lock()
+	recKeys := make([][2]string, 0, len(s.recoveries))
+	for k := range s.recoveries {
+		recKeys = append(recKeys, k)
+	}
+	sort.Slice(recKeys, func(i, j int) bool {
+		if recKeys[i][0] != recKeys[j][0] {
+			return recKeys[i][0] < recKeys[j][0]
+		}
+		return recKeys[i][1] < recKeys[j][1]
+	})
+	for _, k := range recKeys {
+		fmt.Fprintf(w, "xentry_recoveries_total{strategy=%q,outcome=%q} %d\n",
+			k[0], k[1], s.recoveries[k])
+	}
+	s.recoveriesMu.Unlock()
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

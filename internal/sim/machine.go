@@ -6,14 +6,17 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"xentry/internal/core"
+	"xentry/internal/cpu"
 	"xentry/internal/detect"
 	"xentry/internal/guest"
 	"xentry/internal/hv"
 	"xentry/internal/mem"
 	"xentry/internal/ml"
+	"xentry/internal/recovery"
 	"xentry/internal/rng"
 	"xentry/internal/workload"
 )
@@ -78,6 +81,9 @@ type Activation struct {
 	// first detection's technique is preserved in FirstDetection.
 	Recovered      bool
 	FirstDetection core.Technique
+	// Recovery is the recovery engine's record when it fired on this
+	// activation (Attempted false otherwise).
+	Recovery recovery.Outcome
 }
 
 // Machine is one simulated host.
@@ -93,6 +99,15 @@ type Machine struct {
 	// the snapshot and re-executes the activation once. The transient
 	// fault does not recur, so re-execution normally completes cleanly.
 	RecoverOnDetection bool
+	// Recovery arms the ReHype-style recovery engine: on a positive
+	// detection the machine consults the engine's policy and either
+	// microreboots the hypervisor (hv.Reinit — private state rebuilt,
+	// guest-visible state preserved) or rolls back to the VM-exit snapshot
+	// (Section VI), then re-executes the interrupted activation under the
+	// engine's watchdog. Like RecoverOnDetection it is configuration, not
+	// state: checkpoints do not capture it. The two switches are mutually
+	// exclusive.
+	Recovery *recovery.Engine
 	// Recoveries counts triggered recoveries.
 	Recoveries int
 
@@ -215,8 +230,9 @@ func (m *Machine) Checkpoint() *Checkpoint {
 }
 
 // RestoreFrom reinstates a Checkpoint taken from an identically configured
-// machine (same Config). The installed model and RecoverOnDetection switch
-// are configuration, not state: they are left as set on this machine.
+// machine (same Config). The installed model and the recovery switches
+// (RecoverOnDetection, Recovery) are configuration, not state: they are
+// left as set on this machine.
 func (m *Machine) RestoreFrom(cp *Checkpoint) error {
 	if err := m.HV.RestoreFrom(cp.hv); err != nil {
 		return err
@@ -288,7 +304,7 @@ func (m *Machine) Step() (Activation, error) {
 	// compute interval, not just during hypervisor execution.
 	m.HV.CPU.TSC += uint64(interval)
 	var snap *hv.Snap
-	if m.RecoverOnDetection {
+	if m.RecoverOnDetection || m.Recovery != nil {
 		// Preserve the critical data and the VM exit reason at every VM
 		// exit (paper Section VI).
 		snap = m.HV.Snapshot()
@@ -299,6 +315,7 @@ func (m *Machine) Step() (Activation, error) {
 	}
 	recovered := false
 	firstDetection := out.Technique
+	var recRec recovery.Outcome
 	if m.RecoverOnDetection && out.Verdict.Detected() {
 		// Positive detection: restore the snapshot and re-execute. The
 		// soft error was transient, so the re-execution runs fault-free;
@@ -312,6 +329,45 @@ func (m *Machine) Step() (Activation, error) {
 		}
 		m.Recoveries++
 		recovered = true
+	} else if m.Recovery != nil && out.Verdict.Detected() {
+		cause := recovery.CauseOf(out.Result.Stop, out.Hang)
+		if strat := m.Recovery.Decide(out.Technique, cause); strat != recovery.StrategyNone {
+			recRec = recovery.Outcome{
+				Attempted:  true,
+				Strategy:   strat,
+				Technique:  out.Technique,
+				Cause:      cause,
+				Activation: m.step,
+			}
+			switch strat {
+			case recovery.StrategyMicroreboot:
+				err = m.HV.Reinit(nil)
+			case recovery.StrategyRestore:
+				err = m.HV.Restore(snap)
+			}
+			switch {
+			case errors.Is(err, hv.ErrSalvage):
+				// The fault corrupted the state the reboot would salvage:
+				// the attempt aborts, the machine stands as the detection
+				// left it, and the run fails as it would have unrecovered.
+				m.Recoveries++
+			case err != nil:
+				return Activation{}, err
+			default:
+				// Re-enter the interrupted activation and run it under the
+				// engine's watchdog. Unlike the Section VI path, a microreboot
+				// re-executes against rebuilt private state, so the outcome can
+				// legitimately differ from the fault-free reference.
+				out, err = m.Sentry.Execute(ev, m.Recovery.Watchdog())
+				if err != nil {
+					return Activation{}, err
+				}
+				recRec.ReSteps = out.Result.Steps
+				recRec.ReExecuted = out.Result.Stop == cpu.StopVMEntry
+				m.Recoveries++
+				recovered = true
+			}
+		}
 	}
 	rec := guest.Capture(m.HV, ev)
 	// The guest acknowledges delivered events before resuming work.
@@ -327,6 +383,7 @@ func (m *Machine) Step() (Activation, error) {
 		GuestCycles:    interval,
 		Recovered:      recovered,
 		FirstDetection: firstDetection,
+		Recovery:       recRec,
 	}
 	m.step++
 	return act, nil

@@ -27,3 +27,11 @@ go test -run '^$' -bench . -benchtime 1x ./...
 go test -run FuzzThreadedVsSwitch ./internal/cpu/
 go test -run '^$' -fuzz FuzzThreadedVsSwitch -fuzztime 15s ./internal/cpu/
 go test -race ./internal/cpu/ ./internal/inject/ ./internal/mem/ ./internal/sim/ ./internal/store/ ./internal/server/ ./internal/progress/
+# Recovery differential pass: recover=off campaigns must stay
+# bit-identical to the engine-less baseline, microreboot campaigns must
+# be deterministic (including under the race detector's schedule
+# perturbation), and the outcome-class mix must stay honest (nonzero
+# full AND failed). Focused runs so a recovery regression names itself.
+go test -run 'Recovery|Microreboot|Reinit' ./internal/inject/ ./internal/hv/ ./internal/store/
+go test ./internal/recovery/
+go test -race -run 'Microreboot' ./internal/inject/
