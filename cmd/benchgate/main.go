@@ -23,7 +23,13 @@
 //     -min-speedup (default 1, i.e. off; the PR that lands a claimed
 //     NX speedup gates it in CI with -min-speedup N), or
 //   - BenchmarkCPURunHot/fast allocates: the interpreter fast path is
-//     required to stay at 0 allocs/op.
+//     required to stay at 0 allocs/op,
+//   - BenchmarkFleetIngest falls below -min-fleet-injs inj/s (default
+//     500000, the fleet data plane's absolute throughput floor), loses
+//     more than -max-regress percent against a previous report that has
+//     it, or is missing from the new report entirely — the coordinator
+//     ingest benchmark is not allowed to silently disappear. 0 disables
+//     the floor and the missing-bench check (for gating old trees).
 //
 // Benchmarks or metrics present in only one report are informational:
 // the diff skips what it cannot pair up, so a report that grows new
@@ -62,8 +68,9 @@ type report struct {
 }
 
 const (
-	gateBench = "BenchmarkCampaignThroughput/K=1"
-	allocFree = "BenchmarkCPURunHot/fast"
+	gateBench  = "BenchmarkCampaignThroughput/K=1"
+	allocFree  = "BenchmarkCPURunHot/fast"
+	fleetBench = "BenchmarkFleetIngest"
 )
 
 func main() {
@@ -73,6 +80,8 @@ func main() {
 		"maximum tolerated K=1 inj/s and fast-path ns/instr regression, in percent")
 	minSpeedup := flag.Float64("min-speedup", 1,
 		"required OLD/NEW ratio on fast-path ns/instr (1 = no requirement)")
+	minFleet := flag.Float64("min-fleet-injs", 500000,
+		"absolute BenchmarkFleetIngest inj/s floor (0 = no fleet gating)")
 	history := flag.String("history", "",
 		"comma-separated report files: print a Markdown trajectory table and exit")
 	flag.Parse()
@@ -131,6 +140,18 @@ func main() {
 	} else if m != 0 {
 		log.Printf("FAIL: %s must stay at 0 allocs/op, got %g", allocFree, m)
 		failed = true
+	}
+	if *minFleet > 0 {
+		if m, ok := metric(cur, fleetBench, "inj/s"); !ok {
+			log.Printf("FAIL: %s inj/s missing from the new report", fleetBench)
+			failed = true
+		} else if m < *minFleet {
+			log.Printf("FAIL: %s inj/s %.0f is below the %.0f floor", fleetBench, m, *minFleet)
+			failed = true
+		} else if d, ok := change(old, cur, fleetBench, "inj/s"); ok && d < -*maxRegress {
+			log.Printf("FAIL: %s inj/s regressed %.1f%% (limit %.0f%%)", fleetBench, -d, *maxRegress)
+			failed = true
+		}
 	}
 	if failed {
 		os.Exit(1)

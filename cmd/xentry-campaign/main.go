@@ -10,7 +10,7 @@
 //	xentry-campaign [-injections N] [-activations N] [-seed S] [-checkpoint-every K]
 //	                [-prune on|off] [-recover off|microreboot|restore|policy|study]
 //	                [-detectors a,b] [-json] [-store DIR]
-//	                [-server URL [-campaign ID]]
+//	                [-server URL [-campaign ID] [-execution pool|fleet]]
 //
 // -json emits the machine-readable campaign report (the same encoding the
 // campaign server returns) instead of the rendered figures. -store makes
@@ -64,6 +64,9 @@ func main() {
 	storeDir := flag.String("store", "", "durable result-store directory (resumes an interrupted campaign)")
 	serverURL := flag.String("server", "", "dispatch the campaign to a running xentry-serve coordinator")
 	campaignID := flag.String("campaign", "", "campaign ID for -server mode (empty = server assigns one)")
+	execution := flag.String("execution", "",
+		"campaign data plane for -server mode: pool (in-process, the default) or "+
+			"fleet (remote xentry-worker processes over the binary shard protocol)")
 	detectors := flag.String("detectors", "",
 		"comma-separated plugin detectors to run behind the built-in pipeline "+
 			"(registered names: "+strings.Join(detect.FactoryNames(), ", ")+")")
@@ -117,7 +120,7 @@ func main() {
 	}
 	// Profiles must land even when the run fails, so the dispatch below
 	// funnels through one exit point instead of log.Fatal-ing mid-flight.
-	runErr := dispatch(serverURL, campaignID, storeDir, sc,
+	runErr := dispatch(serverURL, campaignID, storeDir, *execution, sc,
 		*checkpointEvery, *jsonOut, recoverStudy)
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
@@ -139,7 +142,7 @@ func main() {
 }
 
 // dispatch routes the campaign to the coordinator or the local engine.
-func dispatch(serverURL, campaignID, storeDir *string, sc experiments.Scale,
+func dispatch(serverURL, campaignID, storeDir *string, execution string, sc experiments.Scale,
 	checkpointEvery int, jsonOut, recoverStudy bool) error {
 
 	if *serverURL != "" {
@@ -149,7 +152,10 @@ func dispatch(serverURL, campaignID, storeDir *string, sc experiments.Scale,
 		if *storeDir != "" {
 			return fmt.Errorf("-store is local-only; the server keeps its own store per campaign")
 		}
-		return runRemote(*serverURL, *campaignID, sc, checkpointEvery, jsonOut)
+		return runRemote(*serverURL, *campaignID, execution, sc, checkpointEvery, jsonOut)
+	}
+	if execution != "" {
+		return fmt.Errorf("-execution applies to -server mode only")
 	}
 	return runLocal(sc, checkpointEvery, *storeDir, jsonOut, recoverStudy)
 }
@@ -225,7 +231,7 @@ func runLocal(sc experiments.Scale, checkpointEvery int, storeDir string, jsonOu
 // runRemote submits the campaign to an xentry-serve coordinator, follows
 // its event stream with a live progress line, and renders the returned
 // report.
-func runRemote(base, id string, sc experiments.Scale, checkpointEvery int, jsonOut bool) error {
+func runRemote(base, id, execution string, sc experiments.Scale, checkpointEvery int, jsonOut bool) error {
 	client := &server.Client{Base: base}
 	spec := server.CampaignSpec{
 		ID:                     id,
@@ -236,6 +242,7 @@ func runRemote(base, id string, sc experiments.Scale, checkpointEvery int, jsonO
 		TrainInjections:        sc.TrainInjections,
 		Detectors:              sc.Detectors,
 		Recovery:               sc.Recovery,
+		Execution:              execution,
 	}
 	if sc.DisablePrune {
 		spec.Prune = "off"

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	xentry-serve [-addr :8044] [-data DIR] [-workers N] [-shard-size N]
-//	             [-max-attempts N] [-shard-timeout D]
+//	             [-max-attempts N] [-shard-timeout D] [-fleet ADDR]
 //
 // API:
 //
@@ -21,6 +21,12 @@
 //
 // Submit campaigns with `xentry-campaign -server http://host:8044` or any
 // HTTP client.
+//
+// -fleet ADDR additionally opens the binary shard-protocol listener for
+// remote xentry-worker processes; campaigns submitted with
+// "execution": "fleet" are then executed by whatever workers are
+// connected instead of the in-process pool, with all result traffic on
+// the binary data plane and only control traffic on HTTP.
 package main
 
 import (
@@ -42,7 +48,20 @@ func main() {
 	shardSize := flag.Int("shard-size", 64, "plan indices per shard")
 	maxAttempts := flag.Int("max-attempts", 3, "attempts per shard before the campaign fails")
 	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard attempt timeout (0 = none)")
+	fleetAddr := flag.String("fleet", "",
+		"fleet listener address for remote xentry-worker processes (empty = fleet execution disabled)")
 	flag.Parse()
+
+	var fleet *server.Fleet
+	if *fleetAddr != "" {
+		var err error
+		fleet, err = server.NewFleet(*fleetAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fleet.Close()
+		log.Printf("fleet listener on %s", fleet.Addr())
+	}
 
 	s, err := server.NewServer(server.Config{
 		DataDir:      *data,
@@ -51,6 +70,7 @@ func main() {
 		MaxAttempts:  *maxAttempts,
 		Backoff:      100 * time.Millisecond,
 		ShardTimeout: *shardTimeout,
+		Fleet:        fleet,
 	})
 	if err != nil {
 		log.Fatal(err)

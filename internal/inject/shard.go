@@ -87,6 +87,31 @@ func PrepareBenchmark(cfg CampaignConfig, bi int) (*BenchmarkRun, error) {
 	return &BenchmarkRun{Bench: bench, Index: bi, Runner: runner, Plans: plans}, nil
 }
 
+// PreparePlans computes just the benchmark's deterministic plan list: the
+// golden run plus seeded plan generation, without building the checkpoint
+// pool, training hooks, or recovery arming. Plans depend only on the
+// campaign identity (seed schedule, activations, benchmark stream) — the
+// golden run ignores the transition model by construction — so a
+// coordinator that never executes an injection itself can derive the
+// exact plan list its remote workers will execute, at a fraction of
+// PrepareBenchmark's cost.
+func PreparePlans(cfg CampaignConfig, bi int) ([]Plan, error) {
+	cfg = cfg.Normalized()
+	if bi < 0 || bi >= len(cfg.Benchmarks) {
+		return nil, fmt.Errorf("inject: benchmark index %d out of range [0,%d)", bi, len(cfg.Benchmarks))
+	}
+	runner, err := NewRunner(cfg.BenchmarkSim(bi), cfg.Activations, nil)
+	if err != nil {
+		return nil, fmt.Errorf("inject: golden run for %s: %w", cfg.Benchmarks[bi], err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(bi+1)*104729))
+	plans := make([]Plan, cfg.InjectionsPerBenchmark)
+	for i := range plans {
+		plans[i] = runner.RandomPlan(rng)
+	}
+	return plans, nil
+}
+
 // ActivationOrder returns the plan indices sorted by activation (stable, so
 // equal activations keep plan order). Executing runs in this order makes
 // consecutive restores hit the same or adjacent checkpoints, keeping

@@ -9,9 +9,19 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"xentry/internal/experiments"
 )
+
+// defaultUnaryTimeout bounds a unary API call end to end (dial through
+// body read) when Client.Timeout is unset. Streaming calls are exempt.
+const defaultUnaryTimeout = 30 * time.Second
+
+// maxUnaryResponseBody caps how much of a unary response the client will
+// read. Reports for large campaigns are a few KiB; anything near this
+// limit is a misbehaving server, not data.
+const maxUnaryResponseBody = 8 << 20
 
 // Client talks to a campaign server (cmd/xentry-serve) over its HTTP/JSON
 // API. The zero value plus a Base URL is ready to use.
@@ -20,6 +30,10 @@ type Client struct {
 	Base string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Timeout bounds each unary request (Submit, Status, List, Report);
+	// zero means defaultUnaryTimeout. StreamEvents is long-lived by design
+	// and is bounded by its context instead.
+	Timeout time.Duration
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -45,16 +59,54 @@ func decodeError(resp *http.Response) error {
 	return fmt.Errorf("server: %s", resp.Status)
 }
 
-func (c *Client) getJSON(path string, out any) error {
-	resp, err := c.httpClient().Get(c.url(path))
+// unary performs one bounded request/response exchange: a deadline covers
+// the whole call, the response body is read through a size limit, and
+// whatever trails the decoded value is drained so the keep-alive
+// connection stays reusable.
+func (c *Client) unary(method, path string, body []byte, wantStatus int, out any) error {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = defaultUnaryTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path), rd)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != wantStatus {
 		return decodeError(resp)
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if out == nil {
+		return nil
+	}
+	lr := &io.LimitedReader{R: resp.Body, N: maxUnaryResponseBody}
+	if err := json.NewDecoder(lr).Decode(out); err != nil {
+		if lr.N <= 0 {
+			return fmt.Errorf("server: response for %s exceeds %d bytes", path, int64(maxUnaryResponseBody))
+		}
+		return err
+	}
+	return nil
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	return c.unary(http.MethodGet, path, nil, http.StatusOK, out)
 }
 
 // Submit creates (or resumes) a campaign and returns its initial status,
@@ -64,16 +116,8 @@ func (c *Client) Submit(spec CampaignSpec) (*CampaignStatus, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.httpClient().Post(c.url("/campaigns"), "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		return nil, decodeError(resp)
-	}
 	var st CampaignStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+	if err := c.unary(http.MethodPost, "/campaigns", body, http.StatusCreated, &st); err != nil {
 		return nil, err
 	}
 	return &st, nil

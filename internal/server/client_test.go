@@ -1,0 +1,104 @@
+package server
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The unary client paths must never hang on a wedged server: every call
+// carries a deadline.
+func TestClientUnaryTimeout(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	c := &Client{Base: srv.URL, Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := c.Status("whatever")
+	if err == nil {
+		t.Fatal("Status against a hung server returned nil error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Status took %v; the timeout did not apply", elapsed)
+	}
+	if _, err := c.Submit(CampaignSpec{ID: "x"}); err == nil {
+		t.Fatal("Submit against a hung server returned nil error")
+	}
+}
+
+// A response body past maxUnaryResponseBody is an error, not an OOM.
+func TestClientBoundedResponse(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		// An endless JSON document: {"id":"aaaa...
+		w.Write([]byte(`{"id":"`))
+		chunk := []byte(strings.Repeat("a", 64<<10))
+		for i := 0; i < (maxUnaryResponseBody/len(chunk))+4; i++ {
+			if _, err := w.Write(chunk); err != nil {
+				return
+			}
+		}
+	}))
+	defer srv.Close()
+
+	c := &Client{Base: srv.URL}
+	_, err := c.Status("big")
+	if err == nil {
+		t.Fatal("Status decoded an over-limit response without error")
+	}
+	if !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("error %q does not mention the size limit", err)
+	}
+}
+
+// Unary calls drain and close their bodies, so sequential requests reuse
+// one keep-alive connection instead of leaking or redialing.
+func TestClientReusesConnections(t *testing.T) {
+	var conns atomic.Int64
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"id":"c1","state":"done"}`))
+	}))
+	srv.Config.ConnState = func(c net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	srv.Start()
+	defer srv.Close()
+
+	c := &Client{Base: srv.URL, HTTPClient: &http.Client{Transport: &http.Transport{}}}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Status("c1"); err != nil {
+			t.Fatalf("Status %d: %v", i, err)
+		}
+	}
+	if got := conns.Load(); got != 1 {
+		t.Fatalf("5 sequential unary calls used %d connections, want 1", got)
+	}
+}
+
+// Non-2xx responses surface the server's error body.
+func TestClientDecodesErrorBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":"no such campaign"}`))
+	}))
+	defer srv.Close()
+
+	c := &Client{Base: srv.URL}
+	_, err := c.Report("ghost")
+	if err == nil || !strings.Contains(err.Error(), "no such campaign") {
+		t.Fatalf("Report error = %v, want the server's message", err)
+	}
+}

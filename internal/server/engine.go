@@ -93,6 +93,17 @@ type Engine struct {
 	// synchronously from coordinator and worker goroutines and must be
 	// safe for that.
 	OnEvent func(Event)
+	// Fleet, when set, executes the campaign over the remote worker fleet
+	// instead of the in-process pool: shards are leased to connected
+	// xentry-worker processes over the binary shard protocol, and their
+	// batched results are group-committed off the HTTP/JSON path. Workers,
+	// PoolWorkers and KillWorker do not apply in fleet mode.
+	Fleet *Fleet
+	// Spec is the canonical campaign spec JSON served to fleet workers in
+	// the Welcome message; each worker derives its CampaignConfig (plans,
+	// detectors, trained model) from it. Required in fleet mode, and it
+	// must describe exactly the config passed to Run.
+	Spec []byte
 
 	mu   sync.Mutex
 	pool *workerPool
@@ -127,6 +138,9 @@ func (e *Engine) Run(ctx context.Context, cfg inject.CampaignConfig) (*inject.Ca
 		return nil, fmt.Errorf("server: engine needs a store")
 	}
 	cfg = cfg.Normalized()
+	if e.Fleet != nil {
+		return e.runFleet(ctx, cfg)
+	}
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

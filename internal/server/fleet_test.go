@@ -1,0 +1,559 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xentry/internal/core"
+	"xentry/internal/experiments"
+	"xentry/internal/inject"
+	"xentry/internal/store"
+	"xentry/internal/wire"
+)
+
+// TestMain doubles as the worker-process entry point: the fleet tests
+// re-exec this test binary with XENTRY_WORKER_ADDR set, turning it into a
+// real xentry-worker process — same RunWorker loop, separate OS process,
+// real TCP — without needing a built binary on the test machine.
+func TestMain(m *testing.M) {
+	if os.Getenv("XENTRY_WORKER_ADDR") != "" {
+		workerProcessMain()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func workerProcessMain() {
+	name := os.Getenv("XENTRY_WORKER_NAME")
+	err := RunWorker(context.Background(), WorkerOptions{
+		Coordinator: os.Getenv("XENTRY_WORKER_ADDR"),
+		Campaign:    os.Getenv("XENTRY_WORKER_CAMPAIGN"),
+		Name:        name,
+		// Small batches and fast flushes so batches interleave across
+		// workers and a mid-flight kill actually lands mid-shard.
+		BatchRecords:  4,
+		FlushInterval: 5 * time.Millisecond,
+		RetryInterval: 50 * time.Millisecond,
+		MaxDials:      600,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "["+name+"] "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "[%s] fatal: %v\n", name, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func spawnWorker(t *testing.T, addr, campaign, name string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"XENTRY_WORKER_ADDR="+addr,
+		"XENTRY_WORKER_CAMPAIGN="+campaign,
+		"XENTRY_WORKER_NAME="+name,
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawn worker %s: %v", name, err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	return cmd
+}
+
+// fleetSpec builds the campaign three ways at once: the JSON spec workers
+// derive their config from, and the identical CampaignConfig the
+// coordinator (and the in-process reference run) uses.
+func fleetSpec(t *testing.T, id string) (CampaignSpec, inject.CampaignConfig, []byte) {
+	t.Helper()
+	spec := CampaignSpec{
+		ID:                     id,
+		Benchmarks:             []string{"canneal"},
+		InjectionsPerBenchmark: 40,
+		Activations:            48,
+		Seed:                   29,
+		Recovery:               "microreboot",
+		Execution:              "fleet",
+	}
+	spec = spec.withDefaults()
+	cfg, err := spec.campaignConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, cfg, specJSON
+}
+
+// TestFleetDifferentialMultiProcess is the data-plane acceptance test: a
+// campaign executed by three separate worker OS processes over the binary
+// shard protocol produces a CampaignResult — and a CampaignReport — that
+// DeepEqual the single-process inject.RunCampaign with the same seed.
+func TestFleetDifferentialMultiProcess(t *testing.T) {
+	spec, cfg, specJSON := fleetSpec(t, "fleet-diff")
+	want, err := inject.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := NewFleet("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	e := &Engine{
+		Store:        testStore(t, cfg, spec.ID),
+		Fleet:        f,
+		Spec:         specJSON,
+		ShardSize:    5,
+		ShardTimeout: 30 * time.Second,
+	}
+	var outcomes atomic.Int64
+	workersSeen := map[int]bool{}
+	var mu sync.Mutex
+	e.OnEvent = func(ev Event) {
+		if ev.Type == EventOutcome {
+			outcomes.Add(1)
+			mu.Lock()
+			workersSeen[ev.Worker] = true
+			mu.Unlock()
+		}
+	}
+
+	procs := make([]*exec.Cmd, 3)
+	for i := range procs {
+		procs[i] = spawnWorker(t, f.Addr(), spec.ID, fmt.Sprintf("w%d", i))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	got, err := e.Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range procs {
+		if err := p.Wait(); err != nil {
+			t.Errorf("worker %d did not exit cleanly: %v", i, err)
+		}
+	}
+
+	got.Normalize()
+	want.Normalize()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("fleet CampaignResult diverges from in-process run:\n got %+v\nwant %+v", got.Total, want.Total)
+	}
+	gotRep := experiments.NewCampaignReport(got, cfg.Benchmarks)
+	wantRep := experiments.NewCampaignReport(want, cfg.Benchmarks)
+	if !reflect.DeepEqual(gotRep, wantRep) {
+		t.Error("fleet CampaignReport diverges from in-process run")
+	}
+	if got.Total.Recovery.Attempts == 0 {
+		t.Error("recovery engine never fired; differential did not exercise recovery stats")
+	}
+	if n := int(outcomes.Load()); n != cfg.InjectionsPerBenchmark {
+		t.Errorf("observed %d fresh outcome events, want %d", n, cfg.InjectionsPerBenchmark)
+	}
+	st := f.Stats()
+	if st.Records < int64(cfg.InjectionsPerBenchmark) {
+		t.Errorf("fleet ingested %d records, want >= %d", st.Records, cfg.InjectionsPerBenchmark)
+	}
+	if st.Damaged != 0 {
+		t.Errorf("fleet counted %d damaged records on a clean loopback", st.Damaged)
+	}
+}
+
+// TestFleetKillAndResumeBitIdentical kills one worker process mid-flight,
+// interrupts the coordinator mid-campaign, then resumes from the WAL with
+// the surviving workers — and the final result is still bit-identical to
+// the uninterrupted in-process run.
+func TestFleetKillAndResumeBitIdentical(t *testing.T) {
+	spec, cfg, specJSON := fleetSpec(t, "fleet-kill")
+	want, err := inject.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	meta := store.Meta{
+		CampaignID:  spec.ID,
+		Benchmarks:  cfg.Benchmarks,
+		Injections:  cfg.InjectionsPerBenchmark,
+		Activations: cfg.Activations,
+		Seed:        cfg.Seed,
+	}
+	openStore := func() *store.Store {
+		st, err := store.Open(dir, meta, store.Options{MaxSegmentBytes: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	f, err := NewFleet("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	procs := make([]*exec.Cmd, 3)
+	for i := range procs {
+		procs[i] = spawnWorker(t, f.Addr(), spec.ID, fmt.Sprintf("w%d", i))
+	}
+
+	// Run 1: kill worker process 0 after the 6th outcome, cancel the
+	// coordinator after the 14th.
+	st1 := openStore()
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	e1 := &Engine{Store: st1, Fleet: f, Spec: specJSON, ShardSize: 5, ShardTimeout: 10 * time.Second}
+	var outcomes atomic.Int64
+	var killOnce, cancelOnce sync.Once
+	e1.OnEvent = func(ev Event) {
+		if ev.Type == EventOutcome {
+			switch outcomes.Add(1) {
+			case 6:
+				killOnce.Do(func() { procs[0].Process.Kill() })
+			case 14:
+				cancelOnce.Do(cancel1)
+			}
+		}
+	}
+	if _, err := e1.Run(ctx1, cfg); err == nil {
+		t.Fatal("interrupted coordinator run returned nil error")
+	}
+	firstCount := st1.TotalCount()
+	if firstCount == 0 || firstCount >= cfg.InjectionsPerBenchmark {
+		t.Fatalf("first run stored %d outcomes; the interruption did not land mid-campaign", firstCount)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 2: resume from the WAL. The two surviving worker processes are
+	// still redialing and find the campaign again.
+	st2 := openStore()
+	defer st2.Close()
+	e2 := &Engine{Store: st2, Fleet: f, Spec: specJSON, ShardSize: 5, ShardTimeout: 30 * time.Second}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel2()
+	got, err := e2.Run(ctx2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range procs[1:] {
+		if err := p.Wait(); err != nil {
+			t.Errorf("surviving worker %d did not exit cleanly: %v", i+1, err)
+		}
+	}
+
+	got.Normalize()
+	want.Normalize()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed fleet result diverges from uninterrupted run:\n got %+v\nwant %+v", got.Total, want.Total)
+	}
+	if !reflect.DeepEqual(experiments.NewCampaignReport(got, cfg.Benchmarks),
+		experiments.NewCampaignReport(want, cfg.Benchmarks)) {
+		t.Error("resumed fleet CampaignReport diverges from uninterrupted run")
+	}
+}
+
+// TestFleetGoroutineWorkers runs RunWorker in-process (three goroutines,
+// real TCP) — the fast differential that needs no process spawning, and
+// the one the race detector can see through end to end.
+func TestFleetGoroutineWorkers(t *testing.T) {
+	spec, cfg, specJSON := fleetSpec(t, "fleet-goroutine")
+	want, err := inject.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := NewFleet("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	e := &Engine{
+		Store:        testStore(t, cfg, spec.ID),
+		Fleet:        f,
+		Spec:         specJSON,
+		ShardSize:    5,
+		ShardTimeout: 30 * time.Second,
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = RunWorker(ctx, WorkerOptions{
+				Coordinator:   f.Addr(),
+				Campaign:      spec.ID,
+				Name:          fmt.Sprintf("g%d", i),
+				BatchRecords:  4,
+				FlushInterval: 5 * time.Millisecond,
+				RetryInterval: 20 * time.Millisecond,
+				MaxDials:      600,
+			})
+		}(i)
+	}
+	got, err := e.Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, werr := range errs {
+		if werr != nil {
+			t.Errorf("worker %d: %v", i, werr)
+		}
+	}
+	got.Normalize()
+	want.Normalize()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("goroutine fleet result diverges:\n got %+v\nwant %+v", got.Total, want.Total)
+	}
+}
+
+// --- BenchmarkFleetIngest -------------------------------------------------
+
+// benchShard is one shard's pre-encoded traffic: the exact frames a worker
+// would stream, chunked into batch blocks, plus the shard tally the
+// coordinator's cross-check expects.
+type benchShard struct {
+	indices []int
+	blocks  [][]byte
+	counts  []uint64
+	claimed uint64
+	tally   []byte
+}
+
+// synthOutcome fabricates a varied outcome. Fidelity does not matter —
+// both the shard tally and the coordinator fold see the post-roundtrip
+// record — but variety does: it exercises the interner and the map folds.
+func synthOutcome(i int) inject.Outcome {
+	o := inject.Outcome{DetectedAt: -1}
+	o.Activated = i%4 != 0
+	o.Manifested = o.Activated && i%3 == 0
+	if o.Manifested && i%2 == 0 {
+		o.Detected = core.TechHWException
+		o.DetectedAt = i % 48
+		o.Latency = uint64(i % 977)
+	}
+	o.LongLatency = o.Manifested && i%7 == 0
+	o.Symbol = [3]string{"vmx_handle_exit", "ept_violation", "apic_timer"}[i%3]
+	return o
+}
+
+func buildBenchShards(b *testing.B, bench string, shards, shardSize, batchRecords int) []benchShard {
+	b.Helper()
+	dec := wire.NewDecoder()
+	out := make([]benchShard, shards)
+	var scratch []byte
+	for si := range out {
+		sh := &out[si]
+		sh.indices = make([]int, shardSize)
+		tally := inject.NewTally()
+		var block []byte
+		count := 0
+		flush := func() {
+			if count == 0 {
+				return
+			}
+			sh.blocks = append(sh.blocks, block)
+			sh.counts = append(sh.counts, uint64(count))
+			block, count = nil, 0
+		}
+		for j := 0; j < shardSize; j++ {
+			idx := si*shardSize + j
+			sh.indices[j] = idx
+			o := synthOutcome(idx)
+			start := len(block)
+			block, scratch = wire.AppendRecordFrame(block, scratch, bench, idx, &o)
+			// Fold the decoded record, exactly like the coordinator will.
+			payload, _, err := wire.SplitFrame(block[start:])
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, _, ro, err := dec.DecodeRecord(payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tally.Add(ro)
+			count++
+			if count >= batchRecords {
+				flush()
+			}
+		}
+		flush()
+		sh.claimed = uint64(shardSize)
+		tally.Normalize()
+		sh.tally = wire.AppendTally(nil, tally)
+	}
+	return out
+}
+
+// benchFleetWorker replays pre-encoded shard traffic over a real TCP
+// connection: lease, stream the shard's batch blocks, close with the
+// shard tally, repeat until the coordinator says Done.
+func benchFleetWorker(b *testing.B, addr, campaign string, pre []benchShard) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.(*net.TCPConn).SetNoDelay(true)
+	r := wire.NewReader(conn)
+	roundTrip := func(frame []byte) (wire.Msg, error) {
+		if _, err := conn.Write(frame); err != nil {
+			return wire.Msg{}, err
+		}
+		payload, err := r.Next()
+		if err != nil {
+			return wire.Msg{}, err
+		}
+		return wire.DecodeMsg(payload)
+	}
+	m, err := roundTrip(wire.AppendHello(nil, wire.Hello{Version: wire.ProtoVersion, Campaign: campaign}))
+	if err != nil {
+		return err
+	}
+	if m.Type != wire.MsgWelcome {
+		return fmt.Errorf("expected welcome, got %d", m.Type)
+	}
+	var buf []byte
+	for {
+		m, err := roundTrip(wire.AppendLeaseReq(buf[:0]))
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case wire.MsgDone:
+			return nil
+		case wire.MsgNoWork:
+			time.Sleep(time.Millisecond)
+		case wire.MsgLease:
+			sh := &pre[m.Lease.Shard]
+			lease := m.Lease.ID
+			for bi, blk := range sh.blocks {
+				buf = wire.AppendBatch(buf[:0], wire.Batch{Lease: lease, Records: sh.counts[bi], Block: blk})
+				am, err := roundTrip(buf)
+				if err != nil {
+					return err
+				}
+				if am.Type != wire.MsgBatchAck {
+					return fmt.Errorf("expected batch ack, got %d", am.Type)
+				}
+			}
+			buf = wire.AppendShardDone(buf[:0], wire.ShardDone{Lease: lease, Claimed: sh.claimed, Tally: sh.tally})
+			if am, err := roundTrip(buf); err != nil {
+				return err
+			} else if am.Type != wire.MsgBatchAck {
+				return fmt.Errorf("expected shard-done ack, got %d", am.Type)
+			}
+		default:
+			return fmt.Errorf("unexpected message %d", m.Type)
+		}
+	}
+}
+
+// BenchmarkFleetIngest measures coordinator ingest throughput end to end:
+// 10 workers over TCP loopback stream pre-encoded batches through the full
+// verify → decode → group-commit → lease-accounting → cross-check path
+// into a real WAL store. Reported as inj/s.
+func BenchmarkFleetIngest(b *testing.B) {
+	const (
+		workers      = 10
+		shardSize    = 4096
+		shardCount   = 48
+		batchRecords = 512
+		bench        = "canneal"
+	)
+	total := shardSize * shardCount
+	pre := buildBenchShards(b, bench, shardCount, shardSize, batchRecords)
+	shards := make([][]int, shardCount)
+	for i := range shards {
+		shards[i] = pre[i].indices
+	}
+	cfg := inject.CampaignConfig{Benchmarks: []string{bench}, InjectionsPerBenchmark: total}
+
+	var elapsed time.Duration
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		b.StopTimer()
+		st, err := store.Open(b.TempDir(), store.Meta{
+			CampaignID: "bench-fleet", Benchmarks: cfg.Benchmarks, Injections: total,
+		}, store.Options{MaxSegmentBytes: 1 << 30, SyncEveryBytes: 1 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := NewFleet("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := &Engine{Store: st, Fleet: f, Spec: []byte("{}")}
+		run := newFleetRun(e, cfg, time.Minute, 3)
+		if err := f.register(run); err != nil {
+			b.Fatal(err)
+		}
+		go run.ingestLoop()
+		go run.reap()
+		run.enqueueBench(0, bench, shards)
+
+		b.StartTimer()
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				errs[w] = benchFleetWorker(b, f.Addr(), "bench-fleet", pre)
+			}(w)
+		}
+		if err := run.wait(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		elapsed += time.Since(start)
+		run.finish()
+		wg.Wait()
+		b.StopTimer()
+		for w, werr := range errs {
+			if werr != nil {
+				b.Fatalf("worker %d: %v", w, werr)
+			}
+		}
+		if got := st.TotalCount(); got != total {
+			b.Fatalf("store folded %d records, want %d", got, total)
+		}
+		f.unregister(run.id)
+		run.mu.Lock()
+		run.stopped = true
+		run.mu.Unlock()
+		close(run.done)
+		<-run.ingestDone
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if elapsed > 0 {
+		b.ReportMetric(float64(total)*float64(b.N)/elapsed.Seconds(), "inj/s")
+	}
+}

@@ -61,6 +61,12 @@ type CampaignSpec struct {
 	// ("off"/"none"/"" = no engine, "microreboot", "restore", "policy").
 	// An unknown name is a 400. Mutually exclusive with Recover.
 	Recovery string `json:"recovery,omitempty"`
+	// Execution picks the data plane: "" or "pool" runs the in-process
+	// worker pool, "fleet" leases shards to remote xentry-worker processes
+	// over the binary shard protocol (requires a server started with a
+	// fleet listener). Anything else is a 400. The JSON API stays the
+	// control plane either way.
+	Execution string `json:"execution,omitempty"`
 }
 
 // withDefaults fills the deterministic defaults a local xentry-campaign
@@ -128,6 +134,10 @@ type Config struct {
 	MaxAttempts  int
 	Backoff      time.Duration
 	ShardTimeout time.Duration
+	// Fleet, when set, lets campaigns with Execution "fleet" run over the
+	// remote worker data plane. The server does not own the fleet; the
+	// caller (cmd/xentry-serve) creates and closes it.
+	Fleet *Fleet
 }
 
 // Server is the HTTP coordinator: it owns the campaign registry, one
@@ -263,6 +273,17 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "recover and recovery=%q are mutually exclusive", spec.Recovery)
 		return
 	}
+	switch spec.Execution {
+	case "", "pool":
+	case "fleet":
+		if s.cfg.Fleet == nil {
+			httpError(w, http.StatusBadRequest, "execution \"fleet\" needs a server with a fleet listener")
+			return
+		}
+	default:
+		httpError(w, http.StatusBadRequest, "execution must be \"pool\" or \"fleet\", got %q", spec.Execution)
+		return
+	}
 	if spec.ID != "" && !idPattern.MatchString(spec.ID) {
 		httpError(w, http.StatusBadRequest, "invalid campaign id")
 		return
@@ -370,6 +391,13 @@ func (s *Server) startCampaign(spec CampaignSpec) (*campaign, error) {
 			c.events.publish(ev)
 		},
 	}
+	if spec.Execution == "fleet" {
+		// Fleet mode: the engine leases shards to remote workers; the spec
+		// JSON (also persisted in the store's meta) is what workers derive
+		// their config from.
+		c.engine.Fleet = s.cfg.Fleet
+		c.engine.Spec = specJSON
+	}
 	s.mu.Lock()
 	s.campaigns[spec.ID] = c
 	s.order = append(s.order, spec.ID)
@@ -386,7 +414,10 @@ func (s *Server) runCampaign(c *campaign) {
 		if err != nil {
 			return nil, err
 		}
-		if c.spec.TrainInjections > 0 {
+		// In fleet mode the coordinator never executes an injection and the
+		// plan lists are model-independent, so training happens only on the
+		// workers (each derives the identical model from the spec).
+		if c.spec.TrainInjections > 0 && c.engine.Fleet == nil {
 			sc := experiments.DefaultScale()
 			sc.Seed = c.spec.Seed
 			sc.Activations = c.spec.Activations
@@ -617,6 +648,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "xentry_wal_records_dropped_total %d\n", dropped)
 	fmt.Fprintf(w, "xentry_pruned_total{reason=\"dead\"} %d\n", s.prunedDead.Load())
 	fmt.Fprintf(w, "xentry_pruned_total{reason=\"converged\"} %d\n", s.prunedConverged.Load())
+	if s.cfg.Fleet != nil {
+		fs := s.cfg.Fleet.Stats()
+		fmt.Fprintf(w, "xentry_fleet_workers %d\n", fs.Workers)
+		fmt.Fprintf(w, "xentry_fleet_batches_total %d\n", fs.Batches)
+		fmt.Fprintf(w, "xentry_fleet_records_total %d\n", fs.Records)
+		fmt.Fprintf(w, "xentry_fleet_damaged_records_total %d\n", fs.Damaged)
+		fmt.Fprintf(w, "xentry_fleet_slowdown_acks_total %d\n", fs.Slowdowns)
+		fmt.Fprintf(w, "xentry_fleet_leases_total %d\n", fs.Leases)
+		fmt.Fprintf(w, "xentry_fleet_requeues_total %d\n", fs.Requeues)
+	}
 	s.detectionsMu.Lock()
 	techniques := make([]string, 0, len(s.detections))
 	for name := range s.detections {

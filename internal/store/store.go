@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"xentry/internal/inject"
+	"xentry/internal/wire"
 )
 
 // Meta pins the identity of the campaign a store directory belongs to.
@@ -52,6 +53,12 @@ type Options struct {
 	// ReadOnly opens the store for folding only: no segment is created and
 	// Record fails. Used to render figures from a finished campaign.
 	ReadOnly bool
+	// SyncEveryBytes fsyncs the active segment once at least this many
+	// bytes have been appended since the last sync — the group-commit knob
+	// for the batched ingest path, bounding how much acknowledged data a
+	// host crash can lose without paying an fsync per record or per batch.
+	// 0 keeps the historical behaviour: sync only at rotation and Close.
+	SyncEveryBytes int64
 }
 
 const (
@@ -100,6 +107,14 @@ type Store struct {
 	seg      *os.File
 	segIndex int
 	segBytes int64
+	unsynced int64
+
+	// batchBuf and freshIdx are AppendBatch's reusable scratch; wdec is
+	// the lazily built binary-record decoder shared by replay and batch
+	// appends (both run under mu).
+	batchBuf []byte
+	freshIdx []int
+	wdec     *wire.Decoder
 }
 
 // Open creates a store in dir, or resumes the one already there. For a new
@@ -308,26 +323,56 @@ func (s *Store) replaySegment(n int) error {
 			s.dropped++ // payload corrupt, framing intact: skip one record
 			continue
 		}
-		var rec walRecord
-		if err := json.Unmarshal(payload, &rec); err != nil {
+		bench, index, o, err := s.decodeRecord(payload)
+		if err != nil {
 			s.dropped++
 			continue
 		}
-		if rec.Index < 0 || (s.meta.Injections > 0 && rec.Index >= s.meta.Injections) {
+		if index < 0 || (s.meta.Injections > 0 && index >= s.meta.Injections) {
 			// An index outside the campaign's plan range is damage even when
 			// the CRC holds (and folding it would grow the dedup bitmap to
 			// the claimed index).
 			s.dropped++
 			continue
 		}
-		s.fold(rec.Bench, rec.Index, rec.Outcome)
+		s.fold(bench, index, o)
 	}
 	return nil
+}
+
+// decodeRecord decodes one intact record payload. Segments mix two
+// encodings — the historical JSON records (payloads start with '{') and
+// the fleet's binary records (wire.RecFormat leading byte, appended
+// verbatim from worker batches) — distinguished by a one-byte sniff.
+func (s *Store) decodeRecord(payload []byte) (bench string, index int, o inject.Outcome, err error) {
+	if len(payload) > 0 && payload[0] == wire.RecFormat {
+		if s.wdec == nil {
+			s.wdec = wire.NewDecoder()
+		}
+		return s.wdec.DecodeRecord(payload)
+	}
+	var rec walRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return "", 0, inject.Outcome{}, err
+	}
+	return rec.Bench, rec.Index, rec.Outcome, nil
 }
 
 // fold merges one outcome into the in-memory state, deduplicating by
 // (benchmark, index). It reports whether the outcome was new.
 func (s *Store) fold(bench string, index int, o inject.Outcome) bool {
+	if !s.markLocked(bench, index) {
+		return false
+	}
+	s.tallyLocked(bench, o)
+	return true
+}
+
+// markLocked claims (bench, index) in the dedup bitmap, reporting whether
+// it was fresh. AppendBatch claims entries before the group write and
+// tallies them after it succeeds, so a failed write can roll the claims
+// back (unmarkLocked) without having touched the tallies.
+func (s *Store) markLocked(bench string, index int) bool {
 	if index < 0 {
 		return false
 	}
@@ -342,6 +387,17 @@ func (s *Store) fold(bench string, index int, o inject.Outcome) bool {
 	}
 	bits[index/64] |= 1 << (index % 64)
 	s.have[bench] = bits
+	return true
+}
+
+func (s *Store) unmarkLocked(bench string, index int) {
+	if bits := s.have[bench]; index >= 0 && index/64 < len(bits) {
+		bits[index/64] &^= 1 << (index % 64)
+	}
+}
+
+// tallyLocked folds a freshly marked outcome into the counts and tallies.
+func (s *Store) tallyLocked(bench string, o inject.Outcome) {
 	s.counts[bench]++
 	t := s.tallies[bench]
 	if t == nil {
@@ -349,7 +405,6 @@ func (s *Store) fold(bench string, index int, o inject.Outcome) bool {
 		s.tallies[bench] = t
 	}
 	t.Add(o)
-	return true
 }
 
 // Has reports whether an outcome for (bench, index) is stored. It is part
@@ -388,11 +443,108 @@ func (s *Store) Record(bench string, index int, o inject.Outcome) error {
 		return fmt.Errorf("store: append: %w", err)
 	}
 	s.segBytes += int64(frameHeader + len(payload))
+	s.unsynced += int64(frameHeader + len(payload))
 	s.fold(bench, index, o)
+	return s.commitLocked()
+}
+
+// commitLocked finishes an append: rotate past full segments, group-sync
+// past the unsynced-bytes threshold.
+func (s *Store) commitLocked() error {
 	if s.segBytes >= s.opts.MaxSegmentBytes {
 		return s.rotateLocked()
 	}
+	if s.opts.SyncEveryBytes > 0 && s.unsynced >= s.opts.SyncEveryBytes {
+		if err := s.seg.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		s.unsynced = 0
+	}
 	return nil
+}
+
+// BatchEntry is one record of an AppendBatch call.
+type BatchEntry struct {
+	Bench   string
+	Index   int
+	Outcome inject.Outcome
+	// Frame optionally carries the record already framed in the binary
+	// wire encoding (wire.AppendRecordFrame). It MUST encode exactly
+	// (Bench, Index, Outcome) with a valid CRC — the fleet ingest path
+	// satisfies this by construction, having decoded Outcome from the
+	// frame after verifying it — and is appended to the WAL verbatim, so
+	// the hot path never re-encodes. A nil Frame falls back to the JSON
+	// encoding Record uses.
+	Frame []byte
+	// Fresh is an out-field: AppendBatch sets it to whether this entry was
+	// newly folded (not a duplicate of the store or of an earlier entry in
+	// the batch). Callers use it to emit per-outcome events for exactly the
+	// records that counted.
+	Fresh bool
+}
+
+// AppendBatch group-commits a batch of records: one lock acquisition, one
+// dedup pass, one contiguous segment write, one rotation/sync decision.
+// Duplicates — against the store and within the batch — are skipped
+// exactly as Record skips them. It returns how many entries were fresh.
+// Replaying a WAL written by AppendBatch is indistinguishable from one
+// written record-by-record: the bytes are the same frames in the same
+// order.
+func (s *Store) AppendBatch(entries []BatchEntry) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("store: closed")
+	}
+	if s.opts.ReadOnly {
+		return 0, fmt.Errorf("store: read-only")
+	}
+	buf := s.batchBuf[:0]
+	fresh := s.freshIdx[:0]
+	for i := range entries {
+		e := &entries[i]
+		e.Fresh = false
+		if !s.markLocked(e.Bench, e.Index) {
+			continue
+		}
+		e.Fresh = true
+		fresh = append(fresh, i)
+		if e.Frame != nil {
+			buf = append(buf, e.Frame...)
+			continue
+		}
+		payload, err := json.Marshal(walRecord{Bench: e.Bench, Index: e.Index, Outcome: e.Outcome})
+		if err != nil {
+			for _, j := range fresh {
+				s.unmarkLocked(entries[j].Bench, entries[j].Index)
+				entries[j].Fresh = false
+			}
+			return 0, fmt.Errorf("store: %w", err)
+		}
+		var hdr [frameHeader]byte
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+		buf = append(append(buf, hdr[:]...), payload...)
+	}
+	s.batchBuf, s.freshIdx = buf, fresh[:0]
+	if len(fresh) == 0 {
+		return 0, nil
+	}
+	if _, err := s.seg.Write(buf); err != nil {
+		// The claims roll back so the batch can be retried; the segment
+		// tail may hold a torn prefix of the batch, which replay drops.
+		for _, j := range fresh {
+			s.unmarkLocked(entries[j].Bench, entries[j].Index)
+			entries[j].Fresh = false
+		}
+		return 0, fmt.Errorf("store: append: %w", err)
+	}
+	s.segBytes += int64(len(buf))
+	s.unsynced += int64(len(buf))
+	for _, j := range fresh {
+		s.tallyLocked(entries[j].Bench, entries[j].Outcome)
+	}
+	return len(fresh), s.commitLocked()
 }
 
 // rotateLocked seals the active segment, snapshots the folded state
@@ -401,6 +553,7 @@ func (s *Store) rotateLocked() error {
 	if err := s.seg.Sync(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	s.unsynced = 0
 	if err := s.seg.Close(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}

@@ -1,0 +1,53 @@
+package wire_test
+
+import (
+	"testing"
+
+	"xentry/internal/inject"
+	"xentry/internal/wire"
+)
+
+// BenchmarkWireCodec measures the fleet hot path per outcome: encode on
+// the worker side, frame-split + decode on the coordinator side. Both
+// directions must be allocation-free in steady state (buffers and intern
+// maps are reused), since at 500k inj/s through one coordinator every
+// per-record allocation is GC pressure the ingest loop cannot afford.
+func BenchmarkWireCodec(b *testing.B) {
+	outcomes := make([]inject.Outcome, 64)
+	for i := range outcomes {
+		outcomes[i] = genOutcome(i)
+	}
+
+	b.Run("encode", func(b *testing.B) {
+		var frame, scratch []byte
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o := &outcomes[i%len(outcomes)]
+			frame, scratch = wire.AppendRecordFrame(frame[:0], scratch, "canneal", i, o)
+		}
+		if len(frame) == 0 {
+			b.Fatal("no frame")
+		}
+	})
+
+	b.Run("decode", func(b *testing.B) {
+		frames := make([][]byte, len(outcomes))
+		var scratch []byte
+		for i := range outcomes {
+			frames[i], scratch = wire.AppendRecordFrame(nil, scratch, "canneal", i, &outcomes[i])
+		}
+		d := wire.NewDecoder()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			payload, _, err := wire.SplitFrame(frames[i%len(frames)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, _, err := d.DecodeRecord(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,344 @@
+package wire
+
+import (
+	"fmt"
+
+	"xentry/internal/detect"
+	"xentry/internal/guest"
+	"xentry/internal/inject"
+	"xentry/internal/isa"
+	"xentry/internal/ml"
+	"xentry/internal/recovery"
+)
+
+// RecFormat is the leading byte of every binary outcome record payload.
+// The result store's JSON records start with '{' (0x7b), so a one-byte
+// sniff of an intact payload tells replay which decoder to use; bumping
+// this byte is how a future incompatible record layout announces itself.
+const RecFormat byte = 0x01
+
+// Outcome record payload layout (all integers varint unless noted):
+//
+//	format   byte      RecFormat
+//	bench    string    benchmark name
+//	index    uvarint   plan index within the benchmark
+//	flags    uvarint   bool bitmask (see flag* below)
+//	plan     uvarint activation, uvarint step, byte reg, byte bit
+//	detected string    technique name ("" = none)
+//	detectedAt zigzag
+//	latency  uvarint
+//	consequence, diffKind, cause  zigzag
+//	symbol   string
+//	pruned   byte
+//	features 5×uvarint                 only when flagHasFeatures
+//	recovery byte strategy, string technique, byte cause,
+//	         zigzag activation, uvarint reSteps, byte class
+//	                                   only when flagRecAttempted
+//
+// Techniques travel by registered name, never by numeric ID: the
+// technique registry is open and auto-registering, so IDs depend on a
+// process's plugin registration order and would mis-attribute detections
+// the moment a worker and coordinator load different detector sets.
+const (
+	flagRecovered = 1 << iota
+	flagActivated
+	flagManifested
+	flagLongLatency
+	flagHang
+	flagFeaturesDiffer
+	flagHasFeatures
+	flagRecAttempted
+	flagRecReExecuted
+)
+
+// techName is the wire spelling of a technique: empty for TechNone
+// (saving a byte on the overwhelmingly common case), the registered name
+// otherwise.
+func techName(t detect.Technique) string {
+	if t == detect.TechNone {
+		return ""
+	}
+	if name, ok := detect.TechniqueName(t); ok {
+		return name
+	}
+	return t.String()
+}
+
+// AppendOutcome appends the outcome's field block (everything after the
+// bench/index header of a record) to dst.
+func AppendOutcome(dst []byte, o *inject.Outcome) []byte {
+	var flags uint64
+	setFlag := func(bit uint64, on bool) {
+		if on {
+			flags |= bit
+		}
+	}
+	setFlag(flagRecovered, o.Recovered)
+	setFlag(flagActivated, o.Activated)
+	setFlag(flagManifested, o.Manifested)
+	setFlag(flagLongLatency, o.LongLatency)
+	setFlag(flagHang, o.Hang)
+	setFlag(flagFeaturesDiffer, o.FeaturesDiffer)
+	setFlag(flagHasFeatures, o.HasFeatures)
+	setFlag(flagRecAttempted, o.Recovery.Attempted)
+	setFlag(flagRecReExecuted, o.Recovery.ReExecuted)
+	dst = appendUvarint(dst, flags)
+	dst = appendUvarint(dst, uint64(o.Plan.Activation))
+	dst = appendUvarint(dst, o.Plan.Step)
+	dst = append(dst, byte(o.Plan.Reg), o.Plan.Bit)
+	dst = appendString(dst, techName(o.Detected))
+	dst = appendInt(dst, int64(o.DetectedAt))
+	dst = appendUvarint(dst, o.Latency)
+	dst = appendInt(dst, int64(o.Consequence))
+	dst = appendInt(dst, int64(o.DiffKind))
+	dst = appendInt(dst, int64(o.Cause))
+	dst = appendString(dst, o.Symbol)
+	dst = append(dst, byte(o.Pruned))
+	if o.HasFeatures {
+		for _, f := range o.Features {
+			dst = appendUvarint(dst, f)
+		}
+	}
+	if o.Recovery.Attempted {
+		r := &o.Recovery
+		dst = append(dst, byte(r.Strategy))
+		dst = appendString(dst, techName(r.Technique))
+		dst = append(dst, byte(r.Cause))
+		dst = appendInt(dst, int64(r.Activation))
+		dst = appendUvarint(dst, r.ReSteps)
+		dst = append(dst, byte(r.Class))
+	}
+	return dst
+}
+
+// AppendRecord appends one full record payload (format byte + bench +
+// index + outcome) to dst.
+func AppendRecord(dst []byte, bench string, index int, o *inject.Outcome) []byte {
+	dst = append(dst, RecFormat)
+	dst = appendString(dst, bench)
+	dst = appendUvarint(dst, uint64(index))
+	return AppendOutcome(dst, o)
+}
+
+// AppendRecordFrame appends one CRC-framed record to dst, using scratch
+// (reused across calls, may be nil) for the payload so steady-state
+// encoding does not allocate. It returns the frame buffer and the scratch
+// for the next call. The produced frame is byte-compatible with a WAL
+// segment record: the store appends it verbatim.
+func AppendRecordFrame(dst, scratch []byte, bench string, index int, o *inject.Outcome) (frame, newScratch []byte) {
+	scratch = AppendRecord(scratch[:0], bench, index, o)
+	return AppendFrame(dst, scratch), scratch
+}
+
+// Decoder decodes outcome records, interning benchmark names, symbols and
+// technique IDs so steady-state decoding is allocation-free (map lookups
+// keyed by string(bytes) do not allocate; only the first sighting of each
+// distinct name does). A Decoder is not safe for concurrent use; the
+// coordinator holds one per ingest goroutine.
+type Decoder struct {
+	strs  map[string]string
+	techs map[string]detect.Technique
+}
+
+// NewDecoder returns a ready Decoder.
+func NewDecoder() *Decoder {
+	return &Decoder{
+		strs:  make(map[string]string),
+		techs: make(map[string]detect.Technique),
+	}
+}
+
+func (d *Decoder) internString(raw []byte) string {
+	if len(raw) == 0 {
+		return ""
+	}
+	if s, ok := d.strs[string(raw)]; ok {
+		return s
+	}
+	s := string(raw)
+	d.strs[s] = s
+	return s
+}
+
+func (d *Decoder) internTech(raw []byte) (detect.Technique, error) {
+	if len(raw) == 0 {
+		return detect.TechNone, nil
+	}
+	if t, ok := d.techs[string(raw)]; ok {
+		return t, nil
+	}
+	var t detect.Technique
+	if err := t.UnmarshalText(raw); err != nil {
+		return detect.TechNone, err
+	}
+	d.techs[string(raw)] = t
+	return t, nil
+}
+
+// DecodeRecord decodes one full record payload produced by AppendRecord.
+// The payload must begin with RecFormat and contain exactly one record;
+// trailing bytes are an error (a record frame carries one record).
+func (d *Decoder) DecodeRecord(payload []byte) (bench string, index int, o inject.Outcome, err error) {
+	f, rest, err := consumeByte(payload)
+	if err != nil {
+		return "", 0, inject.Outcome{}, err
+	}
+	if f != RecFormat {
+		return "", 0, inject.Outcome{}, fmt.Errorf("wire: unknown record format 0x%02x", f)
+	}
+	rawBench, rest, err := consumeStringBytes(rest)
+	if err != nil {
+		return "", 0, inject.Outcome{}, err
+	}
+	idx, rest, err := consumeUvarint(rest)
+	if err != nil {
+		return "", 0, inject.Outcome{}, err
+	}
+	if idx > 1<<31 {
+		return "", 0, inject.Outcome{}, fmt.Errorf("wire: record index %d out of range", idx)
+	}
+	o, rest, err = d.decodeOutcome(rest)
+	if err != nil {
+		return "", 0, inject.Outcome{}, err
+	}
+	if len(rest) != 0 {
+		return "", 0, inject.Outcome{}, fmt.Errorf("wire: %d trailing bytes after record", len(rest))
+	}
+	return d.internString(rawBench), int(idx), o, nil
+}
+
+func (d *Decoder) decodeOutcome(b []byte) (inject.Outcome, []byte, error) {
+	var o inject.Outcome
+	fail := func(err error) (inject.Outcome, []byte, error) { return inject.Outcome{}, nil, err }
+	flags, b, err := consumeUvarint(b)
+	if err != nil {
+		return fail(err)
+	}
+	o.Recovered = flags&flagRecovered != 0
+	o.Activated = flags&flagActivated != 0
+	o.Manifested = flags&flagManifested != 0
+	o.LongLatency = flags&flagLongLatency != 0
+	o.Hang = flags&flagHang != 0
+	o.FeaturesDiffer = flags&flagFeaturesDiffer != 0
+	o.HasFeatures = flags&flagHasFeatures != 0
+
+	act, b, err := consumeUvarint(b)
+	if err != nil {
+		return fail(err)
+	}
+	if act > 1<<31 {
+		return fail(fmt.Errorf("wire: plan activation %d out of range", act))
+	}
+	o.Plan.Activation = int(act)
+	if o.Plan.Step, b, err = consumeUvarint(b); err != nil {
+		return fail(err)
+	}
+	var reg byte
+	if reg, b, err = consumeByte(b); err != nil {
+		return fail(err)
+	}
+	o.Plan.Reg = isa.Reg(reg)
+	if o.Plan.Bit, b, err = consumeByte(b); err != nil {
+		return fail(err)
+	}
+	rawTech, b, err := consumeStringBytes(b)
+	if err != nil {
+		return fail(err)
+	}
+	if o.Detected, err = d.internTech(rawTech); err != nil {
+		return fail(err)
+	}
+	var v int64
+	if v, b, err = consumeInt(b); err != nil {
+		return fail(err)
+	}
+	o.DetectedAt = int(v)
+	if o.Latency, b, err = consumeUvarint(b); err != nil {
+		return fail(err)
+	}
+	if v, b, err = consumeInt(b); err != nil {
+		return fail(err)
+	}
+	o.Consequence = guest.Consequence(v)
+	if v, b, err = consumeInt(b); err != nil {
+		return fail(err)
+	}
+	o.DiffKind = guest.DiffKind(v)
+	if v, b, err = consumeInt(b); err != nil {
+		return fail(err)
+	}
+	o.Cause = inject.Cause(v)
+	rawSym, b, err := consumeStringBytes(b)
+	if err != nil {
+		return fail(err)
+	}
+	o.Symbol = d.internString(rawSym)
+	var pk byte
+	if pk, b, err = consumeByte(b); err != nil {
+		return fail(err)
+	}
+	o.Pruned = inject.PruneKind(pk)
+	if o.HasFeatures {
+		for i := 0; i < ml.NumFeatures; i++ {
+			if o.Features[i], b, err = consumeUvarint(b); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if flags&flagRecAttempted != 0 {
+		o.Recovery.Attempted = true
+		o.Recovery.ReExecuted = flags&flagRecReExecuted != 0
+		var by byte
+		if by, b, err = consumeByte(b); err != nil {
+			return fail(err)
+		}
+		o.Recovery.Strategy = recovery.Strategy(by)
+		if rawTech, b, err = consumeStringBytes(b); err != nil {
+			return fail(err)
+		}
+		if o.Recovery.Technique, err = d.internTech(rawTech); err != nil {
+			return fail(err)
+		}
+		if by, b, err = consumeByte(b); err != nil {
+			return fail(err)
+		}
+		o.Recovery.Cause = recovery.Cause(by)
+		if v, b, err = consumeInt(b); err != nil {
+			return fail(err)
+		}
+		o.Recovery.Activation = int(v)
+		if o.Recovery.ReSteps, b, err = consumeUvarint(b); err != nil {
+			return fail(err)
+		}
+		if by, b, err = consumeByte(b); err != nil {
+			return fail(err)
+		}
+		o.Recovery.Class = recovery.Class(by)
+	}
+	return o, b, nil
+}
+
+// WalkRecords iterates a block of concatenated record frames (a batch
+// payload), calling fn with each intact record payload. Records whose CRC
+// fails are counted in damaged and skipped — exactly the WAL's per-record
+// damage semantics — while framing corruption (torn header, absurd
+// length) stops the walk with ErrFraming, since nothing after it can be
+// re-synchronized. fn's error aborts the walk.
+func WalkRecords(block []byte, fn func(payload []byte) error) (damaged int, err error) {
+	for len(block) > 0 {
+		payload, rest, err := SplitFrame(block)
+		if err == ErrChecksum {
+			damaged++
+			block = rest
+			continue
+		}
+		if err != nil {
+			return damaged, err
+		}
+		if err := fn(payload); err != nil {
+			return damaged, err
+		}
+		block = rest
+	}
+	return damaged, nil
+}

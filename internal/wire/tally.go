@@ -1,0 +1,340 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+
+	"xentry/internal/core"
+	"xentry/internal/guest"
+	"xentry/internal/inject"
+	"xentry/internal/recovery"
+)
+
+// Tally codec. Workers attach their shard tally to MsgShardDone so the
+// coordinator can cross-check its own fold of the streamed records; the
+// encoding is deterministic (map entries sorted — techniques by name, so
+// byte equality holds across processes with different registration
+// orders) and every count rides a uvarint.
+
+// maxTallyEntries bounds every map/list count in a decoded tally. Real
+// tallies have a handful of techniques and consequence classes and at
+// most Injections latencies; the bound keeps a corrupt count from turning
+// into a giant allocation before per-entry consumption fails naturally.
+const maxTallyEntries = 1 << 20
+
+func techKeys[V any](m map[core.Technique]V) []core.Technique {
+	keys := make([]core.Technique, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return techName(keys[i]) < techName(keys[j]) })
+	return keys
+}
+
+// AppendTally appends the tally's encoding to dst.
+func AppendTally(dst []byte, t *inject.Tally) []byte {
+	for _, v := range []int{
+		t.Injections, t.NonActivated, t.Benign, t.Manifested, t.Undetected,
+		t.LongLatency, t.LongLatencyDetected, t.Hangs, t.FalsePositives,
+		t.Recovered, t.RecoveredClean,
+		t.Prune.Dead, t.Prune.Converged, t.Prune.Full,
+	} {
+		dst = appendUvarint(dst, uint64(v))
+	}
+	dst = appendUvarint(dst, uint64(len(t.DetectedBy)))
+	for _, k := range techKeys(t.DetectedBy) {
+		dst = appendString(dst, techName(k))
+		dst = appendUvarint(dst, uint64(t.DetectedBy[k]))
+	}
+	dst = appendUvarint(dst, uint64(len(t.ByConsequence)))
+	consKeys := make([]guest.Consequence, 0, len(t.ByConsequence))
+	for k := range t.ByConsequence {
+		consKeys = append(consKeys, k)
+	}
+	sort.Slice(consKeys, func(i, j int) bool { return consKeys[i] < consKeys[j] })
+	for _, k := range consKeys {
+		ct := t.ByConsequence[k]
+		dst = appendInt(dst, int64(k))
+		dst = appendUvarint(dst, uint64(ct.Total))
+		dst = appendUvarint(dst, uint64(ct.Detected))
+	}
+	dst = appendUvarint(dst, uint64(len(t.ByCause)))
+	causeKeys := make([]inject.Cause, 0, len(t.ByCause))
+	for k := range t.ByCause {
+		causeKeys = append(causeKeys, k)
+	}
+	sort.Slice(causeKeys, func(i, j int) bool { return causeKeys[i] < causeKeys[j] })
+	for _, k := range causeKeys {
+		dst = appendInt(dst, int64(k))
+		dst = appendUvarint(dst, uint64(t.ByCause[k]))
+	}
+	dst = appendUvarint(dst, uint64(len(t.Latencies)))
+	for _, k := range techKeys(t.Latencies) {
+		dst = appendString(dst, techName(k))
+		lats := t.Latencies[k]
+		dst = appendUvarint(dst, uint64(len(lats)))
+		for _, l := range lats {
+			dst = appendUvarint(dst, l)
+		}
+	}
+	return appendRecoveryStats(dst, &t.Recovery)
+}
+
+func appendRecoveryStats(dst []byte, s *inject.RecoveryStats) []byte {
+	dst = appendUvarint(dst, uint64(s.Attempts))
+	if s.Attempts == 0 {
+		return dst
+	}
+	dst = appendUvarint(dst, uint64(len(s.ByStrategy)))
+	strats := make([]recovery.Strategy, 0, len(s.ByStrategy))
+	for k := range s.ByStrategy {
+		strats = append(strats, k)
+	}
+	sort.Slice(strats, func(i, j int) bool { return strats[i] < strats[j] })
+	for _, k := range strats {
+		dst = append(dst, byte(k))
+		dst = appendUvarint(dst, uint64(s.ByStrategy[k]))
+	}
+	dst = appendUvarint(dst, uint64(len(s.ByClass)))
+	classes := make([]recovery.Class, 0, len(s.ByClass))
+	for k := range s.ByClass {
+		classes = append(classes, k)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, k := range classes {
+		dst = append(dst, byte(k))
+		dst = appendUvarint(dst, uint64(s.ByClass[k]))
+	}
+	dst = appendUvarint(dst, uint64(len(s.ByTechnique)))
+	for _, k := range techKeys(s.ByTechnique) {
+		ts := s.ByTechnique[k]
+		dst = appendString(dst, techName(k))
+		dst = appendUvarint(dst, uint64(ts.Attempts))
+		dst = appendUvarint(dst, uint64(len(ts.ByClass)))
+		tcl := make([]recovery.Class, 0, len(ts.ByClass))
+		for c := range ts.ByClass {
+			tcl = append(tcl, c)
+		}
+		sort.Slice(tcl, func(i, j int) bool { return tcl[i] < tcl[j] })
+		for _, c := range tcl {
+			dst = append(dst, byte(c))
+			dst = appendUvarint(dst, uint64(ts.ByClass[c]))
+		}
+		dst = appendUvarint(dst, uint64(len(ts.Latencies)))
+		for _, l := range ts.Latencies {
+			dst = appendUvarint(dst, l)
+		}
+	}
+	return dst
+}
+
+func consumeCount(b []byte) (int, []byte, error) {
+	n, rest, err := consumeUvarint(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > maxTallyEntries {
+		return 0, nil, fmt.Errorf("wire: tally count %d exceeds bound", n)
+	}
+	return int(n), rest, nil
+}
+
+// DecodeTally decodes one tally and returns it with the remaining bytes.
+// The result's top-level maps are always non-nil (like inject.NewTally),
+// while RecoveryStats maps stay nil at zero attempts, matching what the
+// engine's own fold produces — so a decoded tally DeepEquals a locally
+// folded one.
+func (d *Decoder) DecodeTally(b []byte) (*inject.Tally, []byte, error) {
+	t := inject.NewTally()
+	var err error
+	for _, p := range []*int{
+		&t.Injections, &t.NonActivated, &t.Benign, &t.Manifested, &t.Undetected,
+		&t.LongLatency, &t.LongLatencyDetected, &t.Hangs, &t.FalsePositives,
+		&t.Recovered, &t.RecoveredClean,
+		&t.Prune.Dead, &t.Prune.Converged, &t.Prune.Full,
+	} {
+		var v uint64
+		if v, b, err = consumeUvarint(b); err != nil {
+			return nil, nil, err
+		}
+		*p = int(v)
+	}
+	var n int
+	if n, b, err = consumeCount(b); err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < n; i++ {
+		var k core.Technique
+		var v uint64
+		if k, b, err = d.consumeTech(b); err != nil {
+			return nil, nil, err
+		}
+		if v, b, err = consumeUvarint(b); err != nil {
+			return nil, nil, err
+		}
+		t.DetectedBy[k] = int(v)
+	}
+	if n, b, err = consumeCount(b); err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < n; i++ {
+		var k, total, det int64
+		var u uint64
+		if k, b, err = consumeInt(b); err != nil {
+			return nil, nil, err
+		}
+		if u, b, err = consumeUvarint(b); err != nil {
+			return nil, nil, err
+		}
+		total = int64(u)
+		if u, b, err = consumeUvarint(b); err != nil {
+			return nil, nil, err
+		}
+		det = int64(u)
+		t.ByConsequence[guest.Consequence(k)] = &inject.ConsequenceTally{Total: int(total), Detected: int(det)}
+	}
+	if n, b, err = consumeCount(b); err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < n; i++ {
+		var k int64
+		var v uint64
+		if k, b, err = consumeInt(b); err != nil {
+			return nil, nil, err
+		}
+		if v, b, err = consumeUvarint(b); err != nil {
+			return nil, nil, err
+		}
+		t.ByCause[inject.Cause(k)] = int(v)
+	}
+	if n, b, err = consumeCount(b); err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < n; i++ {
+		var k core.Technique
+		if k, b, err = d.consumeTech(b); err != nil {
+			return nil, nil, err
+		}
+		var lats []uint64
+		if lats, b, err = consumeLatencies(b); err != nil {
+			return nil, nil, err
+		}
+		t.Latencies[k] = lats
+	}
+	if b, err = d.consumeRecoveryStats(b, &t.Recovery); err != nil {
+		return nil, nil, err
+	}
+	return t, b, nil
+}
+
+func (d *Decoder) consumeTech(b []byte) (core.Technique, []byte, error) {
+	raw, rest, err := consumeStringBytes(b)
+	if err != nil {
+		return core.TechNone, nil, err
+	}
+	t, err := d.internTech(raw)
+	if err != nil {
+		return core.TechNone, nil, err
+	}
+	return t, rest, nil
+}
+
+func consumeLatencies(b []byte) ([]uint64, []byte, error) {
+	n, b, err := consumeCount(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	hint := n
+	if hint > len(b) { // every latency consumes >= 1 byte
+		hint = len(b)
+	}
+	lats := make([]uint64, 0, hint)
+	for i := 0; i < n; i++ {
+		var l uint64
+		if l, b, err = consumeUvarint(b); err != nil {
+			return nil, nil, err
+		}
+		lats = append(lats, l)
+	}
+	return lats, b, nil
+}
+
+func (d *Decoder) consumeRecoveryStats(b []byte, s *inject.RecoveryStats) ([]byte, error) {
+	att, b, err := consumeUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	s.Attempts = int(att)
+	if att == 0 {
+		return b, nil
+	}
+	s.ByStrategy = map[recovery.Strategy]int{}
+	s.ByClass = map[recovery.Class]int{}
+	s.ByTechnique = map[core.Technique]*inject.RecoveryTechStats{}
+	var n int
+	if n, b, err = consumeCount(b); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var k byte
+		var v uint64
+		if k, b, err = consumeByte(b); err != nil {
+			return nil, err
+		}
+		if v, b, err = consumeUvarint(b); err != nil {
+			return nil, err
+		}
+		s.ByStrategy[recovery.Strategy(k)] = int(v)
+	}
+	if n, b, err = consumeCount(b); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var k byte
+		var v uint64
+		if k, b, err = consumeByte(b); err != nil {
+			return nil, err
+		}
+		if v, b, err = consumeUvarint(b); err != nil {
+			return nil, err
+		}
+		s.ByClass[recovery.Class(k)] = int(v)
+	}
+	if n, b, err = consumeCount(b); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var k core.Technique
+		if k, b, err = d.consumeTech(b); err != nil {
+			return nil, err
+		}
+		ts := &inject.RecoveryTechStats{ByClass: map[recovery.Class]int{}}
+		var v uint64
+		if v, b, err = consumeUvarint(b); err != nil {
+			return nil, err
+		}
+		ts.Attempts = int(v)
+		var m int
+		if m, b, err = consumeCount(b); err != nil {
+			return nil, err
+		}
+		for j := 0; j < m; j++ {
+			var c byte
+			if c, b, err = consumeByte(b); err != nil {
+				return nil, err
+			}
+			if v, b, err = consumeUvarint(b); err != nil {
+				return nil, err
+			}
+			ts.ByClass[recovery.Class(c)] = int(v)
+		}
+		if ts.Latencies, b, err = consumeLatencies(b); err != nil {
+			return nil, err
+		}
+		s.ByTechnique[k] = ts
+	}
+	return b, nil
+}

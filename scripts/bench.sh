@@ -1,6 +1,6 @@
 #!/bin/sh
 # Runs the performance-regression benchmark suite and writes a
-# machine-readable report to BENCH_<tag>.json (default tag: pr7), or to
+# machine-readable report to BENCH_<tag>.json (default tag: pr8), or to
 # an explicit output path when given — CI uses that to archive the JSON
 # as a build artifact and feeds it to cmd/benchgate, which diffs the
 # live numbers against the committed previous report.
@@ -15,7 +15,10 @@
 #   results  — live numbers from this tree: end-to-end campaign
 #              throughput (inj/s) per checkpoint-interval variant, the
 #              interpreter's per-instruction cost (ns/instr) on the fast
-#              and forced-slow paths, and the D-TLB hit/miss cost.
+#              and forced-slow paths, the D-TLB hit/miss cost, the wire
+#              codec's encode/decode cost (must stay 0 allocs/op), and
+#              fleet ingest throughput (inj/s through one coordinator
+#              from 10 loopback workers).
 # Each benchmark runs three times (matching the baseline protocol) and
 # every metric is recorded as a three-element array, so shared-machine
 # noise is visible instead of averaged away. BenchmarkCPURunHot/fast must
@@ -24,7 +27,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-tag="${1:-pr7}"
+tag="${1:-pr8}"
 out="${2:-BENCH_${tag}.json}"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
@@ -32,6 +35,8 @@ trap 'rm -f "$tmp"' EXIT
 go test -run '^$' -bench BenchmarkCampaignThroughput -benchmem -count 3 . >"$tmp"
 go test -run '^$' -bench BenchmarkCPURunHot -benchmem -count 3 ./internal/cpu/ >>"$tmp"
 go test -run '^$' -bench BenchmarkMemAccess -benchmem -count 3 ./internal/mem/ >>"$tmp"
+go test -run '^$' -bench BenchmarkWireCodec -benchmem -count 3 ./internal/wire/ >>"$tmp"
+go test -run '^$' -bench BenchmarkFleetIngest -count 3 ./internal/server/ >>"$tmp"
 
 {
 	printf '{\n'

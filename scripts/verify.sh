@@ -26,7 +26,13 @@ go test -run '^$' -bench . -benchtime 1x ./...
 # translator changes cannot land without surviving randomized programs.
 go test -run FuzzThreadedVsSwitch ./internal/cpu/
 go test -run '^$' -fuzz FuzzThreadedVsSwitch -fuzztime 15s ./internal/cpu/
-go test -race ./internal/cpu/ ./internal/inject/ ./internal/mem/ ./internal/sim/ ./internal/store/ ./internal/server/ ./internal/progress/
+# Wire-protocol fuzzing: the deterministic corpus plus a live burst over
+# the frame splitter / record decoder / message decoder, so codec changes
+# cannot land without surviving adversarial bytes (the fleet coordinator
+# feeds these decoders straight off the network).
+go test -run FuzzWireDecode ./internal/wire/
+go test -run '^$' -fuzz FuzzWireDecode -fuzztime 15s ./internal/wire/
+go test -race ./internal/cpu/ ./internal/inject/ ./internal/mem/ ./internal/sim/ ./internal/store/ ./internal/server/ ./internal/progress/ ./internal/wire/
 # Recovery differential pass: recover=off campaigns must stay
 # bit-identical to the engine-less baseline, microreboot campaigns must
 # be deterministic (including under the race detector's schedule
