@@ -222,6 +222,7 @@ func (f *Fleet) serveConn(conn net.Conn, wid int) {
 		refuse(conn, "fleet: unknown campaign %q", msg.Hello.Campaign)
 		return
 	}
+	conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
 	if _, err := conn.Write(wire.AppendWelcome(nil, wire.Welcome{Version: wire.ProtoVersion, Spec: run.spec})); err != nil {
 		return
 	}
@@ -306,7 +307,14 @@ func (s *fleetSession) batch(out []byte, b *wire.Batch) ([]byte, error) {
 	// One copy per batch: entries and their Frame slices must outlive the
 	// connection reader's buffer, which the next frame reuses.
 	block := append([]byte(nil), b.Block...)
-	entries := make([]store.BatchEntry, 0, b.Records)
+	// Records is sender-controlled: cap the capacity hint at what the
+	// block could physically hold (one header per record, minimum) so a
+	// hostile count can't drive a giant or panicking allocation.
+	hint := uint64(len(block) / wire.FrameHeader)
+	if b.Records < hint {
+		hint = b.Records
+	}
+	entries := make([]store.BatchEntry, 0, hint)
 	damaged := 0
 	rest := block
 	for len(rest) > 0 {
@@ -554,7 +562,11 @@ func (run *fleetRun) grantLease(wid int) *wire.Lease {
 		done, total := run.store.TotalCount(), run.total
 		run.eng.emit(Event{Type: EventShardStart, Campaign: run.id, Bench: sh.bench,
 			Shard: sh.shard, Worker: wid, Attempt: sh.attempt, Done: done, Total: total})
-		return &wire.Lease{ID: l.id, Bench: sh.bench, BenchAt: sh.benchAt, Shard: sh.shard, Indices: sh.indices}
+		// Copy the indices: the wire message is encoded after run.mu is
+		// released, and if the lease expires first, requeue() filters
+		// sh.indices in place on the ingest goroutine.
+		return &wire.Lease{ID: l.id, Bench: sh.bench, BenchAt: sh.benchAt, Shard: sh.shard,
+			Indices: append([]int(nil), sh.indices...)}
 	}
 	return nil
 }
@@ -884,7 +896,12 @@ func (e *Engine) runFleet(ctx context.Context, cfg inject.CampaignConfig) (*inje
 	go func() {
 		select {
 		case <-ctx.Done():
+			// Hold run.mu so the Broadcast can't land between wait()'s
+			// ctx.Err() check and its cond.Wait(), which would lose the
+			// wakeup and leave runFleet parked on a dead context.
+			run.mu.Lock()
 			run.cond.Broadcast()
+			run.mu.Unlock()
 		case <-run.done:
 		}
 	}()

@@ -329,6 +329,69 @@ func TestFleetGoroutineWorkers(t *testing.T) {
 	}
 }
 
+// TestFleetHostileRecordsCount sends a batch whose Records field claims an
+// absurd count over a tiny block: the sender-controlled count is only a
+// capacity hint, so the coordinator must clamp it to what the block can
+// hold — not panic in makeslice or attempt a multi-TB allocation — and the
+// session must stay healthy.
+func TestFleetHostileRecordsCount(t *testing.T) {
+	cfg := inject.CampaignConfig{Benchmarks: []string{"canneal"}, InjectionsPerBenchmark: 8}
+	f, err := NewFleet("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	e := &Engine{Store: testStore(t, cfg, "fleet-hostile"), Fleet: f, Spec: []byte("{}")}
+	run := newFleetRun(e, cfg, time.Minute, 3)
+	if err := f.register(run); err != nil {
+		t.Fatal(err)
+	}
+	go run.ingestLoop()
+	defer func() {
+		f.unregister(run.id)
+		run.mu.Lock()
+		run.stopped = true
+		run.mu.Unlock()
+		close(run.done)
+		<-run.ingestDone
+	}()
+
+	conn, err := net.Dial("tcp", f.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := wire.NewReader(conn)
+	roundTrip := func(frame []byte) wire.Msg {
+		t.Helper()
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		payload, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := wire.DecodeMsg(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if m := roundTrip(wire.AppendHello(nil, wire.Hello{Version: wire.ProtoVersion, Campaign: "fleet-hostile"})); m.Type != wire.MsgWelcome {
+		t.Fatalf("expected welcome, got type %d", m.Type)
+	}
+	o := synthOutcome(1)
+	block, _ := wire.AppendRecordFrame(nil, nil, "canneal", 1, &o)
+	hostile := wire.AppendBatch(nil, wire.Batch{Lease: 1, Records: 1 << 40, Block: block})
+	if m := roundTrip(hostile); m.Type != wire.MsgBatchAck {
+		t.Fatalf("expected batch ack after hostile record count, got type %d", m.Type)
+	}
+	// The session survived the hostile frame: a normal request still works.
+	if m := roundTrip(wire.AppendLeaseReq(nil)); m.Type != wire.MsgNoWork {
+		t.Fatalf("expected no-work, got type %d", m.Type)
+	}
+}
+
 // --- BenchmarkFleetIngest -------------------------------------------------
 
 // benchShard is one shard's pre-encoded traffic: the exact frames a worker
