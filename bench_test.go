@@ -454,6 +454,50 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSiteThroughput measures K=1 campaign engine throughput for each
+// fault-site class on a 4-vCPU machine, so the per-class cost of the
+// uncore injection paths (TLB invalidation before D-TLB plans, cross-CPU
+// APIC/PMU flips, page-table word flips) is tracked next to the register
+// baseline instead of hiding inside a mixed campaign.
+func BenchmarkSiteThroughput(b *testing.B) {
+	for _, target := range inject.TargetNames() {
+		b.Run(target, func(b *testing.B) {
+			cfg := sim.DefaultConfig("postmark", 3)
+			cfg.VCPUs = 4
+			runner, err := inject.NewRunner(cfg, 160, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runner.CheckpointEvery = 1
+			runner.Targets = inject.NormalizeTargets([]string{target})
+			if err := runner.EnsureCheckpoints(); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(17))
+			plans := make([]inject.Plan, 256)
+			for i := range plans {
+				plans[i] = runner.RandomPlan(rng)
+			}
+			sort.Slice(plans, func(i, j int) bool {
+				return plans[i].Activation < plans[j].Activation
+			})
+			worker := runner.NewWorker()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := worker.RunOne(plans[i%len(plans)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			secs := b.Elapsed().Seconds()
+			if secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "inj/s")
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/inj")
+		})
+	}
+}
+
 // BenchmarkRecoveryEffectiveness runs the paired Section VI live-recovery
 // study and reports the recovery success rate and failure reduction.
 func BenchmarkRecoveryEffectiveness(b *testing.B) {

@@ -8,7 +8,8 @@
 // Usage:
 //
 //	xentry-campaign [-injections N] [-activations N] [-seed S] [-checkpoint-every K]
-//	                [-prune on|off] [-recover off|microreboot|restore|policy|study]
+//	                [-vcpus N] [-targets a,b] [-prune on|off]
+//	                [-recover off|microreboot|restore|policy|study]
 //	                [-detectors a,b] [-json] [-store DIR]
 //	                [-server URL [-campaign ID] [-execution pool|fleet]]
 //
@@ -38,6 +39,7 @@ import (
 
 	"xentry/internal/detect"
 	"xentry/internal/experiments"
+	"xentry/internal/hv"
 	"xentry/internal/inject"
 	"xentry/internal/progress"
 	"xentry/internal/server"
@@ -67,6 +69,12 @@ func main() {
 	execution := flag.String("execution", "",
 		"campaign data plane for -server mode: pool (in-process, the default) or "+
 			"fleet (remote xentry-worker processes over the binary shard protocol)")
+	vcpus := flag.Int("vcpus", 1,
+		"virtual CPUs per campaign machine (1 = the legacy single-CPU engine, "+
+			"bit-identical to pre-SMP campaigns)")
+	targets := flag.String("targets", "",
+		"comma-separated fault-site classes to inject into "+
+			"(available: "+strings.Join(inject.TargetNames(), ", ")+"; empty = gpr)")
 	detectors := flag.String("detectors", "",
 		"comma-separated plugin detectors to run behind the built-in pipeline "+
 			"(registered names: "+strings.Join(detect.FactoryNames(), ", ")+")")
@@ -94,6 +102,24 @@ func main() {
 		recoverStudy = true
 	default:
 		log.Fatalf("-recover must be off, microreboot, restore, policy, or study, got %q", *recover)
+	}
+	if *vcpus < 1 || *vcpus > hv.MaxVCPUs {
+		log.Fatalf("-vcpus must be in [1,%d], got %d", hv.MaxVCPUs, *vcpus)
+	}
+	sc.VCPUs = *vcpus
+	if *targets != "" {
+		for _, name := range strings.Split(*targets, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			sc.Targets = append(sc.Targets, name)
+		}
+	}
+	// Validation here mirrors the server's 400 path, so a typo'd class name
+	// fails before training rather than after.
+	if err := inject.ValidateTargets(sc.Targets, *vcpus); err != nil {
+		log.Fatal(err)
 	}
 	if *detectors != "" {
 		for _, name := range strings.Split(*detectors, ",") {
@@ -242,6 +268,8 @@ func runRemote(base, id, execution string, sc experiments.Scale, checkpointEvery
 		TrainInjections:        sc.TrainInjections,
 		Detectors:              sc.Detectors,
 		Recovery:               sc.Recovery,
+		VCPUs:                  sc.VCPUs,
+		Targets:                sc.Targets,
 		Execution:              execution,
 	}
 	if sc.DisablePrune {

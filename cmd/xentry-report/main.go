@@ -67,6 +67,7 @@ func main() {
 	fmt.Println(experiments.RenderFig8(camp))
 	fmt.Println(experiments.RenderFig9(camp))
 	fmt.Println(experiments.RenderFig10(camp))
+	fmt.Println(experiments.RenderSiteCoverage(camp))
 	fmt.Println(experiments.RenderTableII(camp))
 
 	log.Print("Section VI (implemented): live recovery study...")

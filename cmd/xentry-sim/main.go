@@ -7,7 +7,13 @@
 //
 // Usage:
 //
-//	xentry-sim [-bench postmark] [-mode pv] [-n 1000] [-seed S] [-show 10] [-recover]
+//	xentry-sim [-bench postmark] [-mode pv] [-n 1000] [-seed S] [-show 10]
+//	           [-vcpus N] [-trace-schedule] [-recover]
+//
+// -vcpus boots an SMP machine whose vCPUs interleave under the seeded
+// round-robin scheduler; -trace-schedule dumps the per-activation vCPU
+// schedule trace (one token per activation), which is bit-identical for a
+// given seed across runs — the determinism contract's observable.
 package main
 
 import (
@@ -31,8 +37,15 @@ func main() {
 	n := flag.Int("n", 1000, "activations to run")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	show := flag.Int("show", 10, "print the first N activations")
+	vcpus := flag.Int("vcpus", 1, "virtual CPUs (seeded round-robin interleaving)")
+	traceSchedule := flag.Bool("trace-schedule", false,
+		"dump the per-activation vCPU schedule trace (deterministic per seed)")
 	recoverFlag := flag.Bool("recover", false, "enable live recovery on detections")
 	flag.Parse()
+
+	if *vcpus < 1 || *vcpus > hv.MaxVCPUs {
+		log.Fatalf("-vcpus must be in [1,%d], got %d", hv.MaxVCPUs, *vcpus)
+	}
 
 	mode := workload.PV
 	if *modeName == "hvm" {
@@ -41,17 +54,19 @@ func main() {
 	cfg := sim.Config{
 		Benchmark: *bench, Mode: mode, Domains: 3,
 		Seed: *seed, Detection: core.FullDetection(),
+		VCPUs: *vcpus,
 	}
 	m, err := sim.NewMachine(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	m.RecoverOnDetection = *recoverFlag
-	fmt.Printf("machine: %s/%s, %d domains, text digest %#x\n",
-		*bench, mode, cfg.Domains, m.HV.TextDigest())
+	fmt.Printf("machine: %s/%s, %d domains, %d vcpus, text digest %#x\n",
+		*bench, mode, cfg.Domains, m.HV.NumVCPUs(), m.HV.TextDigest())
 
 	reasonCount := map[hv.ExitReason]int{}
 	var lengths, shims []float64
+	var schedule []int
 	for i := 0; i < *n; i++ {
 		act, err := m.Step()
 		if err != nil {
@@ -60,11 +75,29 @@ func main() {
 		reasonCount[act.Ev.Reason]++
 		lengths = append(lengths, float64(act.Outcome.Result.Steps))
 		shims = append(shims, float64(act.Outcome.ShimCycles))
+		if *traceSchedule {
+			schedule = append(schedule, act.Ev.VCPU)
+		}
 		if i < *show {
-			fmt.Printf("  #%-4d dom%d %-28v %4d instr  RT=%-4d BR=%-3d RM=%-3d WM=%-3d\n",
-				i, act.Ev.Dom, act.Ev.Reason, act.Outcome.Result.Steps,
+			fmt.Printf("  #%-4d cpu%d dom%d %-28v %4d instr  RT=%-4d BR=%-3d RM=%-3d WM=%-3d\n",
+				i, act.Ev.VCPU, act.Ev.Dom, act.Ev.Reason, act.Outcome.Result.Steps,
 				act.Outcome.Features[1], act.Outcome.Features[2],
 				act.Outcome.Features[3], act.Outcome.Features[4])
+		}
+	}
+
+	if *traceSchedule {
+		fmt.Printf("\nschedule trace (%d activations, vCPU per activation):\n", len(schedule))
+		for i := 0; i < len(schedule); i += 64 {
+			end := i + 64
+			if end > len(schedule) {
+				end = len(schedule)
+			}
+			fmt.Print("  ")
+			for _, c := range schedule[i:end] {
+				fmt.Printf("%d", c)
+			}
+			fmt.Println()
 		}
 	}
 
@@ -86,7 +119,12 @@ func main() {
 	for r, c := range reasonCount {
 		mix = append(mix, rc{r, c})
 	}
-	sort.Slice(mix, func(i, j int) bool { return mix[i].n > mix[j].n })
+	sort.Slice(mix, func(i, j int) bool {
+		if mix[i].n != mix[j].n {
+			return mix[i].n > mix[j].n
+		}
+		return mix[i].r < mix[j].r // tie-break so runs diff clean
+	})
 	fmt.Println("\ntop exit reasons:")
 	for i, e := range mix {
 		if i >= 10 {

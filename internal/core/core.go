@@ -236,7 +236,7 @@ func (s *Sentry) Execute(ev *hv.ExitEvent, budget uint64) (Outcome, error) {
 	if s.ForceLegacy {
 		return s.executeLegacy(ev, budget)
 	}
-	c := s.HV.CPU
+	c := s.HV.CPUFor(ev)
 	c.AssertsEnabled = s.Opts.RuntimeDetection
 
 	var shim uint64
@@ -317,7 +317,7 @@ func (s *Sentry) Execute(ev *hv.ExitEvent, budget uint64) (Outcome, error) {
 // executeLegacy is the seed's hard-coded detection path, preserved
 // verbatim as the differential-testing baseline for the pipeline.
 func (s *Sentry) executeLegacy(ev *hv.ExitEvent, budget uint64) (Outcome, error) {
-	c := s.HV.CPU
+	c := s.HV.CPUFor(ev)
 	c.AssertsEnabled = s.Opts.RuntimeDetection
 
 	var shim uint64

@@ -74,6 +74,17 @@ type Scale struct {
 	// "microreboot", "restore", or "policy". Unknown names fail
 	// CampaignConfigFor.
 	Recovery string
+
+	// VCPUs is the number of virtual CPUs on every campaign machine
+	// (xentry-campaign -vcpus). Zero means one — the legacy single-CPU
+	// machine, bit-identical to the pre-SMP engine.
+	VCPUs int
+
+	// Targets selects the fault-site classes the campaign draws plans
+	// from (xentry-campaign -targets): any of inject.TargetNames().
+	// Empty means ["gpr"], the legacy register-file campaign. Unknown
+	// names fail CampaignConfigFor.
+	Targets []string
 }
 
 // DefaultScale is a faithful reduction of the paper's sizes that completes
@@ -399,6 +410,13 @@ func CampaignConfigFor(sc Scale, model *ml.Tree, checkpointEvery int) (inject.Ca
 	if err != nil {
 		return inject.CampaignConfig{}, fmt.Errorf("experiments: %w", err)
 	}
+	vcpus := sc.VCPUs
+	if vcpus == 0 {
+		vcpus = 1
+	}
+	if err := inject.ValidateTargets(sc.Targets, vcpus); err != nil {
+		return inject.CampaignConfig{}, fmt.Errorf("experiments: %w", err)
+	}
 	return inject.CampaignConfig{
 		Benchmarks:             workload.Names(),
 		Mode:                   workload.PV,
@@ -412,6 +430,8 @@ func CampaignConfigFor(sc Scale, model *ml.Tree, checkpointEvery int) (inject.Ca
 		Detectors:              detectors,
 		DisablePrune:           sc.DisablePrune,
 		Recovery:               sc.Recovery,
+		VCPUs:                  sc.VCPUs,
+		Targets:                sc.Targets,
 	}, nil
 }
 
@@ -509,6 +529,26 @@ func RenderFig10(res *inject.CampaignResult) string {
 		t.AddRow(row...)
 	}
 	return "Fig. 10 — CDF of detection latency (instructions between activation and detection)\n" + t.String()
+}
+
+// RenderSiteCoverage formats the per-fault-site-class detection-coverage
+// figure: for every site class the campaign injected into, how many
+// injections landed there, how many manifested, and the detected share.
+// Site classes with no injections are omitted, so legacy register-only
+// campaigns render the single "gpr" row (plus "ctl" for the RIP/RFLAGS
+// share of the register draw).
+func RenderSiteCoverage(res *inject.CampaignResult) string {
+	t := stats.NewTable("site", "injections", "manifested", "detected", "coverage")
+	for _, site := range inject.Sites() {
+		st := res.Total.BySite[site]
+		if st == nil || st.Injections == 0 {
+			continue
+		}
+		t.AddRow(site.String(), fmt.Sprintf("%d", st.Injections),
+			fmt.Sprintf("%d", st.Manifested), fmt.Sprintf("%d", st.Detected),
+			stats.Pct(st.Coverage()))
+	}
+	return "Detection coverage by fault-site class\n" + t.String()
 }
 
 // RenderTableII formats the undetected-fault breakdown.

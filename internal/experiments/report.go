@@ -82,7 +82,12 @@ type CampaignReport struct {
 	// TechniqueShares is the campaign-wide share of manifested faults each
 	// technique caught, keyed by technique name.
 	TechniqueShares map[string]float64 `json:"technique_shares"`
-	PerBenchmark    []BenchmarkReport  `json:"per_benchmark"`
+	// PerSite breaks detection coverage down by fault-site class, in
+	// inject.Sites() order, omitting classes the campaign never injected
+	// into — so legacy register-only reports keep their exact pre-taxonomy
+	// encoding only when empty, and otherwise grow rows per class.
+	PerSite      []SiteReport      `json:"per_site,omitempty"`
+	PerBenchmark []BenchmarkReport `json:"per_benchmark"`
 	// LatencyCDF holds Fig. 10's CDF sampled at Fig10Points per technique.
 	LatencyCDF map[string][]CDFPoint `json:"latency_cdf"`
 	TableII    []CauseRow            `json:"table2"`
@@ -98,6 +103,15 @@ type BenchmarkReport struct {
 	Undetected      int                `json:"undetected"`
 	Coverage        float64            `json:"coverage"`
 	TechniqueShares map[string]float64 `json:"technique_shares"`
+}
+
+// SiteReport is one fault-site class's detection-coverage row.
+type SiteReport struct {
+	Site       string  `json:"site"`
+	Injections int     `json:"injections"`
+	Manifested int     `json:"manifested"`
+	Detected   int     `json:"detected"`
+	Coverage   float64 `json:"coverage"`
 }
 
 // CDFPoint is one sampled point of a latency CDF: the fraction P of
@@ -142,6 +156,19 @@ func NewCampaignReport(res *inject.CampaignResult, benchmarks []string) *Campaig
 			points[i] = CDFPoint{LE: Fig10Points[i], P: p}
 		}
 		rep.LatencyCDF[tech.String()] = points
+	}
+	for _, site := range inject.Sites() {
+		st := tot.BySite[site]
+		if st == nil || st.Injections == 0 {
+			continue
+		}
+		rep.PerSite = append(rep.PerSite, SiteReport{
+			Site:       site.String(),
+			Injections: st.Injections,
+			Manifested: st.Manifested,
+			Detected:   st.Detected,
+			Coverage:   st.Coverage(),
+		})
 	}
 	for _, bench := range benchmarks {
 		tl := res.PerBenchmark[bench]
@@ -192,6 +219,8 @@ func RenderCampaign(res *inject.CampaignResult) string {
 	b.WriteString(RenderFig9(res))
 	b.WriteString("\n\n")
 	b.WriteString(RenderFig10(res))
+	b.WriteString("\n\n")
+	b.WriteString(RenderSiteCoverage(res))
 	b.WriteString("\n\n")
 	b.WriteString(RenderTableII(res))
 	if rec := RenderRecovery(res); rec != "" {

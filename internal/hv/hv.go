@@ -27,6 +27,10 @@ type ExitEvent struct {
 	Reason ExitReason
 	// Dom is the domain whose VCPU exited.
 	Dom int
+	// VCPU is the logical CPU the simulator's scheduler assigned to handle
+	// this exit. Zero (the only legal value on a single-CPU machine) keeps
+	// the seed semantics: everything runs on CPU 0.
+	VCPU int
 	// Args are the exit arguments (hypercall args, fault address/error
 	// code, interrupt vector ...) loaded into rdi/rsi/rdx/r8.
 	Args [4]uint64
@@ -53,10 +57,17 @@ type Result struct {
 const DefaultBudget = 20000
 
 // Hypervisor is the mini-Xen under test: linked handler text, machine
-// memory, one logical CPU, and the domain table.
+// memory, one or more logical CPUs, and the domain table.
 type Hypervisor struct {
-	Mem     *mem.Memory
-	CPU     *cpu.CPU
+	Mem *mem.Memory
+	// CPU is logical CPU 0, the seed machine's only CPU. It always aliases
+	// CPUs[0]; single-CPU callers keep using it unchanged.
+	CPU *cpu.CPU
+	// CPUs is the full logical-CPU bank. Every CPU has its own register
+	// file, TSC, cycle count and PMU, but all share the one machine memory,
+	// linked text, and — because the interleave model serializes handler
+	// executions at activation granularity — the one hypervisor stack.
+	CPUs    []*cpu.CPU
 	Seg     *cpu.Segment
 	Symtab  map[string]uint64
 	Fixups  map[uint64]uint64
@@ -68,7 +79,7 @@ type Hypervisor struct {
 	extents      []progExtent
 	textDigest   uint64
 
-	tscSnap uint64
+	tscSnaps []uint64
 
 	// argScratch is the reusable word buffer PrepareGuestInput stages
 	// hypercall arguments in; staging runs once per simulated VM exit, so
@@ -136,10 +147,22 @@ func linkedText() (*cpu.Segment, map[string]uint64, map[uint64]uint64, []progExt
 }
 
 // New builds a hypervisor with the given number of domains (domain 0 is
-// privileged). All handler programs are assembled, linked at TextBase (once
-// per process — the linked text is immutable and shared), and the
-// domain/VCPU/shared-info structures are initialised.
+// privileged) and a single logical CPU — the seed machine. All handler
+// programs are assembled, linked at TextBase (once per process — the
+// linked text is immutable and shared), and the domain/VCPU/shared-info
+// structures are initialised.
 func New(numDomains int) (*Hypervisor, error) {
+	return NewSMP(numDomains, 1)
+}
+
+// NewSMP builds a hypervisor with the given number of domains and logical
+// CPUs. Every CPU gets its own architectural state and PMU bank; machine
+// memory, linked text and the CPUID table are shared. vcpus==1 is exactly
+// the seed machine.
+func NewSMP(numDomains, vcpus int) (*Hypervisor, error) {
+	if vcpus < 1 || vcpus > MaxVCPUs {
+		return nil, fmt.Errorf("hv: %d vcpus out of range [1,%d]", vcpus, MaxVCPUs)
+	}
 	seg, symtab, fixups, extents, digest, err := linkedText()
 	if err != nil {
 		return nil, err
@@ -159,14 +182,20 @@ func New(numDomains int) (*Hypervisor, error) {
 		retToGuestHC: symtab["ret_to_guest_hypercall"],
 		extents:      extents,
 		textDigest:   digest,
+		tscSnaps:     make([]uint64, vcpus),
 	}
 
-	h.CPU = cpu.New(m, seg, perf.New())
-	h.CPU.CpuidTable = map[uint64][4]uint64{
+	cpuidTable := map[uint64][4]uint64{
 		0: {0xD, 0x756E6547, 0x6C65746E, 0x49656E69}, // "GenuineIntel"
 		1: {0x000106A5, 0x00100800, 0x009CE3BD, 0xBFEBFBFF},
 		2: {0x55035A01, 0x00F0B2E4, 0x00000000, 0x09CA212C},
 	}
+	h.CPUs = make([]*cpu.CPU, vcpus)
+	for i := range h.CPUs {
+		h.CPUs[i] = cpu.New(m, seg, perf.New())
+		h.CPUs[i].CpuidTable = cpuidTable
+	}
+	h.CPU = h.CPUs[0]
 	for r := ExitReason(0); r < NumExitReasons; r++ {
 		addr, ok := symtab[r.Handler()]
 		if !ok {
@@ -240,6 +269,98 @@ func (h *Hypervisor) initConstPool() error {
 // EntryFor returns the handler entry address of an exit reason.
 func (h *Hypervisor) EntryFor(r ExitReason) uint64 { return h.entries[r] }
 
+// NumVCPUs returns the number of logical CPUs.
+func (h *Hypervisor) NumVCPUs() int { return len(h.CPUs) }
+
+// CPUFor returns the logical CPU assigned to handle an exit event,
+// falling back to CPU 0 for out-of-range assignments (the single-CPU
+// machine never sees anything else).
+func (h *Hypervisor) CPUFor(ev *ExitEvent) *cpu.CPU {
+	if ev.VCPU > 0 && ev.VCPU < len(h.CPUs) {
+		return h.CPUs[ev.VCPU]
+	}
+	return h.CPUs[0]
+}
+
+// ArchHash fingerprints the architectural state of the whole CPU bank.
+// On a single-CPU machine it is exactly CPU 0's ArchHash — the value the
+// pre-SMP convergence fingerprints recorded — and on an SMP machine it is
+// an order-dependent FNV-style fold over every CPU.
+func (h *Hypervisor) ArchHash() uint64 {
+	if len(h.CPUs) == 1 {
+		return h.CPUs[0].ArchHash()
+	}
+	var x uint64 = 1469598103934665603
+	for _, c := range h.CPUs {
+		x = (x ^ c.ArchHash()) * 1099511628211
+	}
+	return x
+}
+
+// HomeCPU returns the logical CPU a domain's cross-CPU event kicks are
+// routed through (its statically assigned "home" APIC).
+func (h *Hypervisor) HomeCPU(dom int) int { return dom % len(h.CPUs) }
+
+// QueueCrossEvents implements the send half of the SMP cross-CPU event
+// contract. After an activation for exceptDom completes, any event-channel
+// bits a handler raised in *another* domain's shared-info page are not yet
+// guest-visible on that domain's CPU: they are swept into the domain's
+// deferred payload word and a pending-IRQ bit is raised in the home CPU's
+// APIC word (the IPI-style kick). DeliverIPI re-asserts them when the
+// target domain next runs. Single-CPU machines never call this — events
+// stay in shared info, the seed semantics.
+func (h *Hypervisor) QueueCrossEvents(exceptDom int) error {
+	for _, d := range h.Domains {
+		if d.ID == exceptDom {
+			continue
+		}
+		w, err := h.Mem.Peek(SharedInfoAddr(d.ID) + SIEvtPending)
+		if err != nil || w == 0 {
+			continue
+		}
+		pay, _ := h.Mem.Peek(APICPayloadAddr(d.ID))
+		if err := h.Mem.Poke(APICPayloadAddr(d.ID), pay|w); err != nil {
+			return err
+		}
+		if err := h.Mem.Poke(SharedInfoAddr(d.ID)+SIEvtPending, 0); err != nil {
+			return err
+		}
+		irr, _ := h.Mem.Peek(APICAddr(h.HomeCPU(d.ID)))
+		if err := h.Mem.Poke(APICAddr(h.HomeCPU(d.ID)), irr|1<<uint(d.ID)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeliverIPI is the receive half of the cross-CPU event contract: before a
+// domain's next activation dispatches, a pending-IRQ bit for it in its
+// home CPU's APIC word is consumed and the deferred payload re-asserted
+// into the domain's shared-info pending word. A soft error that clears the
+// APIC bit therefore loses the kick — the guest misses events it saw in
+// the golden run, a one-VM failure — which is what makes the APIC word a
+// load-bearing injection target.
+func (h *Hypervisor) DeliverIPI(dom int) error {
+	irr, err := h.Mem.Peek(APICAddr(h.HomeCPU(dom)))
+	if err != nil || irr&(1<<uint(dom)) == 0 {
+		return err
+	}
+	if err := h.Mem.Poke(APICAddr(h.HomeCPU(dom)), irr&^(1<<uint(dom))); err != nil {
+		return err
+	}
+	pay, _ := h.Mem.Peek(APICPayloadAddr(dom))
+	if pay != 0 {
+		si, _ := h.Mem.Peek(SharedInfoAddr(dom) + SIEvtPending)
+		if err := h.Mem.Poke(SharedInfoAddr(dom)+SIEvtPending, si|pay); err != nil {
+			return err
+		}
+		if err := h.Mem.Poke(APICPayloadAddr(dom), 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // TextDigest fingerprints the loaded hypervisor text (pre-link program
 // encodings). Identical digests guarantee that two machines execute
 // identical handler code — the auditability anchor for whole-campaign
@@ -277,7 +398,7 @@ func (h *Hypervisor) Dispatch(ev *ExitEvent, budget uint64) (Result, error) {
 		return Result{}, fmt.Errorf("hv: dispatch for unknown exit reason %d", ev.Reason)
 	}
 	dom := h.Domains[ev.Dom]
-	c := h.CPU
+	c := h.CPUFor(ev)
 
 	// Architectural entry state (the VM-exit trampoline's work).
 	c.Reset()
@@ -344,15 +465,19 @@ func (h *Hypervisor) Dispatch(ev *ExitEvent, budget uint64) (Result, error) {
 // of the legacy word-copy maps), which is what makes per-step snapshotting
 // in recovery mode affordable.
 type Snap struct {
-	mem *mem.Checkpoint
-	tsc uint64
+	mem  *mem.Checkpoint
+	tscs []uint64
 }
 
-// Snapshot captures machine memory and the TSC so repeated injection runs
-// can restart from an identical state.
+// Snapshot captures machine memory and every CPU's TSC so repeated
+// injection runs can restart from an identical state.
 func (h *Hypervisor) Snapshot() *Snap {
-	h.tscSnap = h.CPU.TSC
-	return &Snap{mem: h.Mem.Checkpoint(), tsc: h.tscSnap}
+	tscs := make([]uint64, len(h.CPUs))
+	for i, c := range h.CPUs {
+		tscs[i] = c.TSC
+	}
+	copy(h.tscSnaps, tscs)
+	return &Snap{mem: h.Mem.Checkpoint(), tscs: tscs}
 }
 
 // Checkpoint is a complete hypervisor-level machine image: the CPU's
@@ -364,10 +489,10 @@ func (h *Hypervisor) Snapshot() *Snap {
 // checkpoint pool depends on. Checkpoints are immutable and safe to restore
 // into many hypervisors concurrently.
 type Checkpoint struct {
-	cpu     cpu.State
-	pmu     perf.State
-	mem     *mem.Checkpoint
-	tscSnap uint64
+	cpus     []cpu.State
+	pmus     []perf.State
+	mem      *mem.Checkpoint
+	tscSnaps []uint64
 }
 
 // MemImage exposes the checkpoint's copy-on-write memory image, the
@@ -380,35 +505,50 @@ func (cp *Checkpoint) MemImage() *mem.Checkpoint {
 // Checkpoint captures the hypervisor's complete mutable state. It is cheap:
 // memory is captured copy-on-write (one pointer per page).
 func (h *Hypervisor) Checkpoint() *Checkpoint {
-	return &Checkpoint{
-		cpu:     h.CPU.State(),
-		pmu:     h.CPU.PMU.State(),
-		mem:     h.Mem.Checkpoint(),
-		tscSnap: h.tscSnap,
+	cp := &Checkpoint{
+		cpus:     make([]cpu.State, len(h.CPUs)),
+		pmus:     make([]perf.State, len(h.CPUs)),
+		mem:      h.Mem.Checkpoint(),
+		tscSnaps: append([]uint64(nil), h.tscSnaps...),
 	}
+	for i, c := range h.CPUs {
+		cp.cpus[i] = c.State()
+		cp.pmus[i] = c.PMU.State()
+	}
+	return cp
 }
 
 // RestoreFrom reinstates a Checkpoint taken from an identically configured
-// hypervisor (same domain count, hence same memory layout).
+// hypervisor (same domain and CPU counts, hence same memory layout).
 func (h *Hypervisor) RestoreFrom(cp *Checkpoint) error {
+	if len(cp.cpus) != len(h.CPUs) {
+		return fmt.Errorf("hv: checkpoint has %d CPUs, machine has %d", len(cp.cpus), len(h.CPUs))
+	}
 	if err := h.Mem.RestoreCheckpoint(cp.mem); err != nil {
 		return err
 	}
-	h.CPU.RestoreState(cp.cpu)
-	h.CPU.PMU.RestoreState(cp.pmu)
-	h.tscSnap = cp.tscSnap
+	for i, c := range h.CPUs {
+		c.RestoreState(cp.cpus[i])
+		c.PMU.RestoreState(cp.pmus[i])
+	}
+	copy(h.tscSnaps, cp.tscSnaps)
 	return nil
 }
 
-// Restore reinstates a Snapshot and resets the CPU's architectural state.
-// Accumulated cycles are preserved: restoration is used both for repeatable
-// injection runs and for live recovery re-execution, whose cost is real.
+// Restore reinstates a Snapshot and resets every CPU's architectural
+// state. Accumulated cycles are preserved: restoration is used both for
+// repeatable injection runs and for live recovery re-execution, whose cost
+// is real.
 func (h *Hypervisor) Restore(snap *Snap) error {
 	if err := h.Mem.RestoreCheckpoint(snap.mem); err != nil {
 		return err
 	}
-	h.CPU.Reset()
-	h.CPU.TSC = snap.tsc
+	for i, c := range h.CPUs {
+		c.Reset()
+		if i < len(snap.tscs) {
+			c.TSC = snap.tscs[i]
+		}
+	}
 	return nil
 }
 

@@ -43,6 +43,15 @@ const (
 	vcpuOff  = 0x1000
 	VCPUSize = 0x100
 
+	// Per-CPU pending-IRQ (APIC IRR model) words: apicOff + cpu*8. Bit d
+	// set means domain d has a cross-CPU event kick queued for delivery
+	// the next time that CPU dispatches an activation for the domain.
+	apicOff = 0x2000
+	// Per-domain deferred event-channel payload words: the pending bits
+	// an IPI kick re-asserts into the domain's shared-info page on
+	// delivery.
+	apicPayloadOff = 0x2100
+
 	// Domain structures: domOff + id*DomSize.
 	domOff  = 0x4000
 	DomSize = 0x80
@@ -141,6 +150,13 @@ func DomAddr(id int) uint64 { return HVDataBase + domOff + uint64(id)*DomSize }
 // EvtchnAddr returns the address of domain id's pending word.
 func EvtchnAddr(dom int) uint64 { return HVDataBase + evtchnOff + uint64(dom)*8 }
 
+// APICAddr returns the address of CPU cpu's pending-IRQ word.
+func APICAddr(cpu int) uint64 { return HVDataBase + apicOff + uint64(cpu)*8 }
+
+// APICPayloadAddr returns the address of domain dom's deferred
+// event-channel payload word.
+func APICPayloadAddr(dom int) uint64 { return HVDataBase + apicPayloadOff + uint64(dom)*8 }
+
 // SchedAddr returns the scheduler data base address.
 func SchedAddr() uint64 { return HVDataBase + schedOff }
 
@@ -152,6 +168,12 @@ func ScratchAddr() uint64 { return HVDataBase + scratchOff }
 
 // PageTableAddr returns the shadow page-table scratch base.
 func PageTableAddr() uint64 { return HVDataBase + ptblOff }
+
+// PageTableWords is the number of 8-byte shadow page-table words the
+// injection taxonomy addresses: the window [PageTableAddr, +0x800) covers
+// every entry the page-fault and mapping handlers actively read and write
+// (their highest live offset is 0x600 plus a small per-domain table).
+const PageTableWords = 256
 
 // ConstPoolAddr returns the constant pool base.
 func ConstPoolAddr() uint64 { return HVDataBase + constOff }

@@ -162,6 +162,11 @@ func (h *Hypervisor) Reinit(snap *Snap) error {
 	if err := h.initConstPool(); err != nil {
 		return err
 	}
-	h.CPU.Reset()
+	// Every logical CPU reboots: register files are hypervisor-private
+	// state. Zeroing hv_data above also dropped the per-CPU APIC pending
+	// words — in-flight cross-CPU kicks are honestly lost by a microreboot.
+	for _, c := range h.CPUs {
+		c.Reset()
+	}
 	return nil
 }

@@ -74,6 +74,17 @@ type CampaignConfig struct {
 	// Tally.Prune provenance counters (the differential tests prove it).
 	// Pruning also disables itself whenever Detectors are configured.
 	DisablePrune bool
+	// VCPUs is the number of logical CPUs per simulated machine (0 or 1 =
+	// the seed's single-CPU machine, bit-identical to the pre-SMP engine;
+	// up to hv.MaxVCPUs-1). Multi-vCPU machines interleave domains over
+	// the CPUs under a deterministic seeded round-robin schedule and
+	// route cross-domain event kicks through per-CPU APIC words.
+	VCPUs int
+	// Targets are the fault-site target classes plans are drawn from (see
+	// TargetNames; empty = "gpr", the legacy register space). Normalized
+	// (sorted, deduplicated) as part of the campaign identity. Any
+	// non-register class disables pruning — conservatism per site class.
+	Targets []string
 }
 
 // DefaultCampaign returns a campaign sized down from the paper's 30,000
@@ -94,6 +105,24 @@ func DefaultCampaign(injectionsPerBenchmark int, seed int64) CampaignConfig {
 type ConsequenceTally struct {
 	Total    int
 	Detected int
+}
+
+// SiteTally counts injections of one fault-site class: how many were
+// drawn, how many manifested, and how many of the manifested were
+// detected — the per-site detection-coverage row of the campaign report.
+type SiteTally struct {
+	Injections int
+	Manifested int
+	Detected   int
+}
+
+// Coverage is detected/manifested for this site class (0 when nothing
+// manifested).
+func (s *SiteTally) Coverage() float64 {
+	if s == nil || s.Manifested == 0 {
+		return 0
+	}
+	return float64(s.Detected) / float64(s.Manifested)
 }
 
 // Tally aggregates injection outcomes.
@@ -135,6 +164,13 @@ type Tally struct {
 	// class, per-technique class × latency). Empty unless the campaign ran
 	// with a recovery strategy armed.
 	Recovery RecoveryStats
+	// BySite breaks every injection down by fault-site class. Legacy
+	// register campaigns fill the gpr/ctl rows only; the map keys render
+	// by site name in JSON (Site implements TextMarshaler).
+	BySite map[Site]*SiteTally
+	// ByVCPU counts injections per target CPU (always CPU 0 on the seed's
+	// single-CPU machine).
+	ByVCPU map[int]int
 }
 
 // NewTally returns an empty tally.
@@ -160,12 +196,25 @@ func (t *Tally) ensureMaps() {
 	if t.Latencies == nil {
 		t.Latencies = map[core.Technique][]uint64{}
 	}
+	if t.BySite == nil {
+		t.BySite = map[Site]*SiteTally{}
+	}
+	if t.ByVCPU == nil {
+		t.ByVCPU = map[int]int{}
+	}
 }
 
 // Add folds one outcome into the tally.
 func (t *Tally) Add(o Outcome) {
 	t.ensureMaps()
 	t.Injections++
+	site := t.BySite[o.Plan.Site]
+	if site == nil {
+		site = &SiteTally{}
+		t.BySite[o.Plan.Site] = site
+	}
+	site.Injections++
+	t.ByVCPU[o.Plan.VCPU]++
 	t.Prune.count(o.Pruned)
 	t.Recovery.count(o)
 	if o.Hang {
@@ -189,6 +238,7 @@ func (t *Tally) Add(o Outcome) {
 		return
 	}
 	t.Manifested++
+	site.Manifested++
 	ct := t.ByConsequence[o.Consequence]
 	if ct == nil {
 		ct = &ConsequenceTally{}
@@ -199,6 +249,7 @@ func (t *Tally) Add(o Outcome) {
 		t.DetectedBy[o.Detected]++
 		t.Latencies[o.Detected] = append(t.Latencies[o.Detected], o.Latency)
 		ct.Detected++
+		site.Detected++
 	} else {
 		t.Undetected++
 		t.ByCause[o.Cause]++
@@ -253,6 +304,19 @@ func (t *Tally) Merge(other *Tally) {
 	for k, v := range other.Latencies {
 		t.Latencies[k] = append(t.Latencies[k], v...)
 	}
+	for k, v := range other.BySite {
+		st := t.BySite[k]
+		if st == nil {
+			st = &SiteTally{}
+			t.BySite[k] = st
+		}
+		st.Injections += v.Injections
+		st.Manifested += v.Manifested
+		st.Detected += v.Detected
+	}
+	for k, v := range other.ByVCPU {
+		t.ByVCPU[k] += v
+	}
 }
 
 // Clone returns a deep copy: mutating the clone (Add, Merge, Normalize)
@@ -275,6 +339,15 @@ func (t *Tally) Clone() *Tally {
 	c.Latencies = make(map[core.Technique][]uint64, len(t.Latencies))
 	for k, v := range t.Latencies {
 		c.Latencies[k] = append([]uint64(nil), v...)
+	}
+	c.BySite = make(map[Site]*SiteTally, len(t.BySite))
+	for k, v := range t.BySite {
+		st := *v
+		c.BySite[k] = &st
+	}
+	c.ByVCPU = make(map[int]int, len(t.ByVCPU))
+	for k, v := range t.ByVCPU {
+		c.ByVCPU[k] = v
 	}
 	c.Recovery = t.Recovery.clone()
 	return &c
@@ -345,6 +418,10 @@ func (cfg CampaignConfig) Normalized() CampaignConfig {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.VCPUs == 0 {
+		cfg.VCPUs = 1
+	}
+	cfg.Targets = NormalizeTargets(cfg.Targets)
 	return cfg
 }
 

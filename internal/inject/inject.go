@@ -4,7 +4,11 @@
 // at random dynamic points of host-mode execution, one fault per run,
 // golden-run differential outcome classification, detection attribution
 // per technique, detection-latency measurement, and the undetected-fault
-// cause taxonomy of Table II.
+// cause taxonomy of Table II. Beyond the register file, the typed
+// fault-site taxonomy (site.go) extends the injection space to uncore
+// state — D-TLB entries, per-CPU pending-interrupt/APIC words, PMU
+// counters, and shadow page-table words — addressed per vCPU of the SMP
+// machine.
 package inject
 
 import (
@@ -20,6 +24,7 @@ import (
 	"xentry/internal/isa"
 	"xentry/internal/mem"
 	"xentry/internal/ml"
+	"xentry/internal/perf"
 	"xentry/internal/recovery"
 	"xentry/internal/sim"
 )
@@ -38,10 +43,29 @@ type Plan struct {
 	Step       uint64
 	Reg        isa.Reg
 	Bit        uint8
+	// VCPU addresses the logical CPU the fault strikes. For register-file
+	// sites it records the CPU scheduled to execute the activation (the
+	// flip lands in the executing CPU's register file); for the APIC and
+	// PMU sites it selects which CPU's word or counter bank is struck,
+	// which need not be the executing CPU — cross-CPU corruption is part
+	// of the uncore fault model. Zero on single-CPU machines, so legacy
+	// plans marshal unchanged.
+	VCPU int `json:",omitempty"`
+	// Site is the fault-site class. The zero value SiteGPR is the legacy
+	// register space, so pre-taxonomy plans decode correctly.
+	Site Site `json:",omitempty"`
+	// Index addresses within the site class: the D-TLB slot, the PMU
+	// event counter, or the page-table word. Unused (zero) for register
+	// and APIC sites.
+	Index uint32 `json:",omitempty"`
 }
 
 // String formats the plan.
 func (p Plan) String() string {
+	if !p.Site.Register() {
+		return fmt.Sprintf("act=%d step=%d site=%v vcpu=%d idx=%d bit=%d",
+			p.Activation, p.Step, p.Site, p.VCPU, p.Index, p.Bit)
+	}
 	return fmt.Sprintf("act=%d step=%d reg=%v bit=%d", p.Activation, p.Step, p.Reg, p.Bit)
 }
 
@@ -185,6 +209,14 @@ type Runner struct {
 	// -prune=off on xentry-campaign. Pruning also disables itself when
 	// plugin Detectors are configured in Cfg.
 	DisablePrune bool
+	// Targets are the normalized fault-site target classes RandomPlan
+	// draws from (see NormalizeTargets). Empty means the legacy register
+	// space, which keeps the plan stream bit-identical to the seed
+	// engine. The list is part of the campaign identity: set it before
+	// the first plan is drawn or run. Any non-register class disables
+	// pruning (see pruneEnabled) — fingerprints cannot observe TLB tags
+	// or PMU counters, so convergence folding would be unsound.
+	Targets []string
 
 	ckptOnce sync.Once
 	ckptErr  error
@@ -280,7 +312,6 @@ func (r *Runner) buildCheckpoints() error {
 	refs := make([]refVerdict, r.Activations)
 	var traces []regTrace
 	var ents []traceEnt
-	c := m.HV.CPU
 	if prune {
 		traces = make([]regTrace, r.Activations)
 	}
@@ -306,17 +337,24 @@ func (r *Runner) buildCheckpoints() error {
 			} else {
 				mcp = m.HV.Mem.Checkpoint()
 			}
-			fps[i] = sim.Fingerprint{Arch: c.ArchHash(), Mem: mcp.FoldFrom(prev)}
+			fps[i] = sim.Fingerprint{Arch: m.HV.ArchHash(), Mem: mcp.FoldFrom(prev)}
 			prev = mcp
 		} else if cp != nil {
 			prev = cp.MemImage()
 		}
 		if prune {
+			// Attach the trace hook to every CPU: exactly one CPU executes
+			// each activation, so the trace records the executing CPU's
+			// instructions regardless of the schedule.
 			ents = ents[:0]
-			c.PreStep = hook
+			for _, c := range m.HV.CPUs {
+				c.PreStep = hook
+			}
 		}
 		act, err := m.Step()
-		c.PreStep = nil
+		for _, c := range m.HV.CPUs {
+			c.PreStep = nil
+		}
 		if err != nil {
 			return fmt.Errorf("inject: checkpoint reference run: %w", err)
 		}
@@ -398,28 +436,84 @@ func (w *Worker) machineAt(activation int) (*sim.Machine, error) {
 }
 
 // RandomPlan draws an injection plan uniformly over the golden run's
-// host-mode dynamic instructions and the architectural register state.
+// host-mode dynamic instructions and the configured fault-site target
+// classes (r.Targets; the architectural register state when empty). With
+// the legacy register-only targets the rng draw sequence is byte-for-byte
+// the seed engine's, so plan streams — and therefore campaigns — replay
+// bit-identically.
 func (r *Runner) RandomPlan(rng *rand.Rand) Plan {
 	a := rng.Intn(r.Activations)
 	steps := r.Golden[a].Outcome.Result.Steps
 	if steps == 0 {
 		steps = 1
 	}
-	// Register choice: 16 GPRs + RIP + RFLAGS, uniform.
-	regChoice := rng.Intn(isa.NumGPR + 2)
-	reg := isa.Reg(regChoice)
-	switch regChoice {
-	case isa.NumGPR:
-		reg = isa.RIP
-	case isa.NumGPR + 1:
-		reg = isa.RFLAGS
+	if registerTargetsOnly(r.Targets) {
+		// Register choice: 16 GPRs + RIP + RFLAGS, uniform.
+		regChoice := rng.Intn(isa.NumGPR + 2)
+		reg := isa.Reg(regChoice)
+		switch regChoice {
+		case isa.NumGPR:
+			reg = isa.RIP
+		case isa.NumGPR + 1:
+			reg = isa.RFLAGS
+		}
+		p := Plan{
+			Activation: a,
+			Step:       uint64(rng.Int63n(int64(steps))),
+			Reg:        reg,
+			Bit:        uint8(rng.Intn(64)),
+		}
+		// Site and VCPU are derived, not drawn: the legacy draw sequence
+		// above must stay untouched for bit-identical replays.
+		p.Site = siteForReg(reg)
+		p.VCPU = r.Golden[a].Ev.VCPU
+		return p
 	}
-	return Plan{
-		Activation: a,
-		Step:       uint64(rng.Int63n(int64(steps))),
-		Reg:        reg,
-		Bit:        uint8(rng.Intn(64)),
+	nvcpus := r.Cfg.VCPUs
+	if nvcpus < 1 {
+		nvcpus = 1
 	}
+	p := Plan{Activation: a}
+	switch r.Targets[rng.Intn(len(r.Targets))] {
+	case "gpr":
+		regChoice := rng.Intn(isa.NumGPR + 2)
+		p.Reg = isa.Reg(regChoice)
+		switch regChoice {
+		case isa.NumGPR:
+			p.Reg = isa.RIP
+		case isa.NumGPR + 1:
+			p.Reg = isa.RFLAGS
+		}
+		p.Site = siteForReg(p.Reg)
+		p.VCPU = r.Golden[a].Ev.VCPU
+	case "dtlb":
+		// One shared D-TLB per machine (the Memory is shared), so the
+		// plan's VCPU stays zero.
+		p.Site = SiteTLB
+		p.Index = uint32(rng.Intn(mem.TLBSlots))
+	case "apic":
+		p.Site = SiteAPIC
+		p.VCPU = rng.Intn(nvcpus)
+	case "pmu":
+		p.Site = SitePMU
+		p.VCPU = rng.Intn(nvcpus)
+		p.Index = uint32(rng.Intn(int(perf.NumEvents)))
+	case "pgtable":
+		p.Site = SitePT
+		p.Index = uint32(rng.Intn(hv.PageTableWords))
+	}
+	p.Step = uint64(rng.Int63n(int64(steps)))
+	p.Bit = uint8(rng.Intn(64))
+	return p
+}
+
+// siteForReg classifies a register plan's site: RIP/RFLAGS are control
+// state, everything below NumGPR is the GPR file.
+func siteForReg(reg isa.Reg) Site {
+	if int(reg) < isa.NumGPR {
+		return SiteGPR
+	}
+	return SiteCtl
 }
 
 // timeSymbols are the routines whose RAX/RDX values carry platform time.
@@ -477,9 +571,13 @@ func (w *Worker) RunOne(plan Plan) (Outcome, error) {
 	// Arm the recovery engine for the injected run only (machineAt's
 	// prefix replay above ran engine-free, matching the reference replay
 	// that built the checkpoint pool). The engine disarms after its first
-	// attempt: one recovery per run.
+	// attempt: one recovery per run. The injection hook rides on the CPU
+	// scheduled to execute the injected activation — register flips land
+	// in that CPU's file; uncore flips are applied from its hook but may
+	// address another CPU's APIC word or PMU bank (plan.VCPU).
 	m.Recovery = r.Recovery
-	c := m.HV.CPU
+	ev := r.Golden[plan.Activation].Ev
+	c := m.HV.CPUFor(&ev)
 	defer func() {
 		c.PreStep = nil
 		m.Recovery = nil
@@ -493,49 +591,73 @@ func (w *Worker) RunOne(plan Plan) (Outcome, error) {
 		haveConsumer  bool
 		overwritten   bool
 	)
-	// The hook disarms itself (PreStep = nil) the moment the flip's fate is
-	// decided — activated or overwritten — so the CPU drops from the traced
-	// loop to the untraced fast loop for the remainder of the run instead of
-	// paying the hook on every post-injection instruction.
-	c.PreStep = func(step, pc uint64) {
-		if !injected {
-			if step >= plan.Step {
-				injected = true
-				activatedStep = step
-				c.Regs[plan.Reg] ^= 1 << plan.Bit
-				o.Symbol = m.HV.SymbolFor(pc)
-				if plan.Reg == isa.RIP {
-					// A flipped instruction pointer is consumed by the very
-					// next fetch.
-					o.Activated = true
-					c.PreStep = nil
-				}
+	if !plan.Site.Register() {
+		if plan.Site == SiteTLB {
+			// The TLB's warmth at this point depends on the checkpoint
+			// interval (a restore invalidates, residual replay re-warms).
+			// An uncorrupted TLB is observationally transparent — the
+			// restore path already relies on that — so clearing it here
+			// makes the flipped entry's fate, and hence the outcome,
+			// independent of K.
+			m.HV.Mem.InvalidateTLB()
+		}
+		// Uncore sites have no consume/overwrite automaton: the flip lands
+		// in machine state outside the executing instruction stream, and
+		// whether it ever matters shows up only in the golden differential.
+		c.PreStep = func(step, pc uint64) {
+			if step < plan.Step {
+				return
 			}
-			return
-		}
-		if o.Activated || overwritten {
-			c.PreStep = nil
-			return
-		}
-		in, ok := m.HV.Seg.InstrAt(pc)
-		if !ok {
-			// Fetch about to fault; control flow already diverged.
-			o.Activated = true
 			activatedStep = step
+			o.Symbol = m.HV.SymbolFor(pc)
+			o.Activated = applyUncoreFault(m, plan)
 			c.PreStep = nil
-			return
 		}
-		if in.ReadsReg(plan.Reg) {
-			o.Activated = true
-			activatedStep = step
-			consumerOp = in.Op
-			haveConsumer = true
-			c.PreStep = nil
-			return
-		}
-		if in.WritesReg(plan.Reg) {
-			overwritten = true
-			c.PreStep = nil
+	} else {
+		// The hook disarms itself (PreStep = nil) the moment the flip's fate is
+		// decided — activated or overwritten — so the CPU drops from the traced
+		// loop to the untraced fast loop for the remainder of the run instead of
+		// paying the hook on every post-injection instruction.
+		c.PreStep = func(step, pc uint64) {
+			if !injected {
+				if step >= plan.Step {
+					injected = true
+					activatedStep = step
+					c.Regs[plan.Reg] ^= 1 << plan.Bit
+					o.Symbol = m.HV.SymbolFor(pc)
+					if plan.Reg == isa.RIP {
+						// A flipped instruction pointer is consumed by the very
+						// next fetch.
+						o.Activated = true
+						c.PreStep = nil
+					}
+				}
+				return
+			}
+			if o.Activated || overwritten {
+				c.PreStep = nil
+				return
+			}
+			in, ok := m.HV.Seg.InstrAt(pc)
+			if !ok {
+				// Fetch about to fault; control flow already diverged.
+				o.Activated = true
+				activatedStep = step
+				c.PreStep = nil
+				return
+			}
+			if in.ReadsReg(plan.Reg) {
+				o.Activated = true
+				activatedStep = step
+				consumerOp = in.Op
+				haveConsumer = true
+				c.PreStep = nil
+				return
+			}
+			if in.WritesReg(plan.Reg) {
+				overwritten = true
+				c.PreStep = nil
+			}
 		}
 	}
 	act, err := m.Step()
@@ -592,7 +714,7 @@ func (w *Worker) RunOne(plan Plan) (Outcome, error) {
 			return false
 		}
 		fp := r.fps[next]
-		if c.ArchHash() != fp.Arch {
+		if m.HV.ArchHash() != fp.Arch {
 			return false
 		}
 		if m.HV.Mem.FoldFrom(w.base) != fp.Mem {
@@ -668,6 +790,41 @@ func (w *Worker) RunOne(plan Plan) (Outcome, error) {
 	return o, nil
 }
 
+// applyUncoreFault applies a non-register-site flip to the machine and
+// reports whether the fault took hold (a D-TLB flip into an empty slot
+// has nothing to corrupt, exactly like a register flip that is
+// overwritten before use). Out-of-range indices and CPUs wrap into their
+// valid spaces so every decodable plan is executable.
+func applyUncoreFault(m *sim.Machine, plan Plan) bool {
+	cpuIdx := plan.VCPU
+	if cpuIdx < 0 || cpuIdx >= m.HV.NumVCPUs() {
+		cpuIdx = 0
+	}
+	switch plan.Site {
+	case SiteTLB:
+		return m.HV.Mem.FlipTLBTag(int(plan.Index)%mem.TLBSlots, plan.Bit)
+	case SiteAPIC:
+		addr := hv.APICAddr(cpuIdx)
+		v, err := m.HV.Mem.Peek(addr)
+		if err != nil {
+			return false
+		}
+		return m.HV.Mem.Poke(addr, v^(1<<(plan.Bit&63))) == nil
+	case SitePMU:
+		e := perf.Event(int(plan.Index) % int(perf.NumEvents))
+		m.HV.CPUs[cpuIdx].PMU.Flip(e, plan.Bit)
+		return true
+	case SitePT:
+		addr := hv.PageTableAddr() + uint64(int(plan.Index)%hv.PageTableWords)*8
+		v, err := m.HV.Mem.Peek(addr)
+		if err != nil {
+			return false
+		}
+		return m.HV.Mem.Poke(addr, v^(1<<(plan.Bit&63))) == nil
+	}
+	return false
+}
+
 // foldVerdict folds one activation of the injection run into the
 // outcome's detection fields — the single attribution point for the
 // injected activation, the suffix activations, and both recovery modes.
@@ -705,8 +862,12 @@ func (r *Runner) undetectedCause(o *Outcome, haveConsumer bool, consumerOp isa.O
 	if o.FeaturesDiffer {
 		return CauseMisclassified
 	}
+	// The register-specific attributions below apply only to register-site
+	// plans: an uncore plan's Reg field is zero, which would otherwise
+	// alias RAX.
+	reg := o.Plan.Site.Register()
 	if o.DiffKind == guest.DiffTime ||
-		(timeSymbols[o.Symbol] && (o.Plan.Reg == isa.RAX || o.Plan.Reg == isa.RDX)) {
+		(reg && timeSymbols[o.Symbol] && (o.Plan.Reg == isa.RAX || o.Plan.Reg == isa.RDX)) {
 		return CauseTimeValue
 	}
 	// A corrupted return value is plain data corruption even when the flip
@@ -714,8 +875,8 @@ func (r *Runner) undetectedCause(o *Outcome, haveConsumer bool, consumerOp isa.O
 	if o.DiffKind == guest.DiffRetVal {
 		return CauseOtherValue
 	}
-	if stackSymbols[o.Symbol] || o.Plan.Reg == isa.RSP ||
-		(haveConsumer && isStackConsumer(consumerOp)) {
+	if reg && (stackSymbols[o.Symbol] || o.Plan.Reg == isa.RSP ||
+		(haveConsumer && isStackConsumer(consumerOp))) {
 		return CauseStackValue
 	}
 	return CauseOtherValue

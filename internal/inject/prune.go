@@ -164,9 +164,15 @@ func (r *Runner) foldRefSuffix(o *Outcome, from int, runningLatency uint64) {
 // engine forces it off too: a microreboot discards hypervisor private
 // state mid-run, so a post-reboot machine can never re-coincide with the
 // reference fingerprints, and dead-flip synthesis is unsound when a model
-// false positive can trigger a state-changing reboot.
+// false positive can trigger a state-changing reboot. Non-register
+// injection targets force it off as well — conservatism per site class:
+// a flipped D-TLB tag or PMU counter is invisible to the Arch+Mem
+// fingerprint, so a "converged" machine could still carry the corruption
+// forward, and the dead-flip trace argument only speaks about register
+// reads and writes.
 func (r *Runner) pruneEnabled() bool {
-	return !r.DisablePrune && len(r.Cfg.Detectors) == 0 && r.Recovery == nil
+	return !r.DisablePrune && len(r.Cfg.Detectors) == 0 && r.Recovery == nil &&
+		registerTargetsOnly(r.Targets)
 }
 
 // prunePlan classifies an injection without executing it when the golden
@@ -178,6 +184,12 @@ func (r *Runner) pruneEnabled() bool {
 // latency accounting, and verdict folding.
 func (r *Runner) prunePlan(plan Plan) (Outcome, bool) {
 	if r.traces == nil {
+		return Outcome{}, false
+	}
+	if !plan.Site.Register() {
+		// Belt and braces: non-register targets already disable pruning
+		// wholesale (pruneEnabled), but a hand-built uncore plan must
+		// never be judged by the register-trace argument either.
 		return Outcome{}, false
 	}
 	if plan.Reg == isa.RIP {

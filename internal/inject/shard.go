@@ -43,6 +43,7 @@ func (cfg CampaignConfig) BenchmarkSim(bi int) sim.Config {
 		Mode:            cfg.Mode,
 		Domains:         3,
 		Seed:            cfg.Seed + int64(bi)*7919,
+		VCPUs:           cfg.VCPUs,
 		Detection:       cfg.Detection,
 		Detectors:       cfg.Detectors,
 		SlowPath:        cfg.SlowPath,
@@ -61,6 +62,9 @@ func PrepareBenchmark(cfg CampaignConfig, bi int) (*BenchmarkRun, error) {
 		return nil, fmt.Errorf("inject: benchmark index %d out of range [0,%d)", bi, len(cfg.Benchmarks))
 	}
 	bench := cfg.Benchmarks[bi]
+	if err := ValidateTargets(cfg.Targets, cfg.VCPUs); err != nil {
+		return nil, err
+	}
 	runner, err := NewRunner(cfg.BenchmarkSim(bi), cfg.Activations, cfg.Model)
 	if err != nil {
 		return nil, fmt.Errorf("inject: golden run for %s: %w", bench, err)
@@ -68,6 +72,10 @@ func PrepareBenchmark(cfg CampaignConfig, bi int) (*BenchmarkRun, error) {
 	runner.Recover = cfg.Recover
 	runner.CheckpointEvery = cfg.CheckpointEvery
 	runner.DisablePrune = cfg.DisablePrune
+	// Targets shape both the plan stream and the pruning gate; they must
+	// be in place before the checkpoint pool (which records pruning data
+	// only when pruning is live) and before the first RandomPlan draw.
+	runner.Targets = cfg.Targets
 	engine, err := recovery.EngineFor(cfg.Recovery)
 	if err != nil {
 		return nil, err
@@ -100,10 +108,16 @@ func PreparePlans(cfg CampaignConfig, bi int) ([]Plan, error) {
 	if bi < 0 || bi >= len(cfg.Benchmarks) {
 		return nil, fmt.Errorf("inject: benchmark index %d out of range [0,%d)", bi, len(cfg.Benchmarks))
 	}
+	if err := ValidateTargets(cfg.Targets, cfg.VCPUs); err != nil {
+		return nil, err
+	}
 	runner, err := NewRunner(cfg.BenchmarkSim(bi), cfg.Activations, nil)
 	if err != nil {
 		return nil, fmt.Errorf("inject: golden run for %s: %w", cfg.Benchmarks[bi], err)
 	}
+	// Plan identity includes the target classes: a coordinator must derive
+	// the same plans its workers will execute.
+	runner.Targets = cfg.Targets
 	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(bi+1)*104729))
 	plans := make([]Plan, cfg.InjectionsPerBenchmark)
 	for i := range plans {

@@ -1,0 +1,156 @@
+package inject
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xentry/internal/hv"
+	"xentry/internal/isa"
+	"xentry/internal/mem"
+	"xentry/internal/perf"
+	"xentry/internal/sim"
+)
+
+// TestSiteNameTableExhaustive: every site class has a distinct, non-empty
+// name and survives a text round-trip — the property the JSON tally keys,
+// the -targets flag, and the wire codec's bounds checks all lean on.
+func TestSiteNameTableExhaustive(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Sites() {
+		name := s.String()
+		if name == "" || strings.HasPrefix(name, "site(") {
+			t.Fatalf("site %d has no name", s)
+		}
+		if seen[name] {
+			t.Fatalf("site name %q duplicated", name)
+		}
+		seen[name] = true
+
+		text, err := s.MarshalText()
+		if err != nil {
+			t.Fatalf("%v MarshalText: %v", s, err)
+		}
+		var back Site
+		if err := back.UnmarshalText(text); err != nil || back != s {
+			t.Fatalf("%v text round-trip = %v, %v", s, back, err)
+		}
+	}
+	if len(seen) != int(NumSites) {
+		t.Fatalf("Sites() covers %d names, want %d", len(seen), NumSites)
+	}
+	var bad Site
+	if err := bad.UnmarshalText([]byte("nonsense")); err == nil {
+		t.Fatal("UnmarshalText accepted an unknown site name")
+	}
+	if Site(250).String() == SiteGPR.String() {
+		t.Fatal("out-of-range site aliases gpr's name")
+	}
+}
+
+// TestSiteJSONKeysByName: a tally's BySite map must marshal with site
+// names as keys (not numeric codes) so reports and the server's JSON stay
+// self-describing.
+func TestSiteJSONKeysByName(t *testing.T) {
+	tl := NewTally()
+	tl.Add(Outcome{Plan: Plan{Site: SitePMU, VCPU: 2}, Activated: true})
+	data, err := json.Marshal(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"pmu"`) {
+		t.Fatalf("BySite JSON does not key by name: %s", data)
+	}
+}
+
+// TestTargetValidation pins the -targets surface: normalization collapses
+// duplicates and defaults to gpr, unknown names and apic-without-SMP are
+// rejected with the available-set in the message.
+func TestTargetValidation(t *testing.T) {
+	if got := NormalizeTargets(nil); len(got) != 1 || got[0] != "gpr" {
+		t.Fatalf("NormalizeTargets(nil) = %v", got)
+	}
+	got := NormalizeTargets([]string{" PMU ", "gpr", "pmu", "dtlb"})
+	if len(got) != 3 || got[0] != "dtlb" || got[1] != "gpr" || got[2] != "pmu" {
+		t.Fatalf("NormalizeTargets dedup/sort = %v", got)
+	}
+
+	if err := ValidateTargets([]string{"gpr", "pgtable"}, 1); err != nil {
+		t.Fatalf("valid targets rejected: %v", err)
+	}
+	err := ValidateTargets([]string{"bogus"}, 1)
+	if err == nil || !strings.Contains(err.Error(), "bogus") ||
+		!strings.Contains(err.Error(), "gpr") {
+		t.Fatalf("unknown target error = %v", err)
+	}
+	if err := ValidateTargets([]string{"apic"}, 1); err == nil {
+		t.Fatal("apic accepted on a single-CPU machine")
+	}
+	if err := ValidateTargets([]string{"apic"}, 2); err != nil {
+		t.Fatalf("apic rejected on an SMP machine: %v", err)
+	}
+}
+
+// TestRandomPlanSiteBounds: with every site class selected on an SMP
+// machine, drawn plans stay inside each class's index space and addressing
+// rules (shared-memory classes pin VCPU to 0, per-CPU classes stay within
+// the bank).
+func TestRandomPlanSiteBounds(t *testing.T) {
+	cfg := sim.DefaultConfig("mcf", 21)
+	cfg.VCPUs = 4
+	r, err := NewRunner(cfg, 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Targets = NormalizeTargets([]string{"gpr", "dtlb", "apic", "pmu", "pgtable"})
+	rng := rand.New(rand.NewSource(3))
+	drawn := map[Site]int{}
+	for i := 0; i < 2000; i++ {
+		p := r.RandomPlan(rng)
+		drawn[p.Site]++
+		if p.Activation < 0 || p.Activation >= r.Activations || p.Bit > 63 {
+			t.Fatalf("plan out of range: %+v", p)
+		}
+		switch p.Site {
+		case SiteGPR, SiteCtl:
+			valid := p.Reg < isa.Reg(isa.NumGPR) || p.Reg == isa.RIP || p.Reg == isa.RFLAGS
+			if !valid {
+				t.Fatalf("register %v not injectable", p.Reg)
+			}
+			if p.VCPU < 0 || p.VCPU >= 4 {
+				t.Fatalf("gpr plan vcpu %d out of bank", p.VCPU)
+			}
+		case SiteTLB:
+			if p.VCPU != 0 || p.Index >= uint32(mem.TLBSlots) {
+				t.Fatalf("dtlb plan %+v", p)
+			}
+		case SiteAPIC:
+			if p.VCPU < 0 || p.VCPU >= 4 {
+				t.Fatalf("apic plan vcpu %d out of bank", p.VCPU)
+			}
+		case SitePMU:
+			if p.VCPU < 0 || p.VCPU >= 4 || p.Index >= uint32(perf.NumEvents) {
+				t.Fatalf("pmu plan %+v", p)
+			}
+		case SitePT:
+			if p.VCPU != 0 || p.Index >= uint32(hv.PageTableWords) {
+				t.Fatalf("pgtable plan %+v", p)
+			}
+		default:
+			t.Fatalf("unknown site %v drawn", p.Site)
+		}
+	}
+	for _, name := range []string{"dtlb", "apic", "pmu", "pgtable"} {
+		var want Site
+		if err := want.UnmarshalText([]byte(name)); err != nil {
+			t.Fatal(err)
+		}
+		if drawn[want] == 0 {
+			t.Errorf("site class %s never drawn in 2000 plans", name)
+		}
+	}
+	if drawn[SiteGPR] == 0 {
+		t.Error("gpr never drawn in 2000 plans")
+	}
+}

@@ -81,6 +81,11 @@ func TestTallyMergeEdgeCases(t *testing.T) {
 // the classifier actually produces, over randomized values.
 func randomOutcome(rng *rand.Rand) Outcome {
 	o := Outcome{Plan: Plan{Activation: rng.Intn(50), Step: uint64(rng.Intn(1000))}}
+	if rng.Intn(3) == 0 { // uncore plans exercise the BySite/ByVCPU fold
+		o.Plan.Site = Site(rng.Intn(int(NumSites)))
+		o.Plan.VCPU = rng.Intn(4)
+		o.Plan.Index = uint32(rng.Intn(256))
+	}
 	switch rng.Intn(4) {
 	case 0: // non-activated
 	case 1: // benign, possibly a false positive

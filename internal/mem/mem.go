@@ -193,6 +193,10 @@ const (
 	tlbMask      = tlbSize - 1
 )
 
+// TLBSlots is the number of D-TLB entries — the index space of the
+// injection taxonomy's D-TLB site class.
+const TLBSlots = tlbSize
+
 // tlbEntry is one direct-mapped D-TLB slot. It caches two translation
 // levels:
 //
@@ -291,6 +295,23 @@ func (m *Memory) installPage(e *tlbEntry, r *Region, addr uint64) {
 	}
 	e.page = (*[pageWords]uint64)(r.pages[p])
 	e.tag = addr >> tlbByteShift
+}
+
+// FlipTLBTag models a soft error striking a D-TLB entry: it toggles one
+// bit of the tag word of the given slot. Only the tag is perturbed —
+// entries carry Go pointers that must stay intact — which is exactly the
+// hardware fault model: a corrupted tag either stops matching its own
+// window (a stale entry, observationally a miss) or starts matching a
+// different address whose accesses map to this slot, serving that window
+// a wrong page. It returns false when the slot holds no armed page entry,
+// i.e. there is nothing live to corrupt.
+func (m *Memory) FlipTLBTag(slot int, bit uint8) bool {
+	e := &m.tlb[uint64(slot)&tlbMask]
+	if e.page == nil {
+		return false
+	}
+	e.tag ^= 1 << (bit & 63)
+	return true
 }
 
 // Map adds a region. Regions may not overlap; size is rounded up to a

@@ -114,6 +114,13 @@ func (c *Counters) Add(s Sample) {
 	}
 }
 
+// Flip toggles one bit of event e's count unconditionally. A soft error
+// strikes the physical counter register regardless of whether the bank is
+// enabled, so — unlike Count/Add — the armed switch does not gate it.
+func (c *Counters) Flip(e Event, bit uint8) {
+	c.counts[e] ^= 1 << (bit & 63)
+}
+
 // State is the complete PMU state for a machine checkpoint.
 type State struct {
 	Armed  bool

@@ -68,6 +68,10 @@ type Event struct {
 	// the xentry_recoveries_total metric and the SSE stream.
 	RecoveryStrategy string `json:"recovery_strategy,omitempty"`
 	RecoveryOutcome  string `json:"recovery_outcome,omitempty"`
+	// Site is the fault-site class of the injected plan on outcome events
+	// ("gpr", "ctl", "dtlb", "apic", "pmu", "pgtable"); it feeds the
+	// xentry_injections_total{site="..."} metric and the SSE stream.
+	Site string `json:"site,omitempty"`
 }
 
 // Engine executes one campaign through a durable store with a sharded
@@ -221,7 +225,8 @@ func (e *Engine) Run(ctx context.Context, cfg inject.CampaignConfig) (*inject.Ca
 						}
 						done, total := progress()
 						ev := Event{Type: EventOutcome, Campaign: id, Bench: job.bench,
-							Shard: job.shard, Worker: w.id, Done: done, Total: total}
+							Shard: job.shard, Worker: w.id, Done: done, Total: total,
+							Site: o.Plan.Site.String()}
 						if o.Detected.Detected() {
 							ev.Technique = o.Detected.String()
 						}

@@ -788,7 +788,8 @@ func (run *fleetRun) processBatch(item ingestItem) {
 			}
 			done, total := run.store.TotalCount(), run.total
 			ev := Event{Type: EventOutcome, Campaign: run.id, Bench: e.Bench,
-				Shard: shard, Worker: item.wid, Done: done, Total: total}
+				Shard: shard, Worker: item.wid, Done: done, Total: total,
+				Site: e.Outcome.Plan.Site.String()}
 			if e.Outcome.Detected.Detected() {
 				ev.Technique = e.Outcome.Detected.String()
 			}

@@ -17,6 +17,7 @@ import (
 	"xentry/internal/core"
 	"xentry/internal/detect"
 	"xentry/internal/experiments"
+	"xentry/internal/hv"
 	"xentry/internal/inject"
 	"xentry/internal/recovery"
 	"xentry/internal/store"
@@ -67,6 +68,13 @@ type CampaignSpec struct {
 	// fleet listener). Anything else is a 400. The JSON API stays the
 	// control plane either way.
 	Execution string `json:"execution,omitempty"`
+	// VCPUs is the number of logical CPUs per simulated machine (0 or 1 =
+	// the seed's single-CPU machine; out-of-range values are a 400).
+	VCPUs int `json:"vcpus,omitempty"`
+	// Targets names the fault-site target classes plans are drawn from
+	// (see inject.TargetNames; empty = "gpr"). An unknown name is a 400,
+	// matching the detectors contract; "apic" needs vcpus >= 2.
+	Targets []string `json:"targets,omitempty"`
 }
 
 // withDefaults fills the deterministic defaults a local xentry-campaign
@@ -104,6 +112,8 @@ func (sp CampaignSpec) campaignConfig() (inject.CampaignConfig, error) {
 		Detectors:              detectors,
 		DisablePrune:           sp.Prune == "off",
 		Recovery:               sp.Recovery,
+		VCPUs:                  sp.VCPUs,
+		Targets:                sp.Targets,
 	}, nil
 }
 
@@ -177,6 +187,11 @@ type Server struct {
 	// outcome="..."}; guarded by recoveriesMu like detections.
 	recoveriesMu sync.Mutex
 	recoveries   map[[2]string]int64
+
+	// sites counts recorded outcomes per fault-site class name, exposed
+	// as xentry_injections_total{site="..."}; guarded like detections.
+	sitesMu sync.Mutex
+	sites   map[string]int64
 }
 
 // campaign is one registered campaign's runtime state.
@@ -271,6 +286,18 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	} else if engine != nil && spec.Recover {
 		httpError(w, http.StatusBadRequest, "recover and recovery=%q are mutually exclusive", spec.Recovery)
+		return
+	}
+	if spec.VCPUs < 0 || spec.VCPUs > hv.MaxVCPUs {
+		httpError(w, http.StatusBadRequest, "vcpus must be in [0,%d], got %d", hv.MaxVCPUs, spec.VCPUs)
+		return
+	}
+	vcpus := spec.VCPUs
+	if vcpus == 0 {
+		vcpus = 1
+	}
+	if err := inject.ValidateTargets(spec.Targets, vcpus); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	switch spec.Execution {
@@ -373,6 +400,9 @@ func (s *Server) startCampaign(spec CampaignSpec) (*campaign, error) {
 				s.outcomesRecorded.Add(1)
 				if ev.Technique != "" {
 					s.countDetection(ev.Technique)
+				}
+				if ev.Site != "" {
+					s.countSite(ev.Site)
 				}
 				switch ev.Pruned {
 				case "dead":
@@ -616,6 +646,15 @@ func (s *Server) countDetection(technique string) {
 	s.detectionsMu.Unlock()
 }
 
+func (s *Server) countSite(site string) {
+	s.sitesMu.Lock()
+	if s.sites == nil {
+		s.sites = map[string]int64{}
+	}
+	s.sites[site]++
+	s.sitesMu.Unlock()
+}
+
 func (s *Server) countRecovery(strategy, outcome string) {
 	s.recoveriesMu.Lock()
 	if s.recoveries == nil {
@@ -658,6 +697,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "xentry_fleet_leases_total %d\n", fs.Leases)
 		fmt.Fprintf(w, "xentry_fleet_requeues_total %d\n", fs.Requeues)
 	}
+	s.sitesMu.Lock()
+	siteNames := make([]string, 0, len(s.sites))
+	for name := range s.sites {
+		siteNames = append(siteNames, name)
+	}
+	sort.Strings(siteNames)
+	for _, name := range siteNames {
+		fmt.Fprintf(w, "xentry_injections_total{site=%q} %d\n", name, s.sites[name])
+	}
+	s.sitesMu.Unlock()
 	s.detectionsMu.Lock()
 	techniques := make([]string, 0, len(s.detections))
 	for name := range s.detections {

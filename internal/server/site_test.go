@@ -1,0 +1,30 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServerRejectsBadSiteSpec: unknown injection-target names, apic on a
+// single-CPU machine, and out-of-range vCPU counts are 400s at submission —
+// the same early-rejection contract the detector and recovery specs get.
+func TestServerRejectsBadSiteSpec(t *testing.T) {
+	_, client := testServer(t)
+	_, err := client.Submit(CampaignSpec{InjectionsPerBenchmark: 4, Targets: []string{"cache"}})
+	if err == nil || !strings.Contains(err.Error(), "cache") ||
+		!strings.Contains(err.Error(), "gpr") {
+		t.Errorf("unknown target: err = %v, want 400 naming the available set", err)
+	}
+	_, err = client.Submit(CampaignSpec{InjectionsPerBenchmark: 4, Targets: []string{"apic"}})
+	if err == nil || !strings.Contains(err.Error(), "vcpus") {
+		t.Errorf("apic without SMP: err = %v, want 400 requiring vcpus >= 2", err)
+	}
+	_, err = client.Submit(CampaignSpec{InjectionsPerBenchmark: 4, VCPUs: 99})
+	if err == nil || !strings.Contains(err.Error(), "vcpus") {
+		t.Errorf("vcpus out of range: err = %v, want 400", err)
+	}
+	_, err = client.Submit(CampaignSpec{InjectionsPerBenchmark: 4, VCPUs: -1})
+	if err == nil {
+		t.Errorf("negative vcpus accepted")
+	}
+}

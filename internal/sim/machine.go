@@ -30,6 +30,13 @@ type Config struct {
 	// Domains is the domain count (domain 0 privileged). The paper's
 	// injection setup is Dom0 plus two PV DomUs.
 	Domains int
+	// VCPUs is the logical CPU count (0 means 1). With more than one CPU
+	// the machine becomes the paper's SMP testbed: a deterministic
+	// round-robin scheduler with seeded quanta interleaves activations
+	// across the CPU bank, and cross-domain event-channel kicks travel
+	// through per-CPU APIC pending words (IPI delivery) instead of staying
+	// in shared info. VCPUs==1 is bit-identical to the pre-SMP machine.
+	VCPUs int
 	// Seed drives every random draw; equal seeds replay identical
 	// activation streams.
 	Seed int64
@@ -116,6 +123,14 @@ type Machine struct {
 	// sampling state exactly: equal state ⇒ identical activation streams.
 	rng  *rng.RNG
 	step int
+	// schedRng drives the SMP scheduler's quantum draws. It is separate
+	// from the workload rng — and nil on a single-CPU machine — so the
+	// event stream is identical across CPU counts and the schedule is a
+	// pure function of (seed, step), never of injection outcomes.
+	schedRng *rng.RNG
+	// schedCur is the CPU owning the current quantum; schedLeft is the
+	// number of activations left in it.
+	schedCur, schedLeft int
 	// Clock accumulates virtual cycles: guest compute + hypervisor
 	// execution + detection shim.
 	Clock float64
@@ -126,11 +141,14 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.Domains == 0 {
 		cfg.Domains = 3
 	}
+	if cfg.VCPUs == 0 {
+		cfg.VCPUs = 1
+	}
 	prof, err := workload.ByName(cfg.Benchmark)
 	if err != nil {
 		return nil, err
 	}
-	h, err := hv.New(cfg.Domains)
+	h, err := hv.NewSMP(cfg.Domains, cfg.VCPUs)
 	if err != nil {
 		return nil, err
 	}
@@ -147,13 +165,21 @@ func NewMachine(cfg Config) (*Machine, error) {
 	for _, f := range cfg.Detectors {
 		sentry.AddDetector(f())
 	}
-	return &Machine{
+	m := &Machine{
 		Cfg:     cfg,
 		HV:      h,
 		Sentry:  sentry,
 		Profile: prof,
 		rng:     rng.New(cfg.Seed),
-	}, nil
+	}
+	if cfg.VCPUs > 1 {
+		// Seed the scheduler stream away from the workload stream; start
+		// on the last CPU with an exhausted quantum so the first
+		// activation's rotation lands on CPU 0.
+		m.schedRng = rng.New(cfg.Seed ^ 0x5c4ed51e)
+		m.schedCur = cfg.VCPUs - 1
+	}
+	return m, nil
 }
 
 // StepIndex is the index of the next activation Step will execute.
@@ -174,6 +200,9 @@ type Checkpoint struct {
 	rngState uint64
 	stats    core.Stats
 	hv       *hv.Checkpoint
+	// Scheduler state (zero on single-CPU machines, which have none).
+	schedState          uint64
+	schedCur, schedLeft int
 	// detectors holds per-detector state for plugins implementing
 	// detect.Checkpointable, aligned with the machine's plugin list
 	// (nil entries for stateless detectors).
@@ -204,7 +233,7 @@ type Fingerprint struct {
 // base's cached page hashes for memory still shared with it (nil base
 // hashes everything).
 func (m *Machine) FingerprintFrom(base *mem.Checkpoint) Fingerprint {
-	return Fingerprint{Arch: m.HV.CPU.ArchHash(), Mem: m.HV.Mem.FoldFrom(base)}
+	return Fingerprint{Arch: m.HV.ArchHash(), Mem: m.HV.Mem.FoldFrom(base)}
 }
 
 // Checkpoint captures the machine's full state before its next activation.
@@ -217,6 +246,11 @@ func (m *Machine) Checkpoint() *Checkpoint {
 		rngState:   m.rng.State(),
 		stats:      m.Sentry.Stats(),
 		hv:         m.HV.Checkpoint(),
+	}
+	if m.schedRng != nil {
+		cp.schedState = m.schedRng.State()
+		cp.schedCur = m.schedCur
+		cp.schedLeft = m.schedLeft
 	}
 	if plugins := m.Sentry.Detectors(); len(plugins) > 0 {
 		cp.detectors = make([]any, len(plugins))
@@ -241,6 +275,11 @@ func (m *Machine) RestoreFrom(cp *Checkpoint) error {
 	m.Clock = cp.Clock
 	m.Recoveries = cp.Recoveries
 	m.rng.SetState(cp.rngState)
+	if m.schedRng != nil {
+		m.schedRng.SetState(cp.schedState)
+		m.schedCur = cp.schedCur
+		m.schedLeft = cp.schedLeft
+	}
 	m.Sentry.RestoreStats(cp.stats)
 	if cp.detectors != nil {
 		plugins := m.Sentry.Detectors()
@@ -300,9 +339,27 @@ func (m *Machine) Step() (Activation, error) {
 	if err != nil {
 		return Activation{}, err
 	}
+	if m.schedRng != nil {
+		// Deterministic interleave: round-robin over the CPU bank with a
+		// seeded quantum of 1-4 activations. The draw comes from the
+		// dedicated scheduler stream, so the schedule depends only on the
+		// seed and the step index — never on what an injection did.
+		if m.schedLeft == 0 {
+			m.schedCur = (m.schedCur + 1) % m.Cfg.VCPUs
+			m.schedLeft = 1 + m.schedRng.Intn(4)
+		}
+		ev.VCPU = m.schedCur
+		m.schedLeft--
+		// Consume any IPI kick queued for this domain before it runs:
+		// deferred cross-CPU event bits become guest-visible again.
+		if err := m.HV.DeliverIPI(ev.Dom); err != nil {
+			return Activation{}, err
+		}
+	}
 	// The TSC runs at wall-clock rate: it advances across the guest's
-	// compute interval, not just during hypervisor execution.
-	m.HV.CPU.TSC += uint64(interval)
+	// compute interval, not just during hypervisor execution. Each logical
+	// CPU keeps its own TSC; only the scheduled CPU's advances.
+	m.HV.CPUFor(ev).TSC += uint64(interval)
 	var snap *hv.Snap
 	if m.RecoverOnDetection || m.Recovery != nil {
 		// Preserve the critical data and the VM exit reason at every VM
@@ -373,6 +430,15 @@ func (m *Machine) Step() (Activation, error) {
 	// The guest acknowledges delivered events before resuming work.
 	if err := m.HV.ClearEventPending(ev.Dom); err != nil {
 		return Activation{}, err
+	}
+	if m.schedRng != nil {
+		// Cross-CPU event delivery: pending bits this activation raised in
+		// other domains' shared info become IPI kicks through their home
+		// CPUs' APIC words, consumed by DeliverIPI when those domains next
+		// run.
+		if err := m.HV.QueueCrossEvents(ev.Dom); err != nil {
+			return Activation{}, err
+		}
 	}
 	m.Clock += interval + float64(out.Result.Steps) + float64(out.ShimCycles)
 	act := Activation{

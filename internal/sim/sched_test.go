@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"testing"
+)
+
+// scheduleTrace boots an SMP machine and returns the per-activation vCPU
+// sequence — the deterministic-interleaving contract's observable.
+func scheduleTrace(t *testing.T, seed int64, vcpus, n int) []int {
+	t.Helper()
+	cfg := DefaultConfig("postmark", seed)
+	cfg.VCPUs = vcpus
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := make([]int, n)
+	for i := range trace {
+		act, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace[i] = act.Ev.VCPU
+	}
+	return trace
+}
+
+// TestScheduleTraceDeterministic: the same seed produces the identical
+// vCPU interleaving on every boot — the round-robin quanta come from the
+// seeded scheduler rng, nothing else.
+func TestScheduleTraceDeterministic(t *testing.T) {
+	first := scheduleTrace(t, 23, 4, 300)
+	second := scheduleTrace(t, 23, 4, 300)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("schedule diverges at activation %d: cpu%d vs cpu%d",
+				i, first[i], second[i])
+		}
+	}
+	used := map[int]bool{}
+	for _, c := range first {
+		if c < 0 || c >= 4 {
+			t.Fatalf("scheduled cpu%d outside the bank", c)
+		}
+		used[c] = true
+	}
+	if len(used) != 4 {
+		t.Fatalf("only %d/4 vCPUs ever scheduled: %v", len(used), used)
+	}
+}
+
+// TestScheduleTraceSeedSensitive: a different seed reshuffles the quanta.
+func TestScheduleTraceSeedSensitive(t *testing.T) {
+	a := scheduleTrace(t, 23, 4, 300)
+	b := scheduleTrace(t, 24, 4, 300)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("schedule trace identical across different seeds")
+	}
+}
+
+// TestSingleVCPUSchedulePinned: a 1-vCPU machine schedules cpu0 for every
+// activation — the legacy engine's shape, which the bit-identity
+// differentials in internal/inject lean on.
+func TestSingleVCPUSchedulePinned(t *testing.T) {
+	for _, c := range scheduleTrace(t, 7, 1, 100) {
+		if c != 0 {
+			t.Fatalf("single-CPU machine scheduled cpu%d", c)
+		}
+	}
+}
+
+// TestSMPGoldenRunDeterministic: full activation records (events, features,
+// counter records) match across two SMP boots, not just the vCPU choice.
+func TestSMPGoldenRunDeterministic(t *testing.T) {
+	cfg := DefaultConfig("x264", 31)
+	cfg.VCPUs = 3
+	a1, err := GoldenRun(cfg, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := GoldenRun(cfg, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1 {
+		if a1[i].Ev != a2[i].Ev {
+			t.Fatalf("activation %d events differ: %+v vs %+v", i, a1[i].Ev, a2[i].Ev)
+		}
+		if a1[i].Outcome.Features != a2[i].Outcome.Features {
+			t.Fatalf("activation %d features differ", i)
+		}
+		if a1[i].Record != a2[i].Record {
+			t.Fatalf("activation %d records differ", i)
+		}
+	}
+}

@@ -34,11 +34,17 @@ const RecFormat byte = 0x01
 //	recovery byte strategy, string technique, byte cause,
 //	         zigzag activation, uvarint reSteps, byte class
 //	                                   only when flagRecAttempted
+//	site     byte vcpu, byte site, uvarint index
+//	                                   only when flagHasSite
 //
-// Techniques travel by registered name, never by numeric ID: the
-// technique registry is open and auto-registering, so IDs depend on a
-// process's plugin registration order and would mis-attribute detections
-// the moment a worker and coordinator load different detector sets.
+// The site block trails everything else so records from legacy plans —
+// whose vcpu/site/index are all zero — stay byte-identical to the
+// pre-taxonomy encoding, and pre-taxonomy records decode with the zero
+// (GPR, CPU 0) site. Techniques travel by registered name, never by
+// numeric ID: the technique registry is open and auto-registering, so IDs
+// depend on a process's plugin registration order and would mis-attribute
+// detections the moment a worker and coordinator load different detector
+// sets.
 const (
 	flagRecovered = 1 << iota
 	flagActivated
@@ -49,6 +55,7 @@ const (
 	flagHasFeatures
 	flagRecAttempted
 	flagRecReExecuted
+	flagHasSite
 )
 
 // techName is the wire spelling of a technique: empty for TechNone
@@ -82,6 +89,8 @@ func AppendOutcome(dst []byte, o *inject.Outcome) []byte {
 	setFlag(flagHasFeatures, o.HasFeatures)
 	setFlag(flagRecAttempted, o.Recovery.Attempted)
 	setFlag(flagRecReExecuted, o.Recovery.ReExecuted)
+	hasSite := o.Plan.VCPU != 0 || o.Plan.Site != inject.SiteGPR || o.Plan.Index != 0
+	setFlag(flagHasSite, hasSite)
 	dst = appendUvarint(dst, flags)
 	dst = appendUvarint(dst, uint64(o.Plan.Activation))
 	dst = appendUvarint(dst, o.Plan.Step)
@@ -107,6 +116,10 @@ func AppendOutcome(dst []byte, o *inject.Outcome) []byte {
 		dst = appendInt(dst, int64(r.Activation))
 		dst = appendUvarint(dst, r.ReSteps)
 		dst = append(dst, byte(r.Class))
+	}
+	if hasSite {
+		dst = append(dst, byte(o.Plan.VCPU), byte(o.Plan.Site))
+		dst = appendUvarint(dst, uint64(o.Plan.Index))
 	}
 	return dst
 }
@@ -314,6 +327,28 @@ func (d *Decoder) decodeOutcome(b []byte) (inject.Outcome, []byte, error) {
 			return fail(err)
 		}
 		o.Recovery.Class = recovery.Class(by)
+	}
+	if flags&flagHasSite != 0 {
+		var by byte
+		if by, b, err = consumeByte(b); err != nil {
+			return fail(err)
+		}
+		o.Plan.VCPU = int(by)
+		if by, b, err = consumeByte(b); err != nil {
+			return fail(err)
+		}
+		if by >= byte(inject.NumSites) {
+			return fail(fmt.Errorf("wire: site class %d out of range", by))
+		}
+		o.Plan.Site = inject.Site(by)
+		var idx uint64
+		if idx, b, err = consumeUvarint(b); err != nil {
+			return fail(err)
+		}
+		if idx > 1<<20 {
+			return fail(fmt.Errorf("wire: site index %d out of range", idx))
+		}
+		o.Plan.Index = uint32(idx)
 	}
 	return o, b, nil
 }

@@ -1,0 +1,165 @@
+package wire_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"xentry/internal/guest"
+	"xentry/internal/inject"
+	"xentry/internal/isa"
+	"xentry/internal/wire"
+)
+
+// appendV1Record independently reconstructs the protocol-version-1 record
+// layout — format byte, bench, index, flags, plan without any site block,
+// then the scalar tail — so the tests below can prove both directions of
+// the forward-compat contract without keeping the old encoder around.
+func appendV1Record(bench string, index int, o *inject.Outcome) []byte {
+	zig := func(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+	var flags uint64
+	if o.Activated {
+		flags |= 1 << 1
+	}
+	if o.Manifested {
+		flags |= 1 << 2
+	}
+	b := []byte{0x01}
+	b = binary.AppendUvarint(b, uint64(len(bench)))
+	b = append(b, bench...)
+	b = binary.AppendUvarint(b, uint64(index))
+	b = binary.AppendUvarint(b, flags)
+	b = binary.AppendUvarint(b, uint64(o.Plan.Activation))
+	b = binary.AppendUvarint(b, o.Plan.Step)
+	b = append(b, byte(o.Plan.Reg), o.Plan.Bit)
+	b = binary.AppendUvarint(b, 0) // detected: none
+	b = binary.AppendUvarint(b, zig(int64(o.DetectedAt)))
+	b = binary.AppendUvarint(b, o.Latency)
+	b = binary.AppendUvarint(b, zig(int64(o.Consequence)))
+	b = binary.AppendUvarint(b, zig(int64(o.DiffKind)))
+	b = binary.AppendUvarint(b, zig(int64(o.Cause)))
+	b = binary.AppendUvarint(b, uint64(len(o.Symbol)))
+	b = append(b, o.Symbol...)
+	b = append(b, byte(o.Pruned))
+	return b
+}
+
+// legacyOutcome is a representative pre-taxonomy outcome: a register plan
+// with every site field zero.
+func legacyOutcome() inject.Outcome {
+	return inject.Outcome{
+		Plan:        inject.Plan{Activation: 7, Step: 300, Reg: isa.RCX, Bit: 33},
+		Activated:   true,
+		Manifested:  true,
+		DetectedAt:  -1,
+		Consequence: guest.AppSDC,
+		Cause:       inject.CauseStackValue,
+		Symbol:      "do_softirq",
+	}
+}
+
+// TestLegacyPlanBytesMatchV1: encoding a zero-site outcome today produces
+// byte-for-byte the version-1 record — WAL segments written by either
+// engine interleave freely.
+func TestLegacyPlanBytesMatchV1(t *testing.T) {
+	o := legacyOutcome()
+	got := wire.AppendRecord(nil, "mcf", 5, &o)
+	want := appendV1Record("mcf", 5, &o)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("zero-site record diverges from the v1 layout:\ngot  %x\nwant %x", got, want)
+	}
+}
+
+// TestOldFrameDecodesZeroSite: a record written before the site taxonomy
+// existed decodes as {vcpu: 0, site: gpr, index: 0} — the forward-compat
+// satellite's decode half.
+func TestOldFrameDecodesZeroSite(t *testing.T) {
+	want := legacyOutcome()
+	payload := appendV1Record("x264", 42, &want)
+	d := wire.NewDecoder()
+	bench, idx, got, err := d.DecodeRecord(payload)
+	if err != nil {
+		t.Fatalf("v1 record rejected: %v", err)
+	}
+	if bench != "x264" || idx != 42 {
+		t.Fatalf("v1 header decoded as (%q, %d)", bench, idx)
+	}
+	if got.Plan.VCPU != 0 || got.Plan.Site != inject.SiteGPR || got.Plan.Index != 0 {
+		t.Fatalf("v1 record decoded with nonzero site: %+v", got.Plan)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v1 round-trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestOutcomeSiteRoundTrip covers the site block across every class and a
+// spread of vCPUs and indices.
+func TestOutcomeSiteRoundTrip(t *testing.T) {
+	d := wire.NewDecoder()
+	for i := 0; i < 300; i++ {
+		want := genOutcome(i)
+		want.Plan.VCPU = i % 16
+		want.Plan.Site = inject.Site(i % int(inject.NumSites))
+		want.Plan.Index = uint32(i * 37 % 1000)
+		payload := wire.AppendRecord(nil, "postmark", i, &want)
+		_, _, got, err := d.DecodeRecord(payload)
+		if err != nil {
+			t.Fatalf("outcome %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("outcome %d site round-trip:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+// TestDecodeRejectsHostileSiteBlock: out-of-range site classes and absurd
+// indices are decode errors, and truncation anywhere inside the site block
+// errors instead of panicking.
+func TestDecodeRejectsHostileSiteBlock(t *testing.T) {
+	o := inject.Outcome{Plan: inject.Plan{Site: inject.SitePMU, VCPU: 3, Index: 2}}
+	payload := wire.AppendRecord(nil, "mcf", 1, &o)
+
+	bad := append([]byte(nil), payload...)
+	bad[len(bad)-2] = byte(inject.NumSites) // site class just past the table
+	d := wire.NewDecoder()
+	if _, _, _, err := d.DecodeRecord(bad); err == nil {
+		t.Fatal("out-of-range site class accepted")
+	}
+
+	for cut := len(payload) - 3; cut < len(payload); cut++ {
+		if _, _, _, err := d.DecodeRecord(payload[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(payload))
+		}
+	}
+}
+
+// FuzzSiteCodec round-trips arbitrary site-block field values and decodes
+// every truncation of the encoding; the decoder must round-trip in-range
+// values exactly and report (never panic on) everything else.
+func FuzzSiteCodec(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint32(0), 0)
+	f.Add(uint8(3), uint8(2), uint32(63), 17)
+	f.Add(uint8(15), uint8(5), uint32(1<<20), 999)
+	f.Fuzz(func(t *testing.T, vcpu, site uint8, index uint32, seed int) {
+		if seed < 0 {
+			seed = -seed
+		}
+		want := genOutcome(seed % 100)
+		want.Plan.VCPU = int(vcpu)
+		want.Plan.Site = inject.Site(site % uint8(inject.NumSites))
+		want.Plan.Index = index % (1 << 20)
+		payload := wire.AppendRecord(nil, "mcf", seed%100, &want)
+		d := wire.NewDecoder()
+		_, _, got, err := d.DecodeRecord(payload)
+		if err != nil {
+			t.Fatalf("valid site block rejected: %v (plan %+v)", err, want.Plan)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("site round-trip:\n got %+v\nwant %+v", got, want)
+		}
+		for cut := 0; cut < len(payload); cut++ {
+			d.DecodeRecord(payload[:cut]) // must not panic; errors are fine
+		}
+	})
+}

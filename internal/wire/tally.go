@@ -77,7 +77,35 @@ func AppendTally(dst []byte, t *inject.Tally) []byte {
 			dst = appendUvarint(dst, l)
 		}
 	}
-	return appendRecoveryStats(dst, &t.Recovery)
+	dst = appendRecoveryStats(dst, &t.Recovery)
+	// Site and per-CPU sections (ProtoVersion 2): trailing so a version-1
+	// byte stream is a prefix of a version-2 one. Both sides of a fleet
+	// speak the same version (Hello/Welcome refuse mismatches), so the
+	// decoder can require them unconditionally.
+	dst = appendUvarint(dst, uint64(len(t.BySite)))
+	sites := make([]inject.Site, 0, len(t.BySite))
+	for k := range t.BySite {
+		sites = append(sites, k)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	for _, k := range sites {
+		st := t.BySite[k]
+		dst = append(dst, byte(k))
+		dst = appendUvarint(dst, uint64(st.Injections))
+		dst = appendUvarint(dst, uint64(st.Manifested))
+		dst = appendUvarint(dst, uint64(st.Detected))
+	}
+	dst = appendUvarint(dst, uint64(len(t.ByVCPU)))
+	vcpus := make([]int, 0, len(t.ByVCPU))
+	for k := range t.ByVCPU {
+		vcpus = append(vcpus, k)
+	}
+	sort.Ints(vcpus)
+	for _, k := range vcpus {
+		dst = appendUvarint(dst, uint64(k))
+		dst = appendUvarint(dst, uint64(t.ByVCPU[k]))
+	}
+	return dst
 }
 
 func appendRecoveryStats(dst []byte, s *inject.RecoveryStats) []byte {
@@ -223,6 +251,49 @@ func (d *Decoder) DecodeTally(b []byte) (*inject.Tally, []byte, error) {
 	}
 	if b, err = d.consumeRecoveryStats(b, &t.Recovery); err != nil {
 		return nil, nil, err
+	}
+	if n, b, err = consumeCount(b); err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < n; i++ {
+		var k byte
+		if k, b, err = consumeByte(b); err != nil {
+			return nil, nil, err
+		}
+		if k >= byte(inject.NumSites) {
+			return nil, nil, fmt.Errorf("wire: tally site class %d out of range", k)
+		}
+		st := &inject.SiteTally{}
+		var v uint64
+		if v, b, err = consumeUvarint(b); err != nil {
+			return nil, nil, err
+		}
+		st.Injections = int(v)
+		if v, b, err = consumeUvarint(b); err != nil {
+			return nil, nil, err
+		}
+		st.Manifested = int(v)
+		if v, b, err = consumeUvarint(b); err != nil {
+			return nil, nil, err
+		}
+		st.Detected = int(v)
+		t.BySite[inject.Site(k)] = st
+	}
+	if n, b, err = consumeCount(b); err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < n; i++ {
+		var k, v uint64
+		if k, b, err = consumeUvarint(b); err != nil {
+			return nil, nil, err
+		}
+		if k > maxTallyEntries {
+			return nil, nil, fmt.Errorf("wire: tally vcpu %d out of range", k)
+		}
+		if v, b, err = consumeUvarint(b); err != nil {
+			return nil, nil, err
+		}
+		t.ByVCPU[int(k)] = int(v)
 	}
 	return t, b, nil
 }

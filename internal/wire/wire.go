@@ -23,7 +23,10 @@ import (
 const (
 	// ProtoVersion is the fleet protocol version spoken in Hello/Welcome.
 	// A coordinator refuses mismatching workers instead of guessing.
-	ProtoVersion = 1
+	// Version 2 added the fault-site taxonomy: an optional trailing site
+	// block (flagHasSite) on outcome records and trailing BySite/ByVCPU
+	// sections on tallies.
+	ProtoVersion = 2
 	// FrameHeader is the frame prefix: uint32 payload length + uint32
 	// CRC32 (IEEE) of the payload, both little-endian — the same framing
 	// the result store's WAL uses, so a record frame produced here can be

@@ -32,6 +32,11 @@ func genOutcome(i int) inject.Outcome {
 		Symbol:     []string{"do_softirq", "read_platform_time", "ret_to_guest", ""}[i%4],
 		Pruned:     inject.PruneKind(i % 3),
 	}
+	if i%4 == 1 { // uncore plans, so tallies carry BySite/ByVCPU content
+		o.Plan.VCPU = i % 8
+		o.Plan.Site = inject.Site(i % int(inject.NumSites))
+		o.Plan.Index = uint32(i % 500)
+	}
 	switch i % 5 {
 	case 1:
 		o.Manifested = true

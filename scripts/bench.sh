@@ -1,6 +1,6 @@
 #!/bin/sh
 # Runs the performance-regression benchmark suite and writes a
-# machine-readable report to BENCH_<tag>.json (default tag: pr8), or to
+# machine-readable report to BENCH_<tag>.json (default tag: pr9), or to
 # an explicit output path when given — CI uses that to archive the JSON
 # as a build artifact and feeds it to cmd/benchgate, which diffs the
 # live numbers against the committed previous report.
@@ -13,7 +13,8 @@
 #              numbers are pinned here so a regression against the
 #              original engine stays visible even after many PRs.
 #   results  — live numbers from this tree: end-to-end campaign
-#              throughput (inj/s) per checkpoint-interval variant, the
+#              throughput (inj/s) per checkpoint-interval variant, K=1
+#              throughput per fault-site class on a 4-vCPU machine, the
 #              interpreter's per-instruction cost (ns/instr) on the fast
 #              and forced-slow paths, the D-TLB hit/miss cost, the wire
 #              codec's encode/decode cost (must stay 0 allocs/op), and
@@ -27,12 +28,13 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-tag="${1:-pr8}"
+tag="${1:-pr9}"
 out="${2:-BENCH_${tag}.json}"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench BenchmarkCampaignThroughput -benchmem -count 3 . >"$tmp"
+go test -run '^$' -bench BenchmarkSiteThroughput -benchmem -count 3 . >>"$tmp"
 go test -run '^$' -bench BenchmarkCPURunHot -benchmem -count 3 ./internal/cpu/ >>"$tmp"
 go test -run '^$' -bench BenchmarkMemAccess -benchmem -count 3 ./internal/mem/ >>"$tmp"
 go test -run '^$' -bench BenchmarkWireCodec -benchmem -count 3 ./internal/wire/ >>"$tmp"

@@ -32,6 +32,11 @@ go test -run '^$' -fuzz FuzzThreadedVsSwitch -fuzztime 15s ./internal/cpu/
 # feeds these decoders straight off the network).
 go test -run FuzzWireDecode ./internal/wire/
 go test -run '^$' -fuzz FuzzWireDecode -fuzztime 15s ./internal/wire/
+# Site-codec fuzzing: the record codec's trailing site block must
+# round-trip every in-range {vcpu, site-class, index} triple and reject
+# out-of-range or truncated blocks without panicking.
+go test -run FuzzSiteCodec ./internal/wire/
+go test -run '^$' -fuzz FuzzSiteCodec -fuzztime 15s ./internal/wire/
 go test -race ./internal/cpu/ ./internal/inject/ ./internal/mem/ ./internal/sim/ ./internal/store/ ./internal/server/ ./internal/progress/ ./internal/wire/
 # Recovery differential pass: recover=off campaigns must stay
 # bit-identical to the engine-less baseline, microreboot campaigns must
@@ -41,3 +46,12 @@ go test -race ./internal/cpu/ ./internal/inject/ ./internal/mem/ ./internal/sim/
 go test -run 'Recovery|Microreboot|Reinit' ./internal/inject/ ./internal/hv/ ./internal/store/
 go test ./internal/recovery/
 go test -race -run 'Microreboot' ./internal/inject/
+# SMP bit-identity burst: the legacy single-CPU register campaign must
+# stay byte-identical to the explicit VCPUs=1/Targets=gpr spelling, the
+# 4-vCPU multi-site campaign and the schedule trace must be deterministic
+# (including under the race detector's schedule perturbation), and
+# kill/resume must reproduce the per-site coverage rows exactly.
+go test -run 'TestLegacyCampaignBitIdenticalToExplicitDefaults|TestSMPMultiSiteCampaignDeterministic|TestPruneDisabledForUncoreTargets' ./internal/inject/
+go test -run 'TestScheduleTrace|TestSMPGoldenRunDeterministic' ./internal/sim/
+go test -run 'TestResumeSMPMultiSiteCampaignBitIdentical' ./internal/store/
+go test -race -run 'TestSMPMultiSiteCampaignDeterministic' ./internal/inject/
