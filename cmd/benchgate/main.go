@@ -29,7 +29,19 @@
 //     more than -max-regress percent against a previous report that has
 //     it, or is missing from the new report entirely — the coordinator
 //     ingest benchmark is not allowed to silently disappear. 0 disables
-//     the floor and the missing-bench check (for gating old trees).
+//     the floor and the missing-bench check (for gating old trees),
+//   - any BenchmarkSiteThroughput/* present in both reports loses more
+//     than -max-regress percent of its median inj/s — per-site-class
+//     K=1 floors, so one class cannot regress behind the mixed
+//     headline — or an uncore site bench (apic/dtlb/pmu/pgtable) fails
+//     to reach -min-site-speedup times the old report's inj/s (default
+//     1, i.e. off; the uncore-pruning PR gates its claimed multiple),
+//   - BenchmarkCampaignThroughput/K=1+recover loses more than
+//     -max-regress percent of inj/s, fails to reach
+//     -min-recover-speedup times the old inj/s (default 1, off), or
+//     allocates more than -max-recover-bytes B/op (default 16384, the
+//     recovery hot path's allocation ceiling; 0 disables, for gating
+//     old trees without the bench).
 //
 // Benchmarks or metrics present in only one report are informational:
 // the diff skips what it cannot pair up, so a report that grows new
@@ -40,9 +52,11 @@
 //
 //	benchgate -history BENCH_pr3.json,BENCH_pr4.json,...
 //
-// prints a Markdown table of median K=1 inj/s, fast-path ns/instr, and
-// fast-path allocs/op for every report, oldest first — CI appends it to
-// the job summary so the per-PR trend stays visible.
+// prints a Markdown table of median K=1 and K=1+recover inj/s, per-site
+// K=1 inj/s for the uncore classes, fast-path ns/instr, and fast-path
+// allocs/op for every report, oldest first — CI appends it to the job
+// summary so the per-PR trend stays visible. Reports predating a column
+// render "—".
 //
 // Medians, not means: each metric is a three-element array by
 // construction (bench.sh runs -count 3) and the median discards a
@@ -68,10 +82,18 @@ type report struct {
 }
 
 const (
-	gateBench  = "BenchmarkCampaignThroughput/K=1"
-	allocFree  = "BenchmarkCPURunHot/fast"
-	fleetBench = "BenchmarkFleetIngest"
+	gateBench    = "BenchmarkCampaignThroughput/K=1"
+	allocFree    = "BenchmarkCPURunHot/fast"
+	fleetBench   = "BenchmarkFleetIngest"
+	recoverBench = "BenchmarkCampaignThroughput/K=1+recover"
+	sitePrefix   = "BenchmarkSiteThroughput/"
 )
+
+// uncoreSites are the per-site K=1 benchmarks whose throughput the
+// uncore-pruning PR multiplied; -min-site-speedup gates that multiple.
+// Every BenchmarkSiteThroughput/* present in both reports is also held
+// to the -max-regress band, so each class keeps a floor afterwards.
+var uncoreSites = []string{"apic", "dtlb", "pmu", "pgtable"}
 
 func main() {
 	log.SetFlags(0)
@@ -82,6 +104,12 @@ func main() {
 		"required OLD/NEW ratio on fast-path ns/instr (1 = no requirement)")
 	minFleet := flag.Float64("min-fleet-injs", 500000,
 		"absolute BenchmarkFleetIngest inj/s floor (0 = no fleet gating)")
+	minSiteSpeedup := flag.Float64("min-site-speedup", 1,
+		"required NEW/OLD inj/s ratio on the uncore site benches (1 = no requirement)")
+	minRecoverSpeedup := flag.Float64("min-recover-speedup", 1,
+		"required NEW/OLD inj/s ratio on K=1+recover (1 = no requirement)")
+	maxRecoverBytes := flag.Float64("max-recover-bytes", 16384,
+		"K=1+recover B/op ceiling (0 = no ceiling)")
 	history := flag.String("history", "",
 		"comma-separated report files: print a Markdown trajectory table and exit")
 	flag.Parse()
@@ -150,6 +178,58 @@ func main() {
 			failed = true
 		} else if d, ok := change(old, cur, fleetBench, "inj/s"); ok && d < -*maxRegress {
 			log.Printf("FAIL: %s inj/s regressed %.1f%% (limit %.0f%%)", fleetBench, -d, *maxRegress)
+			failed = true
+		}
+	}
+	// Per-site K=1 floors: every fault-site class present in both reports
+	// holds the -max-regress band on its own, so a regression in one
+	// class cannot hide behind the mixed-campaign headline number.
+	for _, name := range sharedBenches(old, cur) {
+		if !strings.HasPrefix(name, sitePrefix) {
+			continue
+		}
+		if d, ok := change(old, cur, name, "inj/s"); ok && d < -*maxRegress {
+			log.Printf("FAIL: %s inj/s regressed %.1f%% (limit %.0f%%)", name, -d, *maxRegress)
+			failed = true
+		}
+	}
+	if *minSiteSpeedup > 1 {
+		for _, site := range uncoreSites {
+			name := sitePrefix + site
+			ov, oOK := metric(old, name, "inj/s")
+			cv, cOK := metric(cur, name, "inj/s")
+			if !oOK || !cOK {
+				log.Printf("FAIL: %s inj/s missing from one of the reports", name)
+				failed = true
+			} else if cv < ov*(*minSiteSpeedup) {
+				log.Printf("FAIL: %s inj/s %.0f -> %.0f is a %.2fx speedup, need >= %.2fx",
+					name, ov, cv, cv/ov, *minSiteSpeedup)
+				failed = true
+			}
+		}
+	}
+	if d, ok := change(old, cur, recoverBench, "inj/s"); ok && d < -*maxRegress {
+		log.Printf("FAIL: %s inj/s regressed %.1f%% (limit %.0f%%)", recoverBench, -d, *maxRegress)
+		failed = true
+	}
+	if *minRecoverSpeedup > 1 {
+		ov, oOK := metric(old, recoverBench, "inj/s")
+		cv, cOK := metric(cur, recoverBench, "inj/s")
+		if !oOK || !cOK {
+			log.Printf("FAIL: %s inj/s missing from one of the reports", recoverBench)
+			failed = true
+		} else if cv < ov*(*minRecoverSpeedup) {
+			log.Printf("FAIL: %s inj/s %.0f -> %.0f is a %.2fx speedup, need >= %.2fx",
+				recoverBench, ov, cv, cv/ov, *minRecoverSpeedup)
+			failed = true
+		}
+	}
+	if *maxRecoverBytes > 0 {
+		if m, ok := metric(cur, recoverBench, "B/op"); !ok {
+			log.Printf("FAIL: %s B/op missing from the new report", recoverBench)
+			failed = true
+		} else if m > *maxRecoverBytes {
+			log.Printf("FAIL: %s B/op %.0f is above the %.0f ceiling", recoverBench, m, *maxRecoverBytes)
 			failed = true
 		}
 	}
@@ -240,8 +320,16 @@ func metric(r *report, bench, unit string) (float64, bool) {
 // printHistory renders the benchmark trajectory across a list of
 // committed reports as a Markdown table, oldest first.
 func printHistory(paths []string) error {
-	fmt.Println("| tag | K=1 inj/s | fast ns/instr | fast allocs/op |")
-	fmt.Println("|-----|----------:|--------------:|---------------:|")
+	fmt.Print("| tag | K=1 inj/s | K=1+recover inj/s |")
+	for _, site := range uncoreSites {
+		fmt.Printf(" %s inj/s |", site)
+	}
+	fmt.Println(" fast ns/instr | fast allocs/op |")
+	fmt.Print("|-----|----------:|------------------:|")
+	for range uncoreSites {
+		fmt.Print("----------:|")
+	}
+	fmt.Println("--------------:|---------------:|")
 	for _, path := range paths {
 		path = strings.TrimSpace(path)
 		if path == "" {
@@ -251,8 +339,13 @@ func printHistory(paths []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("| %s | %s | %s | %s |\n", r.Tag,
+		fmt.Printf("| %s | %s | %s |", r.Tag,
 			cell(r, gateBench, "inj/s"),
+			cell(r, recoverBench, "inj/s"))
+		for _, site := range uncoreSites {
+			fmt.Printf(" %s |", cell(r, sitePrefix+site, "inj/s"))
+		}
+		fmt.Printf(" %s | %s |\n",
 			cell(r, allocFree, "ns/instr"),
 			cell(r, allocFree, "allocs/op"))
 	}

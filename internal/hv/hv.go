@@ -85,6 +85,11 @@ type Hypervisor struct {
 	// hypercall arguments in; staging runs once per simulated VM exit, so
 	// a per-call allocation here dominates a campaign's allocation profile.
 	argScratch []uint64
+
+	// salvageScratch is the reusable guest-visible salvage buffer Reinit
+	// stages each microreboot in; recovery campaigns reboot once per
+	// injection, so a per-call allocation here is a per-injection cost.
+	salvageScratch []guestVisible
 }
 
 // scratch returns a length-n word buffer reused across PrepareGuestInput
@@ -294,6 +299,33 @@ func (h *Hypervisor) ArchHash() uint64 {
 	for _, c := range h.CPUs {
 		x = (x ^ c.ArchHash()) * 1099511628211
 	}
+	return x
+}
+
+// UncoreHash fingerprints the machine state that lives outside the
+// architectural register files and outside guest memory: every logical
+// CPU's PMU bank (armed flag plus the four event counters) and the D-TLB
+// poison summary. Together with ArchHash and the memory page fold this
+// makes the convergence fingerprint machine-wide — the APIC mailbox and
+// page-table words live in hv_data, so the page fold already covers them.
+// The fold is FNV-style (xor then multiply by an odd prime), which is
+// bijective in each input word given the others: any single-bit flip in
+// any folded word changes the hash, the property the fingerprint
+// soundness fuzzer asserts.
+func (h *Hypervisor) UncoreHash() uint64 {
+	var x uint64 = 1469598103934665603
+	for _, c := range h.CPUs {
+		st := c.PMU.State()
+		var armed uint64
+		if st.Armed {
+			armed = 1
+		}
+		x = (x ^ armed) * 1099511628211
+		for _, n := range st.Counts {
+			x = (x ^ n) * 1099511628211
+		}
+	}
+	x = (x ^ h.Mem.TLBHash()) * 1099511628211
 	return x
 }
 

@@ -92,7 +92,10 @@ func (h *Hypervisor) validateSalvage(saved []guestVisible) error {
 // on top, so work the guests completed since the snapshot survives the
 // reboot.
 func (h *Hypervisor) Reinit(snap *Snap) error {
-	saved := make([]guestVisible, len(h.Domains))
+	if cap(h.salvageScratch) < len(h.Domains) {
+		h.salvageScratch = make([]guestVisible, len(h.Domains))
+	}
+	saved := h.salvageScratch[:len(h.Domains)]
 	for i, d := range h.Domains {
 		if err := h.Mem.PeekRange(VCPUAddr(d.VCPU), saved[i].vcpu[:]); err != nil {
 			return fmt.Errorf("hv: reinit: saving vcpu %d: %w", d.VCPU, err)

@@ -215,7 +215,7 @@ func (t *Tally) Add(o Outcome) {
 	}
 	site.Injections++
 	t.ByVCPU[o.Plan.VCPU]++
-	t.Prune.count(o.Pruned)
+	t.Prune.count(o.Pruned, o.Plan.Site)
 	t.Recovery.count(o)
 	if o.Hang {
 		t.Hangs++

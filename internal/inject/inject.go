@@ -213,9 +213,7 @@ type Runner struct {
 	// draws from (see NormalizeTargets). Empty means the legacy register
 	// space, which keeps the plan stream bit-identical to the seed
 	// engine. The list is part of the campaign identity: set it before
-	// the first plan is drawn or run. Any non-register class disables
-	// pruning (see pruneEnabled) — fingerprints cannot observe TLB tags
-	// or PMU counters, so convergence folding would be unsound.
+	// the first plan is drawn or run.
 	Targets []string
 
 	ckptOnce sync.Once
@@ -230,11 +228,13 @@ type Runner struct {
 	// Pruning data, recorded during the same reference replay that builds
 	// the pool (all read-only after ckptOnce, nil when pruning is off):
 	// fps[i] is the fingerprint of the state entering activation i (i>=1),
-	// traces[i] the instruction trace of activation i, refs[i] its verdict
-	// record, and refHV the reference hypervisor kept for symbol and
-	// instruction lookups (both are read-only binary searches).
+	// traces[i] the instruction trace of activation i, ptAccs[i] its
+	// page-table-window access record (prune_uncore.go), refs[i] its
+	// verdict record, and refHV the reference hypervisor kept for symbol
+	// and instruction lookups (both are read-only binary searches).
 	fps    []sim.Fingerprint
 	traces []regTrace
+	ptAccs [][]ptAcc
 	refs   []refVerdict
 	refHV  *hv.Hypervisor
 }
@@ -312,11 +312,25 @@ func (r *Runner) buildCheckpoints() error {
 	refs := make([]refVerdict, r.Activations)
 	var traces []regTrace
 	var ents []traceEnt
+	var ptAccs [][]ptAcc
+	var ptEnts []ptAcc
+	var hooks []func(step, pc uint64)
 	if prune {
 		traces = make([]regTrace, r.Activations)
-	}
-	hook := func(step, pc uint64) {
-		ents = append(ents, traceEnt{pc: pc, step: step})
+		ptAccs = make([][]ptAcc, r.Activations)
+		// One hook per CPU: the trace entry is CPU-independent, but the
+		// page-table access recorder needs the executing CPU's live
+		// register file to compute effective addresses.
+		hooks = make([]func(step, pc uint64), len(m.HV.CPUs))
+		for ci, c := range m.HV.CPUs {
+			c := c
+			hooks[ci] = func(step, pc uint64) {
+				ents = append(ents, traceEnt{pc: pc, step: step})
+				if in, ok := m.HV.Seg.InstrAt(pc); ok {
+					ptEnts = appendPTAcc(ptEnts, len(ents)-1, in, c)
+				}
+			}
+		}
 	}
 	var prev *mem.Checkpoint
 	for i := 0; i < r.Activations; i++ {
@@ -337,7 +351,11 @@ func (r *Runner) buildCheckpoints() error {
 			} else {
 				mcp = m.HV.Mem.Checkpoint()
 			}
-			fps[i] = sim.Fingerprint{Arch: m.HV.ArchHash(), Mem: mcp.FoldFrom(prev)}
+			fps[i] = sim.Fingerprint{
+				Arch:   m.HV.ArchHash(),
+				Uncore: m.HV.UncoreHash(),
+				Mem:    mcp.FoldFrom(prev),
+			}
 			prev = mcp
 		} else if cp != nil {
 			prev = cp.MemImage()
@@ -347,8 +365,9 @@ func (r *Runner) buildCheckpoints() error {
 			// each activation, so the trace records the executing CPU's
 			// instructions regardless of the schedule.
 			ents = ents[:0]
-			for _, c := range m.HV.CPUs {
-				c.PreStep = hook
+			ptEnts = ptEnts[:0]
+			for ci, c := range m.HV.CPUs {
+				c.PreStep = hooks[ci]
 			}
 		}
 		act, err := m.Step()
@@ -366,12 +385,31 @@ func (r *Runner) buildCheckpoints() error {
 		}
 		if prune {
 			traces[i] = append(regTrace(nil), ents...)
+			if len(ptEnts) > 0 {
+				ptAccs[i] = append([]ptAcc(nil), ptEnts...)
+			}
+		}
+	}
+	if prune && r.Recovery != nil {
+		// pruneEnabled's engine rule is provisional until this replay has
+		// run: the golden stream it inspects is recorded detector-free, so
+		// a model's false positives surface only in refs. A reference
+		// detection would fire the armed engine in a live suffix but never
+		// in a folded one — recovery attempts, not outcomes, would drift —
+		// so any detection here turns pruning off (refs[i].recovered covers
+		// it for completeness; the engine-armed replay is engine-free, so
+		// only technique can actually be set).
+		for i := range refs {
+			if refs[i].technique != core.TechNone || refs[i].recovered {
+				prune = false
+				break
+			}
 		}
 	}
 	r.pool, r.poolK = pool, poolK
 	r.refs = refs
 	if prune {
-		r.fps, r.traces, r.refHV = fps, traces, m.HV
+		r.fps, r.traces, r.ptAccs, r.refHV = fps, traces, ptAccs, m.HV
 	}
 	return nil
 }
@@ -715,6 +753,11 @@ func (w *Worker) RunOne(plan Plan) (Outcome, error) {
 		}
 		fp := r.fps[next]
 		if m.HV.ArchHash() != fp.Arch {
+			return false
+		}
+		if m.HV.UncoreHash() != fp.Uncore {
+			// A poisoned TLB entry or perturbed PMU bank has not
+			// re-coincided; cheap (no fold), so no budget charge.
 			return false
 		}
 		if m.HV.Mem.FoldFrom(w.base) != fp.Mem {

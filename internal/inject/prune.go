@@ -23,6 +23,8 @@ package inject
 // one bit is a test failure, not a statistics skew.
 
 import (
+	"encoding/json"
+
 	"xentry/internal/core"
 	"xentry/internal/guest"
 	"xentry/internal/isa"
@@ -70,11 +72,65 @@ func (p PruneKind) String() string {
 // differential tests zero this struct before comparing tallies.
 type PruneStats struct {
 	// Dead: tallied from the golden trace without touching a machine.
-	Dead int `json:"dead"`
+	Dead int
 	// Converged: early-exited at a matching fingerprint boundary.
-	Converged int `json:"converged"`
+	Converged int
 	// Full: executed the full activation budget.
-	Full int `json:"full"`
+	Full int
+	// BySite breaks the same counts down by fault-site class (indexed by
+	// Site), so an uncore campaign's report shows pruning actually firing
+	// per class. A fixed-size array — not a map — keeps tallies
+	// comparable with == and reflect.DeepEqual, which the fleet's
+	// lease-vs-worker cross-check depends on.
+	BySite [NumSites]SitePruneStats
+}
+
+// SitePruneStats is one site class's run-provenance row.
+type SitePruneStats struct {
+	Dead      int `json:"dead,omitempty"`
+	Converged int `json:"converged,omitempty"`
+	Full      int `json:"full,omitempty"`
+}
+
+// prunedJSON is the wire shape of PruneStats: aggregate counters plus a
+// by-site object keyed by site name, zero rows omitted.
+type prunedJSON struct {
+	Dead      int                       `json:"dead"`
+	Converged int                       `json:"converged"`
+	Full      int                       `json:"full"`
+	BySite    map[string]SitePruneStats `json:"by_site,omitempty"`
+}
+
+// MarshalJSON renders the aggregate counters plus the non-zero per-site
+// rows keyed by site name.
+func (p PruneStats) MarshalJSON() ([]byte, error) {
+	out := prunedJSON{Dead: p.Dead, Converged: p.Converged, Full: p.Full}
+	for s := Site(0); s < NumSites; s++ {
+		if p.BySite[s] != (SitePruneStats{}) {
+			if out.BySite == nil {
+				out.BySite = make(map[string]SitePruneStats, int(NumSites))
+			}
+			out.BySite[s.String()] = p.BySite[s]
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON is MarshalJSON's faithful inverse.
+func (p *PruneStats) UnmarshalJSON(b []byte) error {
+	var in prunedJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	*p = PruneStats{Dead: in.Dead, Converged: in.Converged, Full: in.Full}
+	for name, row := range in.BySite {
+		var s Site
+		if err := s.UnmarshalText([]byte(name)); err != nil {
+			return err
+		}
+		p.BySite[s] = row
+	}
+	return nil
 }
 
 // add merges two stat blocks.
@@ -82,17 +138,31 @@ func (p *PruneStats) add(q PruneStats) {
 	p.Dead += q.Dead
 	p.Converged += q.Converged
 	p.Full += q.Full
+	for i := range p.BySite {
+		p.BySite[i].Dead += q.BySite[i].Dead
+		p.BySite[i].Converged += q.BySite[i].Converged
+		p.BySite[i].Full += q.BySite[i].Full
+	}
 }
 
-// count tallies one outcome's provenance.
-func (p *PruneStats) count(kind PruneKind) {
+// count tallies one outcome's provenance under its fault-site class.
+func (p *PruneStats) count(kind PruneKind, site Site) {
+	var row *SitePruneStats
+	if site < NumSites {
+		row = &p.BySite[site]
+	} else {
+		row = new(SitePruneStats) // unknown site: aggregate only
+	}
 	switch kind {
 	case PruneDead:
 		p.Dead++
+		row.Dead++
 	case PruneConverged:
 		p.Converged++
+		row.Converged++
 	default:
 		p.Full++
+		row.Full++
 	}
 }
 
@@ -157,22 +227,41 @@ func (r *Runner) foldRefSuffix(o *Outcome, from int, runningLatency uint64) {
 	}
 }
 
-// pruneEnabled reports whether both pruning mechanisms are live. Plugin
-// detectors force it off: the soundness argument (fingerprint equality ⇒
-// identical remaining stream) covers architectural state only, and the
-// built-in detectors hold none beyond it, but a plugin may. The recovery
-// engine forces it off too: a microreboot discards hypervisor private
-// state mid-run, so a post-reboot machine can never re-coincide with the
-// reference fingerprints, and dead-flip synthesis is unsound when a model
-// false positive can trigger a state-changing reboot. Non-register
-// injection targets force it off as well — conservatism per site class:
-// a flipped D-TLB tag or PMU counter is invisible to the Arch+Mem
-// fingerprint, so a "converged" machine could still carry the corruption
-// forward, and the dead-flip trace argument only speaks about register
-// reads and writes.
+// pruneEnabled reports whether both pruning mechanisms are live — for
+// every site class: the fingerprint is machine-wide (Arch + Uncore + Mem;
+// the Uncore hash covers PMU banks and D-TLB poison, the page fold covers
+// the APIC and page-table words living in hv_data), and each uncore class
+// carries its own dead-flip argument (prune_uncore.go). Plugin detectors
+// force pruning off: the soundness argument (fingerprint equality ⇒
+// identical remaining stream) covers machine state only, and the built-in
+// detectors hold none beyond it, but a plugin may.
+//
+// The recovery engine is armed for the injected run only (the reference
+// replay is engine-free), so it keeps pruning only when the reference
+// stream carries no detections: then a dead flip's run — identical to the
+// reference by construction — never consults the engine, and a converged
+// run's folded suffix never would have either, so synthesis stays
+// bit-identical. Any reference detection (a model's false positives on
+// the fault-free stream) makes the armed engine a real asymmetry — a
+// live suffix fires a reboot that a folded one never would — so pruning
+// goes off. This check is two-stage: the golden stream inspected here is
+// recorded detector-free, so buildCheckpoints re-checks the refVerdicts
+// after the reference replay, where model false positives first surface,
+// and drops the prune tables on any hit. Legacy RecoverOnDetection needs
+// neither check — the reference replay recovers too, symmetrically.
 func (r *Runner) pruneEnabled() bool {
-	return !r.DisablePrune && len(r.Cfg.Detectors) == 0 && r.Recovery == nil &&
-		registerTargetsOnly(r.Targets)
+	if r.DisablePrune || len(r.Cfg.Detectors) > 0 {
+		return false
+	}
+	if r.Recovery == nil {
+		return true
+	}
+	for i := range r.Golden {
+		if r.Golden[i].Outcome.Verdict.Detected() {
+			return false
+		}
+	}
+	return true
 }
 
 // prunePlan classifies an injection without executing it when the golden
@@ -187,10 +276,9 @@ func (r *Runner) prunePlan(plan Plan) (Outcome, bool) {
 		return Outcome{}, false
 	}
 	if !plan.Site.Register() {
-		// Belt and braces: non-register targets already disable pruning
-		// wholesale (pruneEnabled), but a hand-built uncore plan must
-		// never be judged by the register-trace argument either.
-		return Outcome{}, false
+		// Uncore plans get their own per-class dead arguments; the
+		// register-trace scan below must never judge them.
+		return r.pruneUncorePlan(plan)
 	}
 	if plan.Reg == isa.RIP {
 		// A flipped instruction pointer diverges at the very next fetch.

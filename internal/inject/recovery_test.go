@@ -11,7 +11,8 @@ import (
 )
 
 // recoveryCampaign is the microreboot-armed variant of the differential
-// campaign (pruning auto-disables when the engine is armed).
+// campaign. Its golden stream is detection-free (no model), so pruning
+// stays live alongside the engine.
 func recoveryCampaign() CampaignConfig {
 	cfg := diffCampaign()
 	cfg.Recovery = "microreboot"
@@ -141,9 +142,79 @@ func TestMicrorebootClassMix(t *testing.T) {
 	if techSum != rs.Attempts {
 		t.Errorf("technique counts sum to %d, want %d attempts", techSum, rs.Attempts)
 	}
-	// The engine disables pruning wholesale.
-	if p := res.Total.Prune; p.Dead != 0 || p.Converged != 0 {
-		t.Errorf("pruning fired under the recovery engine: %+v", p)
+	// The campaign's golden stream is detection-free (no model), so the
+	// engine keeps pruning live: a pruned run provably never consults it.
+	if p := res.Total.Prune; p.Dead == 0 || p.Converged == 0 {
+		t.Errorf("pruning did not fire under the recovery engine: %+v", p)
+	}
+}
+
+// TestMicrorebootPruneBitIdentical is the engine-armed prune differential:
+// with a detection-free golden stream, the pruned microreboot campaign —
+// including its recovery attempt/class aggregates — must be bit-identical
+// to the -prune=off run.
+func TestMicrorebootPruneBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign differential")
+	}
+	pruned, err := RunCampaign(recoveryCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Total.Recovery.Attempts == 0 {
+		t.Fatal("pruned microreboot campaign attempted no recoveries")
+	}
+	cfg := recoveryCampaign()
+	cfg.DisablePrune = true
+	full, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned.Normalize()
+	full.Normalize()
+	stripPrune(pruned)
+	stripPrune(full)
+	if !reflect.DeepEqual(pruned, full) {
+		t.Fatalf("engine-armed pruning diverges\npruned: %+v\nfull:   %+v",
+			pruned.Total, full.Total)
+	}
+}
+
+// TestMicrorebootModelPruneBitIdentical pins the second stage of the
+// engine-armed pruning gate: with a trained model installed, false
+// positives surface in the reference replay (the golden stream is
+// recorded detector-free), and a folded suffix would skip the recovery
+// attempt a live run performs on one — recovery aggregates drifted before
+// buildCheckpoints learned to drop the prune tables on any reference
+// detection. Pruned and -prune=off runs must stay bit-identical,
+// recovery attempts included.
+func TestMicrorebootModelPruneBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign differential")
+	}
+	cfg := recoveryCampaign()
+	cfg.Model = testModel(t)
+	pruned, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Total.Recovery.Attempts == 0 {
+		t.Fatal("model-armed microreboot campaign attempted no recoveries")
+	}
+	cfg = recoveryCampaign()
+	cfg.Model = testModel(t)
+	cfg.DisablePrune = true
+	full, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned.Normalize()
+	full.Normalize()
+	stripPrune(pruned)
+	stripPrune(full)
+	if !reflect.DeepEqual(pruned, full) {
+		t.Fatalf("engine-armed pruning diverges under a model\npruned: %+v\nfull:   %+v",
+			pruned.Total.Recovery, full.Total.Recovery)
 	}
 }
 

@@ -143,8 +143,8 @@ func ValidateTargets(targets []string, vcpus int) error {
 }
 
 // registerTargetsOnly reports whether every target is the legacy register
-// space — the precondition for both pruning mechanisms (fingerprints
-// cannot see TLB tags or PMU counters; see pruneEnabled).
+// space — the condition under which RandomPlan keeps the seed engine's
+// byte-for-byte rng draw sequence.
 func registerTargetsOnly(targets []string) bool {
 	for _, t := range targets {
 		if t != "gpr" {

@@ -1,10 +1,12 @@
 package inject
 
 import (
+	"math/rand"
 	"reflect"
 	"testing"
 
 	"xentry/internal/core"
+	"xentry/internal/sim"
 	"xentry/internal/workload"
 )
 
@@ -101,11 +103,13 @@ func TestSMPMultiSiteCampaignDeterministic(t *testing.T) {
 	}
 }
 
-// TestPruneDisabledForUncoreTargets pins the conservatism guard: with any
-// non-register site class selected, every injection runs its full budget
-// (fingerprint convergence cannot see TLB tags or PMU counters), and the
-// outcomes still match a -prune=off run exactly.
-func TestPruneDisabledForUncoreTargets(t *testing.T) {
+// TestPruneFiresForUncoreTargets is the tentpole's per-class differential:
+// with the machine-wide fingerprint and the per-class dead arguments
+// (prune_uncore.go), every uncore site class both prunes — dead synthesis
+// or convergence actually fires — and stays bit-identical to a -prune=off
+// run of the same campaign. The per-site Prune.BySite rows must attribute
+// every pruned run to the selected class.
+func TestPruneFiresForUncoreTargets(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full campaign differential")
 	}
@@ -119,8 +123,18 @@ func TestPruneDisabledForUncoreTargets(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if p := pruned.Total.Prune; p.Dead != 0 || p.Converged != 0 {
-				t.Fatalf("pruning fired for %s targets: %+v", target, p)
+			p := pruned.Total.Prune
+			if p.Dead+p.Converged == 0 {
+				t.Fatalf("pruning never fired for %s targets: %+v", target, p)
+			}
+			siteSum := SitePruneStats{}
+			for _, row := range p.BySite {
+				siteSum.Dead += row.Dead
+				siteSum.Converged += row.Converged
+				siteSum.Full += row.Full
+			}
+			if siteSum != (SitePruneStats{Dead: p.Dead, Converged: p.Converged, Full: p.Full}) {
+				t.Fatalf("%s BySite rows %+v do not partition aggregates %+v", target, siteSum, p)
 			}
 			cfg.DisablePrune = true
 			full, err := RunCampaign(cfg)
@@ -136,6 +150,100 @@ func TestPruneDisabledForUncoreTargets(t *testing.T) {
 					target, pruned.Total, full.Total)
 			}
 		})
+	}
+}
+
+// TestPruneUncoreRecoveryBitIdentical repeats the uncore differential with
+// live recovery armed (RecoverOnDetection): reference-run false positives
+// restore and re-execute, the path where recorded verdicts diverge most
+// from the golden run's, and the per-step snapshots exercise the dirty-set
+// delta restore underneath.
+func TestPruneUncoreRecoveryBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign differential")
+	}
+	cfg := smpCampaign()
+	cfg.Benchmarks = []string{"mcf"}
+	cfg.InjectionsPerBenchmark = 20
+	cfg.Recover = true
+	cfg.Model = testModel(t)
+	pruned, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := pruned.Total.Prune; p.Dead+p.Converged == 0 {
+		t.Fatalf("pruning never fired for recovery-armed uncore campaign: %+v", p)
+	}
+	cfg.DisablePrune = true
+	full, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned.Normalize()
+	full.Normalize()
+	stripPrune(pruned)
+	stripPrune(full)
+	if !reflect.DeepEqual(pruned, full) {
+		t.Fatalf("recovery-armed uncore campaigns diverge\npruned total: %+v\nfull total: %+v",
+			pruned.Total, full.Total)
+	}
+}
+
+// TestPruneUncoreOutcomesBitIdenticalPerPlan is the per-outcome uncore
+// differential: for every plan in a random multi-site population on a
+// 4-vCPU machine, the pruned engine's Outcome must equal the full engine's
+// in every field but Pruned. It also pins that each uncore class actually
+// exercises its pruning mechanism — dead synthesis for apic/pmu/pgtable,
+// convergence for dtlb.
+func TestPruneUncoreOutcomesBitIdenticalPerPlan(t *testing.T) {
+	cfg := sim.DefaultConfig("postmark", 5)
+	cfg.VCPUs = 4
+	targets := NormalizeTargets([]string{"gpr", "dtlb", "apic", "pmu", "pgtable"})
+	pruned, err := NewRunner(cfg, 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned.Targets = targets
+	full, err := NewRunner(cfg, 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full.Targets = targets
+	full.DisablePrune = true
+	rng := rand.New(rand.NewSource(31))
+	pw, fw := pruned.NewWorker(), full.NewWorker()
+	var dead, converged [NumSites]int
+	for i := 0; i < 400; i++ {
+		plan := pruned.RandomPlan(rng)
+		po, err := pw.RunOne(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fo, err := fw.RunOne(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fo.Pruned != PruneNone {
+			t.Fatalf("disabled runner pruned plan %v: %v", plan, fo.Pruned)
+		}
+		switch po.Pruned {
+		case PruneDead:
+			dead[plan.Site]++
+		case PruneConverged:
+			converged[plan.Site]++
+		}
+		po.Pruned = PruneNone
+		if !reflect.DeepEqual(po, fo) {
+			t.Fatalf("plan %v diverges:\npruned %+v\nfull   %+v", plan, po, fo)
+		}
+	}
+	for _, s := range []Site{SiteAPIC, SitePMU, SitePT} {
+		if dead[s] == 0 {
+			t.Errorf("dead synthesis never fired for %v: dead=%v converged=%v", s, dead, converged)
+		}
+	}
+	if converged[SiteTLB] == 0 {
+		t.Errorf("convergence never fired for dtlb: dead=%v converged=%v", dead, converged)
 	}
 }
 

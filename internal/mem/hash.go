@@ -109,6 +109,60 @@ func (cp *Checkpoint) FoldFrom(prev *Checkpoint) uint64 {
 	return cp.fold
 }
 
+// TLBHash summarizes the D-TLB's *incoherent* entries — armed slots whose
+// tag no longer resolves to the very page object the entry caches. In a
+// fault-free machine that set is always empty: installPage only arms a
+// slot over the private current page of the tag's own window, cowPage
+// never repoints a private page, and every repointing or sharing boundary
+// (Map, Checkpoint, RestoreCheckpoint, Restore) invalidates the whole
+// cache — so the only way an entry turns incoherent is FlipTLBTag, the
+// injected soft error. Hashing the poison alone (slot and tag) makes the
+// value independent of cache warmth and of the checkpoint interval: a
+// warm-but-coherent TLB is observationally identical to a cold one and
+// both hash to zero, which is what lets the convergence fingerprint fold
+// this in without tying outcomes to K.
+func (m *Memory) TLBHash() uint64 {
+	h := uint64(fnvOffset64)
+	poisoned := false
+	for i := range m.tlb {
+		e := &m.tlb[i]
+		if e.page == nil || m.tlbCoherent(e) {
+			continue
+		}
+		poisoned = true
+		h ^= uint64(i)
+		h *= fnvPrime64
+		h ^= e.tag
+		h *= fnvPrime64
+	}
+	if !poisoned {
+		return 0
+	}
+	return hashMix(h)
+}
+
+// tlbCoherent reports whether an armed entry still caches the current
+// private page of its tag's 512-byte window. lookupSlow keeps the entry's
+// region half consistent with its page half (a region refill drops the
+// page), so the tag resolves within e.region or not at all.
+func (m *Memory) tlbCoherent(e *tlbEntry) bool {
+	r := e.region
+	if e.tag >= 1<<(64-tlbByteShift) {
+		// The tag's top bits shift out of the address computation below, so
+		// check them explicitly: refills only ever store addr>>tlbByteShift,
+		// hence an overflowing tag is corrupted even when the truncated
+		// address would still resolve.
+		return false
+	}
+	addr := e.tag << tlbByteShift
+	if r == nil || addr < r.Start || addr-r.Start >= r.Size {
+		return false
+	}
+	p := (addr - r.Start) >> tlbByteShift
+	pg := r.pages[p]
+	return !r.shared[p] && len(pg) == pageWords && (*[pageWords]uint64)(pg) == e.page
+}
+
 // FoldFrom hashes the Memory's live pages without taking a checkpoint,
 // reusing base's cached hashes for pages still shared with it. A nil base
 // hashes every page. The caller must own the Memory (workers hash their

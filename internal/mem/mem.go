@@ -119,6 +119,14 @@ type Region struct {
 	// before every injection would otherwise reallocate each touched page
 	// per run. Bounded by the region's page count.
 	freePages [][]uint64
+	// dirty journals the pages privatized since the last checkpoint/restore
+	// boundary. cowPage is the single funnel every first-write-after-boundary
+	// passes through (setWord, writablePage, storeSlow and Zero all route
+	// shared pages here; the fast paths only ever write already-private
+	// pages), so the journal is exact and duplicate-free: a page turns
+	// private once per boundary epoch. RestoreCheckpoint uses it to restore
+	// only the touched pages when rolling back to the same checkpoint.
+	dirty []uint32
 }
 
 // End returns the first address past the region.
@@ -180,6 +188,7 @@ func (r *Region) cowPage(p uint64) {
 	copy(np, old)
 	r.pages[p] = np
 	r.shared[p] = false
+	r.dirty = append(r.dirty, uint32(p))
 }
 
 // D-TLB geometry: the cache is direct-mapped and indexed by the access
@@ -246,6 +255,14 @@ type Memory struct {
 	// setting it after accesses have already warmed the cache: the hot
 	// probe in Load/Store does not re-check the flag on a hit.
 	DisableTLB bool
+
+	// lastCP is the checkpoint this memory's pages currently derive from:
+	// set by Checkpoint and RestoreCheckpoint, cleared by any structural
+	// change (Map, the deprecated Restore). When RestoreCheckpoint is asked
+	// to roll back to exactly this checkpoint, only the journaled dirty
+	// pages can differ from the image, so the restore walks the journal
+	// instead of every page.
+	lastCP *Checkpoint
 }
 
 // New returns an empty memory map.
@@ -270,13 +287,19 @@ func (m *Memory) lookup(addr uint64) *Region {
 }
 
 // lookupSlow is the TLB-miss path: binary search, then refill the slot.
+// A refill that changes the slot's region drops the page fast path with it,
+// keeping the entry's two halves consistent: an armed page always belongs
+// to the entry's own region. (The fast path never needed that — a hit is
+// decided by the tag alone — but the TLB coherence audit in TLBHash does.)
 func (m *Memory) lookupSlow(addr, slot uint64) *Region {
 	if m.DisableTLB {
 		return m.Find(addr)
 	}
 	r := m.Find(addr)
 	if r != nil {
-		m.tlb[slot].region = r
+		if e := &m.tlb[slot]; e.region != r {
+			*e = tlbEntry{region: r}
+		}
 	}
 	return r
 }
@@ -336,6 +359,7 @@ func (m *Memory) Map(name string, start, size uint64, perm Perm) (*Region, error
 	m.regions = append(m.regions, r)
 	sort.Slice(m.regions, func(i, j int) bool { return m.regions[i].Start < m.regions[j].Start })
 	m.InvalidateTLB()
+	m.lastCP = nil // any prior checkpoint no longer covers the layout
 	return r, nil
 }
 
@@ -603,7 +627,9 @@ func (m *Memory) Snapshot() map[string][]uint64 {
 // Deprecated: see Snapshot.
 func (m *Memory) Restore(snap map[string][]uint64) error {
 	m.InvalidateTLB()
+	m.lastCP = nil // pages are rebuilt fresh below; no checkpoint derivation
 	for _, r := range m.regions {
+		r.dirty = r.dirty[:0]
 		words, ok := snap[r.Name]
 		if !ok {
 			return fmt.Errorf("mem: snapshot missing region %q", r.Name)
@@ -653,14 +679,41 @@ func (m *Memory) Checkpoint() *Checkpoint {
 		pages := make([][]uint64, len(r.pages))
 		copy(pages, r.pages)
 		cp.pages[r.Name] = pages
+		r.dirty = r.dirty[:0]
 	}
+	m.lastCP = cp // every live page now matches cp and is shared
 	return cp
 }
 
 // RestoreCheckpoint reinstates a Checkpoint taken from the same layout.
 // The restored pages are shared: the first write to each copies it.
+//
+// When the memory already derives from cp — the previous Checkpoint or
+// RestoreCheckpoint boundary used this very checkpoint — only the pages
+// journaled dirty since then can differ from the image (cowPage is the
+// one funnel that repoints a page between boundaries), so the restore is
+// proportional to the touched page set instead of the whole machine.
 func (m *Memory) RestoreCheckpoint(cp *Checkpoint) error {
 	m.InvalidateTLB()
+	if m.lastCP == cp {
+		for _, r := range m.regions {
+			pages := cp.pages[r.Name]
+			for _, p := range r.dirty {
+				// Journaled pages are exactly the privatized ones: recycle
+				// the displaced private copy, reinstate the image pointer,
+				// re-share. Untouched pages already hold the image pointers
+				// and stayed shared, so the result is bit-identical to the
+				// full walk below.
+				if old := r.pages[p]; !r.shared[p] && len(old) == pageWords {
+					r.freePages = append(r.freePages, old)
+				}
+				r.pages[p] = pages[p]
+				r.shared[p] = true
+			}
+			r.dirty = r.dirty[:0]
+		}
+		return nil
+	}
 	for _, r := range m.regions {
 		pages, ok := cp.pages[r.Name]
 		if !ok {
@@ -681,7 +734,9 @@ func (m *Memory) RestoreCheckpoint(cp *Checkpoint) error {
 		for i := range r.shared {
 			r.shared[i] = true
 		}
+		r.dirty = r.dirty[:0]
 	}
+	m.lastCP = cp
 	return nil
 }
 

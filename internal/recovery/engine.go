@@ -332,6 +332,23 @@ func (e *Engine) Decide(tech detect.Technique, cause Cause) Strategy {
 	return e.Policy.Decide(tech, cause)
 }
 
+// MayRestore reports whether any decision this engine can reach is
+// StrategyRestore. Restore is the only strategy that consumes the per-step
+// VM-exit snapshot, so a machine armed with an engine that can never pick
+// it (e.g. uniform microreboot) skips taking the snapshot entirely — the
+// dominant cost of recovery-armed stepping.
+func (e *Engine) MayRestore() bool {
+	if e.Policy.Default == StrategyRestore {
+		return true
+	}
+	for _, r := range e.Policy.Rules {
+		if r.Strategy == StrategyRestore {
+			return true
+		}
+	}
+	return false
+}
+
 // Watchdog returns the re-execution instruction budget.
 func (e *Engine) Watchdog() uint64 {
 	if e.Budget == 0 {

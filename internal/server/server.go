@@ -175,6 +175,13 @@ type Server struct {
 	prunedDead      atomic.Int64
 	prunedConverged atomic.Int64
 
+	// pruned breaks the same counts down by (reason, fault-site class),
+	// exposed as xentry_pruned_total{reason="...",site="..."} next to the
+	// aggregate lines (kept for dashboard compatibility); guarded by
+	// prunedMu like detections.
+	prunedMu sync.Mutex
+	pruned   map[[2]string]int64
+
 	// detections counts detected outcomes per technique name (from
 	// Event.Technique, so plugin techniques appear without server
 	// changes); guarded by detectionsMu, exposed as
@@ -407,8 +414,10 @@ func (s *Server) startCampaign(spec CampaignSpec) (*campaign, error) {
 				switch ev.Pruned {
 				case "dead":
 					s.prunedDead.Add(1)
+					s.countPruned(ev.Pruned, ev.Site)
 				case "converged":
 					s.prunedConverged.Add(1)
+					s.countPruned(ev.Pruned, ev.Site)
 				}
 				if ev.RecoveryStrategy != "" {
 					s.countRecovery(ev.RecoveryStrategy, ev.RecoveryOutcome)
@@ -655,6 +664,15 @@ func (s *Server) countSite(site string) {
 	s.sitesMu.Unlock()
 }
 
+func (s *Server) countPruned(reason, site string) {
+	s.prunedMu.Lock()
+	if s.pruned == nil {
+		s.pruned = map[[2]string]int64{}
+	}
+	s.pruned[[2]string{reason, site}]++
+	s.prunedMu.Unlock()
+}
+
 func (s *Server) countRecovery(strategy, outcome string) {
 	s.recoveriesMu.Lock()
 	if s.recoveries == nil {
@@ -687,6 +705,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "xentry_wal_records_dropped_total %d\n", dropped)
 	fmt.Fprintf(w, "xentry_pruned_total{reason=\"dead\"} %d\n", s.prunedDead.Load())
 	fmt.Fprintf(w, "xentry_pruned_total{reason=\"converged\"} %d\n", s.prunedConverged.Load())
+	s.prunedMu.Lock()
+	pruneKeys := make([][2]string, 0, len(s.pruned))
+	for k := range s.pruned {
+		pruneKeys = append(pruneKeys, k)
+	}
+	sort.Slice(pruneKeys, func(i, j int) bool {
+		if pruneKeys[i][0] != pruneKeys[j][0] {
+			return pruneKeys[i][0] < pruneKeys[j][0]
+		}
+		return pruneKeys[i][1] < pruneKeys[j][1]
+	})
+	for _, k := range pruneKeys {
+		fmt.Fprintf(w, "xentry_pruned_total{reason=%q,site=%q} %d\n", k[0], k[1], s.pruned[k])
+	}
+	s.prunedMu.Unlock()
 	if s.cfg.Fleet != nil {
 		fs := s.cfg.Fleet.Stats()
 		fmt.Fprintf(w, "xentry_fleet_workers %d\n", fs.Workers)

@@ -1,9 +1,77 @@
 package server
 
 import (
+	"bufio"
+	"context"
+	"net/http"
+	"reflect"
 	"strings"
 	"testing"
+
+	"xentry/internal/inject"
 )
+
+// TestServerSitePruneMetrics drives an SMP multi-site campaign through the
+// HTTP coordinator: the per-site prune provenance must match a local run
+// bit-exactly, and /metrics must expose xentry_pruned_total broken down by
+// {reason,site}, not just the aggregate reason counters.
+func TestServerSitePruneMetrics(t *testing.T) {
+	cfg := testCampaignConfig()
+	cfg.VCPUs = 2
+	cfg.Targets = []string{"gpr", "dtlb", "apic", "pmu", "pgtable"}
+	want, err := inject.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prunedSites int
+	for s := inject.Site(0); s < inject.NumSites; s++ {
+		if want.Total.Prune.BySite[s] != (inject.SitePruneStats{}) {
+			prunedSites++
+		}
+	}
+	if prunedSites < 2 {
+		t.Fatalf("local reference campaign pruned on %d site classes; need >= 2 for the metric assertion", prunedSites)
+	}
+
+	_, client := testServer(t)
+	spec := CampaignSpec{
+		ID:                     "site-prune",
+		Benchmarks:             cfg.Benchmarks,
+		InjectionsPerBenchmark: cfg.InjectionsPerBenchmark,
+		Activations:            cfg.Activations,
+		Seed:                   cfg.Seed,
+		VCPUs:                  cfg.VCPUs,
+		Targets:                cfg.Targets,
+	}
+	rep, err := client.RunToCompletion(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Result.Total.Prune, want.Total.Prune) {
+		t.Errorf("server prune provenance differs from local run:\ngot:  %+v\nwant: %+v",
+			rep.Result.Total.Prune, want.Total.Prune)
+	}
+
+	resp, err := http.Get(strings.TrimRight(client.Base, "/") + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	siteRows := map[string]bool{}
+	for sc := bufio.NewScanner(resp.Body); sc.Scan(); {
+		line := sc.Text()
+		if !strings.HasPrefix(line, `xentry_pruned_total{`) || !strings.Contains(line, `site="`) {
+			continue
+		}
+		_, rest, _ := strings.Cut(line, `site="`)
+		site, _, _ := strings.Cut(rest, `"`)
+		siteRows[site] = true
+	}
+	if len(siteRows) < prunedSites {
+		t.Errorf("metrics page exposes per-site pruned rows for %d sites %v, want >= %d",
+			len(siteRows), siteRows, prunedSites)
+	}
+}
 
 // TestServerRejectsBadSiteSpec: unknown injection-target names, apic on a
 // single-CPU machine, and out-of-range vCPU counts are 400s at submission —

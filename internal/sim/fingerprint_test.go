@@ -4,7 +4,10 @@ import (
 	"reflect"
 	"testing"
 
+	"xentry/internal/hv"
 	"xentry/internal/isa"
+	"xentry/internal/mem"
+	"xentry/internal/perf"
 )
 
 // archState is the full architectural state the fingerprint claims to
@@ -55,20 +58,24 @@ func TestFingerprintEqualStatesEqual(t *testing.T) {
 	}
 }
 
-// FuzzFingerprintSoundness flips a single bit somewhere in the
-// architectural state — a register, a counter, or any mapped memory word —
-// and asserts the fingerprint changes, then reverts the flip and asserts
-// the fingerprint returns to its baseline. Single-bit sensitivity is what
-// lets the injection engine treat fingerprint equality as state equality:
-// every hash stage (word-wise FNV-1a, splitmix finalizer) is an invertible
-// function of the changed word given the rest, so a one-word difference
-// can never cancel.
+// FuzzFingerprintSoundness flips a single bit somewhere in the machine
+// state — a register, a counter, any mapped memory word (which includes
+// the APIC mailbox and page-table words in hv_data), a D-TLB entry tag,
+// or a PMU counter — and asserts the fingerprint changes, then reverts
+// the flip and asserts the fingerprint returns to its baseline.
+// Single-bit sensitivity is what lets the injection engine treat
+// fingerprint equality as state equality: every hash stage (word-wise
+// FNV-1a, splitmix finalizer) is an invertible function of the changed
+// word given the rest, so a one-word difference can never cancel.
 func FuzzFingerprintSoundness(f *testing.F) {
 	f.Add(uint8(0), uint8(0), uint64(0), uint8(0))
 	f.Add(uint8(3), uint8(1), uint64(12345), uint8(63))
 	f.Add(uint8(5), uint8(2), uint64(999), uint8(17))
 	f.Add(uint8(1), uint8(3), uint64(31337), uint8(40))
 	f.Add(uint8(7), uint8(3), uint64(7), uint8(7))
+	f.Add(uint8(4), uint8(4), uint64(11), uint8(3))
+	f.Add(uint8(2), uint8(5), uint64(0), uint8(29))
+	f.Add(uint8(6), uint8(6), uint64(2), uint8(51))
 	f.Fuzz(func(t *testing.T, steps, target uint8, sel uint64, bit uint8) {
 		m := testMachineAt(t, int(steps%8))
 		c := m.HV.CPU
@@ -77,7 +84,7 @@ func FuzzFingerprintSoundness(f *testing.F) {
 		mask := uint64(1) << (bit % 64)
 
 		var revert func()
-		switch target % 4 {
+		switch target % 7 {
 		case 0: // register file
 			reg := isa.Reg(sel % uint64(isa.NumReg))
 			c.Regs[reg] ^= mask
@@ -88,7 +95,7 @@ func FuzzFingerprintSoundness(f *testing.F) {
 		case 2: // retired-cycle counter
 			c.Cycles ^= mask
 			revert = func() { c.Cycles ^= mask }
-		default: // any mapped memory word
+		case 3: // any mapped memory word
 			regions := m.HV.Mem.Regions()
 			r := regions[sel%uint64(len(regions))]
 			addr := r.Start + (sel/uint64(len(regions)))%(r.Size/8)*8
@@ -104,11 +111,42 @@ func FuzzFingerprintSoundness(f *testing.F) {
 					t.Fatal(err)
 				}
 			}
+		case 4: // a warm D-TLB entry tag
+			slot := -1
+			for i := 0; i < mem.TLBSlots; i++ {
+				s := (int(sel) + i) % mem.TLBSlots
+				if m.HV.Mem.FlipTLBTag(s, bit%64) {
+					slot = s
+					break
+				}
+			}
+			if slot < 0 {
+				t.Skip("no armed D-TLB entry to poison")
+			}
+			revert = func() { m.HV.Mem.FlipTLBTag(slot, bit%64) }
+		case 5: // an APIC pending-IRQ mailbox word (hv_data, so Mem covers it)
+			addr := hv.APICAddr(0)
+			v, err := m.HV.Mem.Peek(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.HV.Mem.Poke(addr, v^mask); err != nil {
+				t.Fatal(err)
+			}
+			revert = func() {
+				if err := m.HV.Mem.Poke(addr, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		default: // a PMU event counter
+			e := perf.Event(sel % uint64(perf.NumEvents))
+			c.PMU.Flip(e, bit%64)
+			revert = func() { c.PMU.Flip(e, bit%64) }
 		}
 
 		if got := m.FingerprintFrom(nil); got == base {
 			t.Fatalf("single-bit flip (target %d, sel %d, bit %d) left fingerprint unchanged: %+v",
-				target%4, sel, bit%64, got)
+				target%7, sel, bit%64, got)
 		}
 		revert()
 		if got := m.FingerprintFrom(nil); got != base {

@@ -131,6 +131,11 @@ type Machine struct {
 	// schedCur is the CPU owning the current quantum; schedLeft is the
 	// number of activations left in it.
 	schedCur, schedLeft int
+	// evScratch is the reusable exit-event buffer nextEvent fills each
+	// step. Step copies it by value into the returned Activation and no
+	// callee retains the pointer past its call, so one buffer serves the
+	// machine's whole life instead of one heap escape per activation.
+	evScratch hv.ExitEvent
 	// Clock accumulates virtual cycles: guest compute + hypervisor
 	// execution + detection shim.
 	Clock float64
@@ -218,22 +223,30 @@ func (cp *Checkpoint) MemImage() *mem.Checkpoint {
 	return cp.hv.MemImage()
 }
 
-// Fingerprint is a compact summary of a machine's complete architectural
-// state at an activation boundary: Arch hashes the register file plus
-// TSC/cycle counters, Mem XOR-folds per-page memory hashes. Equal
+// Fingerprint is a compact summary of a machine's complete state at an
+// activation boundary: Arch hashes every register file plus TSC/cycle
+// counters, Uncore hashes the machine state outside the register files
+// and guest memory (per-CPU PMU banks and the D-TLB poison summary — see
+// hv.UncoreHash; the APIC mailbox and page-table words live in hv_data,
+// so Mem covers them), and Mem XOR-folds per-page memory hashes. Equal
 // fingerprints at equal activation indices mean (modulo hash collision,
-// ~2^-128 per comparison) the two executions have re-converged and every
+// ~2^-192 per comparison) the two executions have re-converged and every
 // subsequent activation is identical.
 type Fingerprint struct {
-	Arch uint64
-	Mem  uint64
+	Arch   uint64
+	Uncore uint64
+	Mem    uint64
 }
 
 // FingerprintFrom fingerprints the machine's current state, reusing
 // base's cached page hashes for memory still shared with it (nil base
 // hashes everything).
 func (m *Machine) FingerprintFrom(base *mem.Checkpoint) Fingerprint {
-	return Fingerprint{Arch: m.HV.ArchHash(), Mem: m.HV.Mem.FoldFrom(base)}
+	return Fingerprint{
+		Arch:   m.HV.ArchHash(),
+		Uncore: m.HV.UncoreHash(),
+		Mem:    m.HV.Mem.FoldFrom(base),
+	}
 }
 
 // Checkpoint captures the machine's full state before its next activation.
@@ -330,7 +343,8 @@ func (m *Machine) nextEvent() (*hv.ExitEvent, float64, error) {
 		return nil, 0, err
 	}
 	interval := m.Profile.SampleInterval(m.Cfg.Mode, m.rng)
-	return &hv.ExitEvent{Reason: reason, Dom: dom, Args: args}, interval, nil
+	m.evScratch = hv.ExitEvent{Reason: reason, Dom: dom, Args: args}
+	return &m.evScratch, interval, nil
 }
 
 // Step executes one activation.
@@ -361,9 +375,12 @@ func (m *Machine) Step() (Activation, error) {
 	// CPU keeps its own TSC; only the scheduled CPU's advances.
 	m.HV.CPUFor(ev).TSC += uint64(interval)
 	var snap *hv.Snap
-	if m.RecoverOnDetection || m.Recovery != nil {
+	if m.RecoverOnDetection || (m.Recovery != nil && m.Recovery.MayRestore()) {
 		// Preserve the critical data and the VM exit reason at every VM
-		// exit (paper Section VI).
+		// exit (paper Section VI). An engine that can never decide
+		// StrategyRestore never reads the snapshot (microreboot rebuilds
+		// from scratch), so arming one skips this — the snapshot is the
+		// dominant per-step cost of recovery-armed execution.
 		snap = m.HV.Snapshot()
 	}
 	out, err := m.Sentry.Execute(ev, hv.DefaultBudget)

@@ -105,6 +105,28 @@ func AppendTally(dst []byte, t *inject.Tally) []byte {
 		dst = appendUvarint(dst, uint64(k))
 		dst = appendUvarint(dst, uint64(t.ByVCPU[k]))
 	}
+	// Per-site prune rows (ProtoVersion 3): count of non-zero rows, then
+	// per row the site byte and its dead/converged/full counters. Zero rows
+	// are elided so a register-only campaign's tally costs one extra byte;
+	// the coordinator's DeepEqual cross-check against its own fold needs
+	// the rows bit-exact, not just the aggregates above.
+	rows := 0
+	for s := inject.Site(0); s < inject.NumSites; s++ {
+		if t.Prune.BySite[s] != (inject.SitePruneStats{}) {
+			rows++
+		}
+	}
+	dst = appendUvarint(dst, uint64(rows))
+	for s := inject.Site(0); s < inject.NumSites; s++ {
+		row := t.Prune.BySite[s]
+		if row == (inject.SitePruneStats{}) {
+			continue
+		}
+		dst = append(dst, byte(s))
+		dst = appendUvarint(dst, uint64(row.Dead))
+		dst = appendUvarint(dst, uint64(row.Converged))
+		dst = appendUvarint(dst, uint64(row.Full))
+	}
 	return dst
 }
 
@@ -294,6 +316,32 @@ func (d *Decoder) DecodeTally(b []byte) (*inject.Tally, []byte, error) {
 			return nil, nil, err
 		}
 		t.ByVCPU[int(k)] = int(v)
+	}
+	if n, b, err = consumeCount(b); err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < n; i++ {
+		var k byte
+		if k, b, err = consumeByte(b); err != nil {
+			return nil, nil, err
+		}
+		if k >= byte(inject.NumSites) {
+			return nil, nil, fmt.Errorf("wire: tally prune site class %d out of range", k)
+		}
+		row := &t.Prune.BySite[inject.Site(k)]
+		var v uint64
+		if v, b, err = consumeUvarint(b); err != nil {
+			return nil, nil, err
+		}
+		row.Dead = int(v)
+		if v, b, err = consumeUvarint(b); err != nil {
+			return nil, nil, err
+		}
+		row.Converged = int(v)
+		if v, b, err = consumeUvarint(b); err != nil {
+			return nil, nil, err
+		}
+		row.Full = int(v)
 	}
 	return t, b, nil
 }

@@ -25,8 +25,11 @@ const (
 	// A coordinator refuses mismatching workers instead of guessing.
 	// Version 2 added the fault-site taxonomy: an optional trailing site
 	// block (flagHasSite) on outcome records and trailing BySite/ByVCPU
-	// sections on tallies.
-	ProtoVersion = 2
+	// sections on tallies. Version 3 added the trailing per-site prune
+	// rows on tallies (the coordinator cross-checks worker tallies with
+	// DeepEqual, so the per-site provenance counters must ride the wire
+	// bit-exact).
+	ProtoVersion = 3
 	// FrameHeader is the frame prefix: uint32 payload length + uint32
 	// CRC32 (IEEE) of the payload, both little-endian — the same framing
 	// the result store's WAL uses, so a record frame produced here can be

@@ -1,6 +1,6 @@
 #!/bin/sh
 # Runs the performance-regression benchmark suite and writes a
-# machine-readable report to BENCH_<tag>.json (default tag: pr9), or to
+# machine-readable report to BENCH_<tag>.json (default tag: pr10), or to
 # an explicit output path when given — CI uses that to archive the JSON
 # as a build artifact and feeds it to cmd/benchgate, which diffs the
 # live numbers against the committed previous report.
@@ -28,7 +28,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-tag="${1:-pr9}"
+tag="${1:-pr10}"
 out="${2:-BENCH_${tag}.json}"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT

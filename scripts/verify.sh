@@ -51,7 +51,7 @@ go test -race -run 'Microreboot' ./internal/inject/
 # 4-vCPU multi-site campaign and the schedule trace must be deterministic
 # (including under the race detector's schedule perturbation), and
 # kill/resume must reproduce the per-site coverage rows exactly.
-go test -run 'TestLegacyCampaignBitIdenticalToExplicitDefaults|TestSMPMultiSiteCampaignDeterministic|TestPruneDisabledForUncoreTargets' ./internal/inject/
+go test -run 'TestLegacyCampaignBitIdenticalToExplicitDefaults|TestSMPMultiSiteCampaignDeterministic|TestPruneFiresForUncoreTargets|TestPruneUncoreRecoveryBitIdentical' ./internal/inject/
 go test -run 'TestScheduleTrace|TestSMPGoldenRunDeterministic' ./internal/sim/
 go test -run 'TestResumeSMPMultiSiteCampaignBitIdentical' ./internal/store/
 go test -race -run 'TestSMPMultiSiteCampaignDeterministic' ./internal/inject/
